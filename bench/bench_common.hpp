@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/per-table bench binaries.
+ *
+ * Each binary regenerates one table or figure of the paper: it builds
+ * the workload, simulates the relevant variants, and prints the same
+ * rows/series the paper reports. Set QZ_BENCH_SCALE to scale dataset
+ * sizes (default 1.0; e.g. 0.2 for a quick pass, 4 for longer runs).
+ */
+#ifndef QUETZAL_BENCH_BENCH_COMMON_HPP
+#define QUETZAL_BENCH_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "algos/runner.hpp"
+#include "common/table.hpp"
+#include "genomics/datasets.hpp"
+#include "genomics/protein.hpp"
+
+namespace quetzal::bench {
+
+/** Dataset scale factor from QZ_BENCH_SCALE (default 1.0). */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("QZ_BENCH_SCALE")) {
+        const double scale = std::atof(env);
+        if (scale > 0)
+            return scale;
+    }
+    return 1.0;
+}
+
+/** Print the experiment banner with the Table I system summary. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "==================================================\n"
+              << title << "\n"
+              << "Simulated system (Table I): 2.0 GHz A64FX-like, "
+                 "512-bit SVE,\n"
+              << "  L1D 64KB/8w lt=4, L2 8MB/16w lt=37, HBM2; "
+                 "QUETZAL 2x8KB QBUFFERs\n"
+              << "Dataset scale: " << benchScale()
+              << " (set QZ_BENCH_SCALE to change)\n"
+              << "==================================================\n";
+}
+
+/** Run one algorithm/variant/dataset cell without verification. */
+inline algos::RunResult
+runCell(algos::AlgoKind kind, const genomics::PairDataset &dataset,
+        algos::Variant variant,
+        std::size_t maxLen = ~std::size_t{0},
+        genomics::AlphabetKind alphabet = genomics::AlphabetKind::Dna,
+        unsigned qzPorts = 8)
+{
+    algos::RunOptions options;
+    options.variant = variant;
+    options.maxLen = maxLen;
+    options.alphabet = alphabet;
+    options.verify = false; // the test suite covers correctness
+    if (algos::needsQuetzal(variant))
+        options.system = sim::SystemParams::withQuetzal(qzPorts);
+    return algos::runAlgorithm(kind, dataset, options);
+}
+
+/** Build the protein workload as a PairDataset (use case 4). */
+inline genomics::PairDataset
+proteinDataset(double scale)
+{
+    genomics::ProteinFamilyConfig config;
+    config.familyCount =
+        std::max<std::size_t>(1, static_cast<std::size_t>(2 * scale));
+    config.membersPerFamily = 4;
+    config.ancestorLength = 400;
+    genomics::PairDataset ds;
+    ds.name = "protein";
+    ds.readLength = config.ancestorLength;
+    ds.errorRate = config.divergence;
+    ds.pairs = genomics::proteinPairWorkload(config);
+    return ds;
+}
+
+} // namespace quetzal::bench
+
+#endif // QUETZAL_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 3 reproduction: speedup of the SVE-intrinsics (VEC)
+ * implementations of WFA and SneakySnake over the auto-vectorized
+ * baseline, for short and long reads.
+ *
+ * Paper: ~1.3x for short reads, ~2.5x for long reads on average.
+ */
+#include "bench_common.hpp"
+
+#include <cmath>
+
+int
+main()
+{
+    using namespace quetzal;
+    using algos::AlgoKind;
+    using algos::Variant;
+    bench::banner("Fig. 3: VEC speedup over the scalar baseline");
+
+    TextTable table({"Algorithm", "Dataset", "BASE cycles",
+                     "VEC cycles", "VEC speedup"});
+    double shortProd = 1.0, longProd = 1.0;
+    int shortN = 0, longN = 0;
+
+    for (const AlgoKind kind :
+         {AlgoKind::Wfa, AlgoKind::SneakySnake}) {
+        for (const auto &spec : genomics::datasetCatalog()) {
+            const auto ds =
+                genomics::makeDataset(spec.name, bench::benchScale());
+            const auto base = bench::runCell(kind, ds, Variant::Base);
+            const auto vec = bench::runCell(kind, ds, Variant::Vec);
+            const double s = algos::speedup(base, vec);
+            table.addRow({std::string(algos::algoName(kind)),
+                          spec.name, std::to_string(base.cycles),
+                          std::to_string(vec.cycles),
+                          TextTable::num(s, 2) + "x"});
+            if (spec.longRead) {
+                longProd *= s;
+                ++longN;
+            } else {
+                shortProd *= s;
+                ++shortN;
+            }
+        }
+    }
+    table.print(std::cout);
+
+    const double shortGeo =
+        shortN ? std::pow(shortProd, 1.0 / shortN) : 0.0;
+    const double longGeo = longN ? std::pow(longProd, 1.0 / longN) : 0.0;
+    std::cout << "\nGeomean VEC speedup: short reads "
+              << TextTable::num(shortGeo, 2) << "x (paper ~1.3x), "
+              << "long reads " << TextTable::num(longGeo, 2)
+              << "x (paper ~2.5x)\n";
+    return 0;
+}

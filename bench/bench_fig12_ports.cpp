@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 12 reproduction: relative performance of the QZ_1P/2P/4P/8P
+ * configurations (QBUFFER read-port sweep), normalized to QZ_1P.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace quetzal;
+    using algos::AlgoKind;
+    using algos::Variant;
+    bench::banner("Fig. 12: QBUFFER read-port design-space sweep "
+                  "(QUETZAL+C, normalized to QZ_1P)");
+
+    const unsigned ports[] = {1, 2, 4, 8};
+    TextTable table({"Algorithm", "Dataset", "QZ_1P", "QZ_2P", "QZ_4P",
+                     "QZ_8P"});
+    for (const AlgoKind kind :
+         {AlgoKind::Wfa, AlgoKind::BiWfa, AlgoKind::SneakySnake}) {
+        for (const auto &spec : genomics::datasetCatalog()) {
+            const auto ds =
+                genomics::makeDataset(spec.name, bench::benchScale());
+            std::uint64_t cycles[4] = {};
+            for (int i = 0; i < 4; ++i)
+                cycles[i] = bench::runCell(kind, ds, Variant::QzC,
+                                           ~std::size_t{0},
+                                           genomics::AlphabetKind::Dna,
+                                           ports[i])
+                                .cycles;
+            auto rel = [&](int i) {
+                return TextTable::num(
+                           static_cast<double>(cycles[0]) /
+                               static_cast<double>(cycles[i]),
+                           2) +
+                       "x";
+            };
+            table.addRow({std::string(algos::algoName(kind)), spec.name,
+                          rel(0), rel(1), rel(2), rel(3)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: performance rises with port count; QZ_8P "
+                 "(2-cycle reads) is the chosen configuration.\n";
+    return 0;
+}

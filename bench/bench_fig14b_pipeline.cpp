@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 14b reproduction: the SneakySnake + WFA pipeline (use case 5)
+ * on 16 cores, QUETZAL+C vs VEC.
+ *
+ * Paper: 1.8x, 2.7x, 3.6x, 3.1x for 100bp_1 / 250bp_1 / 10Kbp /
+ * 30Kbp respectively.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace quetzal;
+    using algos::AlgoKind;
+    using algos::Variant;
+    bench::banner("Fig. 14b: SS + WFA pipeline, 16 cores "
+                  "(QUETZAL+C vs VEC)");
+
+    TextTable table({"Dataset", "Accepted/pairs", "VEC cyc",
+                     "QZ+C cyc", "1-core speedup", "16-core speedup"});
+    const auto params = sim::SystemParams::withQuetzal();
+    for (const auto &spec : genomics::datasetCatalog()) {
+        const auto ds = algos::mixWithDecoys(
+            genomics::makeDataset(spec.name, bench::benchScale()));
+        const auto vec = bench::runCell(AlgoKind::SsWfa, ds,
+                                        Variant::Vec);
+        const auto qzc = bench::runCell(AlgoKind::SsWfa, ds,
+                                        Variant::QzC);
+        const double s1 = algos::speedup(vec, qzc);
+        // 16-core throughput ratio under the shared-bandwidth model.
+        const double tVec = sim::multicoreThroughput(
+            vec.demand(), vec.pairs, 16, params);
+        const double tQzc = sim::multicoreThroughput(
+            qzc.demand(), qzc.pairs, 16, params);
+        table.addRow({spec.name,
+                      std::to_string(qzc.accepted) + "/" +
+                          std::to_string(qzc.pairs),
+                      std::to_string(vec.cycles),
+                      std::to_string(qzc.cycles),
+                      TextTable::num(s1, 2) + "x",
+                      TextTable::num(tQzc / tVec, 2) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper (16 cores): 1.8x, 2.7x, 3.6x, 3.1x across "
+                 "the four datasets.\n";
+    return 0;
+}

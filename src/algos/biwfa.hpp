@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bidirectional WFA (BiWFA) for unit (edit) penalties.
+ *
+ * Runs forward and reverse wavefronts that meet in the middle
+ * (Marco-Sola et al. 2023): the score pass keeps only O(s) rolling
+ * wavefront state, and the full alignment is recovered by recursive
+ * splitting at the meeting breakpoint — the property that lets BiWFA
+ * handle long reads without the O(s^2) wavefront table.
+ *
+ * Reverse-direction extension runs over the same staged sequences via
+ * index mirroring; the QUETZAL+C variant uses the count ALU's reverse
+ * (leading-ones) mode for it.
+ */
+#ifndef QUETZAL_ALGOS_BIWFA_HPP
+#define QUETZAL_ALGOS_BIWFA_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "algos/wfa.hpp"
+
+namespace quetzal::algos {
+
+/** Meeting point of the forward and reverse wavefronts. */
+struct Breakpoint
+{
+    std::int64_t i = 0;      //!< pattern split position
+    std::int64_t j = 0;      //!< text split position
+    std::int64_t scoreF = 0; //!< forward edits at the meeting
+    std::int64_t scoreR = 0; //!< reverse edits at the meeting
+};
+
+/**
+ * Edit distance via bidirectional wavefronts with O(s) memory.
+ * @param bp optional out-parameter receiving the meeting breakpoint.
+ */
+std::int64_t biwfaScore(WfaEngine &engine, std::string_view pattern,
+                        std::string_view text,
+                        genomics::ElementSize esize =
+                            genomics::ElementSize::Bits2,
+                        Breakpoint *bp = nullptr);
+
+/**
+ * Full BiWFA alignment: score pass, split at the breakpoint, recurse;
+ * subproblems below the leaf threshold run plain WFA with traceback.
+ */
+AlignResult biwfaAlign(WfaEngine &engine, std::string_view pattern,
+                       std::string_view text, bool traceback = true,
+                       genomics::ElementSize esize =
+                           genomics::ElementSize::Bits2);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_BIWFA_HPP

@@ -1,0 +1,60 @@
+#include "algos/cigar.hpp"
+
+#include "common/format.hpp"
+
+namespace quetzal::algos {
+
+std::string
+Cigar::rle() const
+{
+    std::string out;
+    std::size_t i = 0;
+    while (i < ops.size()) {
+        std::size_t j = i;
+        while (j < ops.size() && ops[j] == ops[i])
+            ++j;
+        out += qformat("{}{}", j - i, ops[i]);
+        i = j;
+    }
+    return out;
+}
+
+bool
+validateCigar(std::string_view pattern, std::string_view text,
+              const Cigar &cigar)
+{
+    std::size_t i = 0, j = 0;
+    for (char op : cigar.ops) {
+        switch (op) {
+          case 'M':
+            if (i >= pattern.size() || j >= text.size() ||
+                pattern[i] != text[j])
+                return false;
+            ++i;
+            ++j;
+            break;
+          case 'X':
+            if (i >= pattern.size() || j >= text.size() ||
+                pattern[i] == text[j])
+                return false;
+            ++i;
+            ++j;
+            break;
+          case 'I':
+            if (j >= text.size())
+                return false;
+            ++j;
+            break;
+          case 'D':
+            if (i >= pattern.size())
+                return false;
+            ++i;
+            break;
+          default:
+            return false;
+        }
+    }
+    return i == pattern.size() && j == text.size();
+}
+
+} // namespace quetzal::algos

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CIGAR (alignment edit transcript) utilities.
+ *
+ * Convention: the alignment transforms the pattern (query) into the
+ * text (target):
+ *   'M' match    — consumes one pattern and one text character, equal;
+ *   'X' mismatch — consumes one of each, different;
+ *   'I' insertion — consumes one text character (gap in the pattern);
+ *   'D' deletion  — consumes one pattern character (gap in the text).
+ */
+#ifndef QUETZAL_ALGOS_CIGAR_HPP
+#define QUETZAL_ALGOS_CIGAR_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace quetzal::algos {
+
+/** An alignment transcript: one op character per edit column. */
+struct Cigar
+{
+    std::string ops; //!< 'M', 'X', 'I', 'D' per column
+
+    /** Unit-cost edit distance implied by the transcript. */
+    std::int64_t
+    edits() const
+    {
+        std::int64_t count = 0;
+        for (char op : ops)
+            if (op != 'M')
+                ++count;
+        return count;
+    }
+
+    /** Run-length encoded form, e.g. "23M1X4M2I". */
+    std::string rle() const;
+
+    void
+    append(char op, std::size_t count = 1)
+    {
+        ops.append(count, op);
+    }
+};
+
+/**
+ * Check that @p cigar is a valid transcript turning @p pattern into
+ * @p text: consumes both fully, 'M' columns match, 'X' columns differ.
+ */
+bool validateCigar(std::string_view pattern, std::string_view text,
+                   const Cigar &cigar);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_CIGAR_HPP

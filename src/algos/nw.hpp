@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Needleman-Wunsch (NW) with unit costs — the classic full-table DP
+ * (paper Fig. 1a; evaluated as the parasail-style baseline in use
+ * case 3).
+ *
+ * The timed variants compute the table along anti-diagonals (paper
+ * Fig. 7): all loads/stores are unit-stride against a diagonal-
+ * linearized table, so the classic algorithm vectorizes without
+ * gathers — which is exactly why QUETZAL's benefit here is modest
+ * compared to the modern algorithms. The QUETZAL variant keeps both
+ * sequences in the QBUFFERs and produces the substitution-cost vector
+ * with qzmhm<cmpeq> instead of two cache loads plus a compare.
+ */
+#ifndef QUETZAL_ALGOS_NW_HPP
+#define QUETZAL_ALGOS_NW_HPP
+
+#include <string_view>
+
+#include "algos/variant.hpp"
+#include "algos/wfa.hpp" // AlignResult
+#include "isa/vectorunit.hpp"
+#include "quetzal/qzunit.hpp"
+
+namespace quetzal::algos {
+
+/**
+ * Full-table NW alignment (optimal edit distance + CIGAR).
+ *
+ * @param variant Ref / Base / Vec / Qz (QzC behaves as Qz: the count
+ *        unit has no role in the classic recurrence).
+ * @param vpu required for timed variants.
+ * @param qz required for Qz/QzC.
+ */
+AlignResult nwAlign(Variant variant, std::string_view pattern,
+                    std::string_view text, isa::VectorUnit *vpu = nullptr,
+                    accel::QzUnit *qz = nullptr, bool traceback = true);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_NW_HPP

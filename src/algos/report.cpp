@@ -1,0 +1,52 @@
+#include "algos/report.hpp"
+
+namespace quetzal::algos {
+
+std::string
+toJson(const RunResult &result)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("algo", result.algo)
+        .field("variant", result.variant)
+        .field("dataset", result.dataset)
+        .field("cycles", result.cycles)
+        .field("instructions", result.instructions)
+        .field("mem_requests", result.memRequests)
+        .field("dram_bytes", result.dramBytes)
+        .field("pairs", result.pairs)
+        .field("accepted", result.accepted)
+        .field("total_score", result.totalScore)
+        .field("dp_cells", result.dpCells)
+        .field("outputs_match", result.outputsMatch);
+    json.beginObject("stalls")
+        .field("frontend", result.stalls[0])
+        .field("compute", result.stalls[1])
+        .field("cache", result.stalls[2])
+        .field("structural", result.stalls[3])
+        .endObject();
+    json.endObject();
+    return json.str();
+}
+
+std::string
+instructionProfileJson(const sim::Pipeline &pipeline)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("instructions", pipeline.instructions())
+        .field("cycles", pipeline.totalCycles());
+    json.beginObject("op_counts");
+    for (int c = 0; c < static_cast<int>(sim::OpClass::NumClasses);
+         ++c) {
+        const auto cls = static_cast<sim::OpClass>(c);
+        const auto count = pipeline.opCount(cls);
+        if (count > 0)
+            json.field(sim::opClassName(cls), count);
+    }
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+} // namespace quetzal::algos

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Machine-readable reporting for experiment results: RunResult
+ * serialization to JSON (for automation around the bench binaries)
+ * and a per-opcode instruction profile of a simulated core.
+ */
+#ifndef QUETZAL_ALGOS_REPORT_HPP
+#define QUETZAL_ALGOS_REPORT_HPP
+
+#include <string>
+
+#include "algos/runner.hpp"
+#include "common/json.hpp"
+#include "sim/pipeline.hpp"
+
+namespace quetzal::algos {
+
+/** Serialize one evaluation cell to a JSON object string. */
+std::string toJson(const RunResult &result);
+
+/** Serialize a pipeline's per-opcode instruction profile. */
+std::string instructionProfileJson(const sim::Pipeline &pipeline);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_REPORT_HPP

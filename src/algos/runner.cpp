@@ -1,0 +1,257 @@
+#include "algos/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "algos/biwfa.hpp"
+#include "algos/nw.hpp"
+#include "algos/sneakysnake.hpp"
+#include "algos/swg.hpp"
+#include "algos/wfa.hpp"
+#include "algos/wfa_engine.hpp"
+#include "common/logging.hpp"
+
+namespace quetzal::algos {
+
+using genomics::ElementSize;
+using genomics::PairDataset;
+
+const char *
+algoName(AlgoKind kind)
+{
+    switch (kind) {
+      case AlgoKind::Wfa:
+        return "WFA";
+      case AlgoKind::BiWfa:
+        return "BiWFA";
+      case AlgoKind::SneakySnake:
+        return "SS";
+      case AlgoKind::Nw:
+        return "NW";
+      case AlgoKind::Swg:
+        return "SW";
+      case AlgoKind::SsWfa:
+        return "SS+WFA";
+    }
+    return "?";
+}
+
+namespace {
+
+ElementSize
+esizeFor(genomics::AlphabetKind alphabet)
+{
+    return alphabet == genomics::AlphabetKind::Protein
+               ? ElementSize::Bits8
+               : ElementSize::Bits2;
+}
+
+/** Everything a run needs on the simulated-core side. */
+struct CoreRig
+{
+    sim::SimContext ctx;
+    isa::VectorUnit vpu;
+    std::optional<accel::QzUnit> qz;
+
+    explicit CoreRig(const sim::SystemParams &params)
+        : ctx(params), vpu(ctx.pipeline())
+    {
+        if (params.quetzal.present)
+            qz.emplace(vpu, params.quetzal);
+    }
+
+    accel::QzUnit *qzPtr() { return qz ? &*qz : nullptr; }
+};
+
+sim::SystemParams
+systemFor(const RunOptions &options)
+{
+    sim::SystemParams params = options.system;
+    if (needsQuetzal(options.variant) && !params.quetzal.present)
+        params = sim::SystemParams::withQuetzal();
+    return params;
+}
+
+void
+harvest(RunResult &out, CoreRig &rig)
+{
+    out.cycles = rig.ctx.pipeline().totalCycles();
+    out.instructions = rig.ctx.pipeline().instructions();
+    out.memRequests = rig.ctx.mem().totalRequests();
+    out.dramBytes = rig.ctx.mem().dramBytes();
+    for (unsigned k = 0; k < 4; ++k)
+        out.stalls[k] = rig.ctx.pipeline().stallCycles(
+            static_cast<sim::StallKind>(k));
+}
+
+} // namespace
+
+PairDataset
+mixWithDecoys(const PairDataset &dataset)
+{
+    PairDataset mixed = dataset;
+    const std::size_t count = mixed.pairs.size();
+    for (std::size_t i = 1; i < count; i += 2) {
+        // Swap in the next pair's text: unrelated to this pattern.
+        mixed.pairs[i].text = dataset.pairs[(i + 1) % count].text;
+        mixed.pairs[i].trueEdits = -1;
+    }
+    return mixed;
+}
+
+RunResult
+runAlgorithm(AlgoKind kind, const PairDataset &dataset,
+             const RunOptions &options)
+{
+    RunResult out;
+    out.algo = algoName(kind);
+    out.variant = std::string(variantName(options.variant));
+    out.dataset = dataset.name;
+
+    fatal_if(options.variant == Variant::Ref,
+             "runAlgorithm measures timed variants; Ref is the golden "
+             "model it verifies against");
+
+    CoreRig rig(systemFor(options));
+    const ElementSize esize = esizeFor(options.alphabet);
+
+    // Variant under test and untimed golden model.
+    auto engine = makeWfaEngine(options.variant, &rig.vpu, rig.qzPtr());
+    auto refEngine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    auto ssEngine = makeSsEngine(options.variant, &rig.vpu, rig.qzPtr());
+    auto ssRef = makeSsEngine(Variant::Ref, nullptr, nullptr);
+
+    SsConfig ssConfig;
+    ssConfig.editThreshold =
+        options.ssThreshold > 0
+            ? options.ssThreshold
+            : defaultSsThreshold(dataset.readLength, dataset.errorRate);
+
+    const std::size_t limit =
+        std::min<std::size_t>(options.maxPairs, dataset.pairs.size());
+    for (std::size_t idx = 0; idx < limit; ++idx) {
+        const auto &pair = dataset.pairs[idx];
+        std::string_view pattern = pair.pattern;
+        std::string_view text = pair.text;
+        if (pattern.size() > options.maxLen)
+            pattern = pattern.substr(0, options.maxLen);
+        if (text.size() > options.maxLen)
+            text = text.substr(0, options.maxLen);
+        ++out.pairs;
+
+        switch (kind) {
+          case AlgoKind::Wfa: {
+            const AlignResult got = wfaAlign(*engine, pattern, text,
+                                             options.traceback, esize);
+            out.totalScore += got.score;
+            out.dpCells += wfaCellCount(got.score);
+            if (options.verify) {
+                const AlignResult want =
+                    wfaAlign(*refEngine, pattern, text,
+                             options.traceback);
+                out.outputsMatch &= got.score == want.score;
+                if (options.traceback) {
+                    out.outputsMatch &=
+                        got.cigar.ops == want.cigar.ops &&
+                        validateCigar(pattern, text, got.cigar);
+                }
+            }
+            break;
+          }
+          case AlgoKind::BiWfa: {
+            const AlignResult got = biwfaAlign(*engine, pattern, text,
+                                               options.traceback, esize);
+            out.totalScore += got.score;
+            out.dpCells += wfaCellCount(got.score);
+            if (options.verify) {
+                const std::int64_t want =
+                    wfaScore(*refEngine, pattern, text);
+                out.outputsMatch &= got.score == want;
+                if (options.traceback) {
+                    out.outputsMatch &=
+                        got.cigar.edits() == want &&
+                        validateCigar(pattern, text, got.cigar);
+                }
+            }
+            break;
+          }
+          case AlgoKind::SneakySnake: {
+            const SsResult got =
+                sneakySnake(*ssEngine, pattern, text, ssConfig, esize);
+            out.totalScore += got.editBound;
+            out.accepted += got.accepted ? 1 : 0;
+            if (options.verify) {
+                const SsResult want =
+                    sneakySnake(*ssRef, pattern, text, ssConfig);
+                out.outputsMatch &=
+                    got.accepted == want.accepted &&
+                    got.editBound == want.editBound;
+            }
+            break;
+          }
+          case AlgoKind::Nw: {
+            const AlignResult got =
+                nwAlign(options.variant, pattern, text, &rig.vpu,
+                        rig.qzPtr(), options.traceback);
+            out.totalScore += got.score;
+            out.dpCells += static_cast<std::uint64_t>(pattern.size()) *
+                           text.size();
+            if (options.verify) {
+                const AlignResult want = nwAlign(
+                    Variant::Ref, pattern, text, nullptr, nullptr,
+                    options.traceback);
+                out.outputsMatch &= got.score == want.score;
+                if (options.traceback)
+                    out.outputsMatch &= got.cigar.ops == want.cigar.ops;
+            }
+            break;
+          }
+          case AlgoKind::Swg: {
+            const SwgResult got =
+                swgAlign(options.variant, pattern, text, SwgParams{},
+                         &rig.vpu, rig.qzPtr(), options.traceback);
+            out.totalScore += got.score;
+            out.dpCells +=
+                static_cast<std::uint64_t>(pattern.size() + text.size()) *
+                31;
+            if (options.verify) {
+                const SwgResult want =
+                    swgAlign(Variant::Ref, pattern, text, SwgParams{},
+                             nullptr, nullptr, options.traceback);
+                out.outputsMatch &= got.score == want.score;
+                if (options.traceback)
+                    out.outputsMatch &= got.cigar.ops == want.cigar.ops;
+            }
+            break;
+          }
+          case AlgoKind::SsWfa: {
+            const SsResult filter =
+                sneakySnake(*ssEngine, pattern, text, ssConfig, esize);
+            if (options.verify) {
+                const SsResult want =
+                    sneakySnake(*ssRef, pattern, text, ssConfig);
+                out.outputsMatch &= filter.accepted == want.accepted;
+            }
+            if (filter.accepted) {
+                ++out.accepted;
+                const AlignResult got = wfaAlign(
+                    *engine, pattern, text, options.traceback, esize);
+                out.totalScore += got.score;
+                out.dpCells += wfaCellCount(got.score);
+                if (options.verify) {
+                    const AlignResult want = wfaAlign(
+                        *refEngine, pattern, text, options.traceback);
+                    out.outputsMatch &= got.score == want.score;
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    harvest(out, rig);
+    return out;
+}
+
+} // namespace quetzal::algos

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiment runner: executes one (algorithm, variant, dataset) cell
+ * of the paper's evaluation matrix on a fresh simulated core and
+ * reports cycles, instruction counts, stall breakdown, memory traffic,
+ * and functional agreement with the untimed reference — the common
+ * harness underneath every bench binary and the integration tests.
+ */
+#ifndef QUETZAL_ALGOS_RUNNER_HPP
+#define QUETZAL_ALGOS_RUNNER_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "algos/variant.hpp"
+#include "genomics/datasets.hpp"
+#include "genomics/sequence.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::algos {
+
+/** Which algorithm runs. */
+enum class AlgoKind
+{
+    Wfa,
+    BiWfa,
+    SneakySnake,
+    Nw,
+    Swg,
+    SsWfa, //!< SneakySnake filter + WFA alignment pipeline (Fig. 14b)
+};
+
+/** Display name matching the paper. */
+const char *algoName(AlgoKind kind);
+
+/** Runner knobs. */
+struct RunOptions
+{
+    Variant variant = Variant::Base;
+    sim::SystemParams system = sim::SystemParams::baseline();
+    bool traceback = true;
+    std::size_t maxPairs = ~std::size_t{0};
+    /** Length cap for the full-table classic DP (paper-style dataset
+     *  constraint to keep simulations tractable). */
+    std::size_t maxLen = ~std::size_t{0};
+    genomics::AlphabetKind alphabet = genomics::AlphabetKind::Dna;
+    std::int64_t ssThreshold = 0; //!< 0 derives from the dataset
+    bool verify = true;           //!< compare against the Ref variant
+};
+
+/** One cell of the evaluation matrix. */
+struct RunResult
+{
+    std::string algo;
+    std::string variant;
+    std::string dataset;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memRequests = 0; //!< demand requests to the L1
+    std::uint64_t dramBytes = 0;
+    std::uint64_t pairs = 0;
+    std::uint64_t accepted = 0;   //!< SS: pairs passing the filter
+    std::int64_t totalScore = 0;
+    std::uint64_t dpCells = 0;    //!< for GCUPS accounting
+    bool outputsMatch = true;     //!< bitwise agreement with Ref
+
+    /** Stall cycles: Frontend, Compute, Cache, Struct. */
+    std::array<std::uint64_t, 4> stalls{};
+
+    sim::CoreDemand
+    demand() const
+    {
+        return sim::CoreDemand{cycles, dramBytes};
+    }
+
+    /** Fraction of cycles attributed to cache accesses. */
+    double
+    cacheFraction() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(stalls[2]) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/** Run @p kind / options over @p dataset on a fresh simulated core. */
+RunResult runAlgorithm(AlgoKind kind,
+                       const genomics::PairDataset &dataset,
+                       const RunOptions &options);
+
+/**
+ * Replace the text of every second pair with an unrelated window so
+ * the SneakySnake filter has something to reject (SS+WFA pipeline
+ * workload).
+ */
+genomics::PairDataset
+mixWithDecoys(const genomics::PairDataset &dataset);
+
+/** Speedup of @p test over @p baseline in simulated cycles. */
+inline double
+speedup(const RunResult &baseline, const RunResult &test)
+{
+    return test.cycles == 0
+               ? 0.0
+               : static_cast<double>(baseline.cycles) /
+                     static_cast<double>(test.cycles);
+}
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_RUNNER_HPP

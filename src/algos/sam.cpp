@@ -1,0 +1,60 @@
+#include "algos/sam.hpp"
+
+#include "common/format.hpp"
+#include "common/logging.hpp"
+
+namespace quetzal::algos {
+
+std::string
+toSamCigar(const Cigar &cigar, bool extended)
+{
+    if (cigar.ops.empty())
+        return "*";
+    auto samOp = [extended](char op) {
+        switch (op) {
+          case 'M':
+            return extended ? '=' : 'M';
+          case 'X':
+            return extended ? 'X' : 'M';
+          case 'I':
+            // Internal 'I' consumes text (reference): SAM deletion.
+            return 'D';
+          case 'D':
+            // Internal 'D' consumes pattern (query): SAM insertion.
+            return 'I';
+          default:
+            fatal("unknown CIGAR op '{}'", op);
+        }
+    };
+    std::string out;
+    std::size_t i = 0;
+    while (i < cigar.ops.size()) {
+        const char mapped = samOp(cigar.ops[i]);
+        std::size_t j = i;
+        while (j < cigar.ops.size() && samOp(cigar.ops[j]) == mapped)
+            ++j;
+        out += qformat("{}{}", j - i, mapped);
+        i = j;
+    }
+    return out;
+}
+
+void
+writeSamHeader(std::ostream &out, std::string_view refName,
+               std::size_t refLength)
+{
+    out << "@HD\tVN:1.6\tSO:unknown\n"
+        << "@SQ\tSN:" << refName << "\tLN:" << refLength << '\n'
+        << "@PG\tID:quetzal\tPN:quetzal-sim\tVN:1.0\n";
+}
+
+void
+writeSamRecord(std::ostream &out, const SamRecord &record)
+{
+    fatal_if(record.qname.empty(), "SAM record needs a query name");
+    out << record.qname << "\t0\t" << record.rname << '\t'
+        << record.pos << '\t' << record.mapq << '\t' << record.cigar
+        << "\t*\t0\t0\t" << record.seq << "\t*\n";
+}
+
+} // namespace quetzal::algos

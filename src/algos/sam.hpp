@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal SAM (Sequence Alignment/Map) output.
+ *
+ * Alignments leave the library as CIGAR transcripts; downstream
+ * genomics tooling speaks SAM. This writer emits a valid header and
+ * alignment lines, with either SAM-1.4 extended CIGARs (=/X) or the
+ * classic folded form (M).
+ */
+#ifndef QUETZAL_ALGOS_SAM_HPP
+#define QUETZAL_ALGOS_SAM_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "algos/cigar.hpp"
+
+namespace quetzal::algos {
+
+/**
+ * Convert an internal transcript to a SAM CIGAR string.
+ * @param extended true: keep '='/'X' (SAM 1.4); false: fold both
+ *        into 'M'.
+ */
+std::string toSamCigar(const Cigar &cigar, bool extended);
+
+/** One SAM alignment record. */
+struct SamRecord
+{
+    std::string qname;        //!< read name
+    std::string rname = "*";  //!< reference name
+    std::int64_t pos = 1;     //!< 1-based leftmost position
+    int mapq = 60;
+    std::string cigar = "*";
+    std::string seq = "*";
+};
+
+/** Write the @HD/@SQ/@PG header. */
+void writeSamHeader(std::ostream &out, std::string_view refName,
+                    std::size_t refLength);
+
+/** Write one alignment line. */
+void writeSamRecord(std::ostream &out, const SamRecord &record);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_SAM_HPP

@@ -1,0 +1,228 @@
+#include "algos/shouji.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+#include "isa/scalarunit.hpp"
+
+namespace quetzal::algos {
+
+using genomics::ElementSize;
+using isa::Pred;
+using isa::VReg;
+
+namespace {
+
+enum Site : std::uint64_t
+{
+    kSitePat = 0x700,
+    kSiteTxt = 0x701,
+    kSiteBits = 0x702,
+};
+
+/** Match bit-vectors, one per diagonal, bit i = (p[i] == t[i+k]). */
+struct NeighborhoodMap
+{
+    std::int64_t length = 0; //!< pattern length in bits
+    int kLo = 0;
+    std::vector<std::vector<std::uint64_t>> rows; //!< [k - kLo]
+
+    bool
+    bit(int k, std::int64_t i) const
+    {
+        const auto &row = rows[static_cast<std::size_t>(k - kLo)];
+        return (row[static_cast<std::size_t>(i) / 64] >>
+                (static_cast<std::size_t>(i) % 64)) &
+               1;
+    }
+};
+
+/** Functional map construction (golden model). */
+NeighborhoodMap
+buildMap(std::string_view p, std::string_view t, std::int64_t e)
+{
+    NeighborhoodMap map;
+    map.length = static_cast<std::int64_t>(p.size());
+    map.kLo = static_cast<int>(-e);
+    const auto n = static_cast<std::int64_t>(t.size());
+    const std::size_t words =
+        divCeil(static_cast<std::uint64_t>(map.length), 64);
+    map.rows.assign(static_cast<std::size_t>(2 * e + 1),
+                    std::vector<std::uint64_t>(words, 0));
+    for (int k = map.kLo; k <= static_cast<int>(e); ++k) {
+        auto &row = map.rows[static_cast<std::size_t>(k - map.kLo)];
+        for (std::int64_t i = 0; i < map.length; ++i) {
+            const std::int64_t j = i + k;
+            if (j < 0 || j >= n)
+                continue;
+            if (p[static_cast<std::size_t>(i)] ==
+                t[static_cast<std::size_t>(j)])
+                row[static_cast<std::size_t>(i) / 64] |=
+                    std::uint64_t{1}
+                    << (static_cast<std::size_t>(i) % 64);
+        }
+    }
+    return map;
+}
+
+/** Charge the map construction per variant. */
+void
+chargeBuild(Variant variant, std::int64_t m, std::int64_t diagonals,
+            isa::VectorUnit *vpu, accel::QzUnit *qz,
+            std::string_view p, std::string_view t)
+{
+    switch (variant) {
+      case Variant::Ref:
+        return;
+      case Variant::Base: {
+        // Word-wise scalar (the reference Shouji builds its bit-
+        // vectors with 64-bit ops): two 8-byte loads + xor/pack per
+        // eight cells of a diagonal.
+        isa::BaseUnit bu(vpu->pipeline());
+        for (std::int64_t k = 0; k < diagonals; ++k) {
+            bu.cut();
+            for (std::int64_t i = 0; i < m; i += 8) {
+                bu.loadChar(kSitePat, p.data() + i % p.size());
+                bu.loadChar(kSiteTxt, t.data() + i % t.size());
+                bu.alu(3);
+                bu.branch();
+            }
+        }
+        return;
+      }
+      case Variant::Vec: {
+        // Contiguous 16-char compares per diagonal (no gathers:
+        // a fixed diagonal is a unit-stride stream).
+        for (std::int64_t k = 0; k < diagonals; ++k) {
+            for (std::int64_t i = 0; i < m; i += 16) {
+                const unsigned cnt = static_cast<unsigned>(
+                    std::min<std::int64_t>(16, m - i));
+                const VReg pc = vpu->load8to32(
+                    kSitePat, p.data() + i % p.size(), cnt);
+                const VReg tc = vpu->load8to32(
+                    kSiteTxt, t.data() + i % t.size(), cnt);
+                const Pred lanes = vpu->whilelt(0, cnt, 16);
+                vpu->cmpeq32(pc, tc, lanes, 16);
+                vpu->scalarOps(1); // pack bits + store
+            }
+        }
+        return;
+      }
+      case Variant::Qz:
+      case Variant::QzC: {
+        // Sequences staged once; each qzmhm<xor> covers a 32-base
+        // window per lane, bits derived with a couple of vector ops.
+        qz->qzconf(p.size(), t.size(), ElementSize::Bits2);
+        qz->stageSequence2bit(accel::QzSel::Buf0, p);
+        qz->stageSequence2bit(accel::QzSel::Buf1, t);
+        const Pred p8 = vpu->pTrue(8);
+        for (std::int64_t k = 0; k < diagonals; ++k) {
+            for (std::int64_t i = 0; i < m; i += 256) {
+                VReg idx0, idx1;
+                for (unsigned l = 0; l < 8; ++l) {
+                    const std::uint64_t base = std::min<std::uint64_t>(
+                        static_cast<std::uint64_t>(i) + 32 * l,
+                        p.size() - 1);
+                    idx0.setU64(l, base);
+                    idx1.setU64(l, std::min<std::uint64_t>(
+                                       base, t.size() - 1));
+                }
+                const VReg x = qz->qzmhm(accel::QzOpn::XorWin, idx0,
+                                         idx1, p8, 8);
+                // 2-bit pairs -> per-base match bits: or + not + pack.
+                vpu->or64(x, x);
+                vpu->scalarOps(2);
+            }
+        }
+        return;
+      }
+    }
+}
+
+/** Charge the sliding-window selection per variant. */
+void
+chargeSelect(Variant variant, std::int64_t windows,
+             std::int64_t diagonals, isa::VectorUnit *vpu)
+{
+    if (variant == Variant::Ref)
+        return;
+    if (variant == Variant::Base) {
+        // Register-resident bit manipulation: one word load per
+        // window, then shift/popcount/max per diagonal.
+        isa::BaseUnit bu(vpu->pipeline());
+        for (std::int64_t w = 0; w < windows; ++w) {
+            bu.cut();
+            bu.loadInt(kSiteBits,
+                       reinterpret_cast<const std::int32_t *>(&w));
+            for (std::int64_t k = 0; k < diagonals; ++k)
+                bu.alu(3); // extract 4 bits + popcount + max
+            bu.branch();
+        }
+        return;
+    }
+    // Vector variants scan 16 diagonals per step.
+    for (std::int64_t w = 0; w < windows; ++w) {
+        for (std::int64_t k = 0; k < diagonals; k += 16) {
+            vpu->scalarOps(1); // window extract
+            vpu->pipeline().executeOp(sim::OpClass::VecAlu, {});
+            vpu->pipeline().executeOp(sim::OpClass::VecReduce, {});
+        }
+        vpu->scalarOps(2); // OR the winning segment into S
+    }
+}
+
+} // namespace
+
+ShoujiResult
+shouji(Variant variant, std::string_view pattern, std::string_view text,
+       std::int64_t editThreshold, isa::VectorUnit *vpu,
+       accel::QzUnit *qz)
+{
+    fatal_if(pattern.empty() || text.empty(),
+             "Shouji requires non-empty sequences");
+    fatal_if(editThreshold <= 0,
+             "Shouji needs a positive edit threshold");
+    if (variant != Variant::Ref)
+        panic_if_not(vpu != nullptr, "timed Shouji needs a VectorUnit");
+    if (needsQuetzal(variant))
+        panic_if_not(qz != nullptr, "QUETZAL Shouji needs a QzUnit");
+
+    const auto m = static_cast<std::int64_t>(pattern.size());
+    const std::int64_t e = editThreshold;
+    const std::int64_t diagonals = 2 * e + 1;
+
+    const NeighborhoodMap map = buildMap(pattern, text, e);
+    chargeBuild(variant, m, diagonals, vpu, qz, pattern, text);
+
+    // Sliding 4-column windows: keep the best diagonal segment.
+    constexpr std::int64_t kWindow = 4;
+    std::vector<bool> sBits(static_cast<std::size_t>(m), false);
+    const std::int64_t windows = std::max<std::int64_t>(1, m - kWindow + 1);
+    for (std::int64_t w = 0; w < windows; ++w) {
+        int bestK = map.kLo;
+        int bestCount = -1;
+        for (int k = map.kLo; k <= static_cast<int>(e); ++k) {
+            int count = 0;
+            for (std::int64_t c = 0; c < kWindow && w + c < m; ++c)
+                count += map.bit(k, w + c);
+            if (count > bestCount) {
+                bestCount = count;
+                bestK = k;
+            }
+        }
+        for (std::int64_t c = 0; c < kWindow && w + c < m; ++c)
+            if (map.bit(bestK, w + c))
+                sBits[static_cast<std::size_t>(w + c)] = true;
+    }
+    chargeSelect(variant, windows, diagonals, vpu);
+
+    ShoujiResult result;
+    for (bool bit : sBits)
+        result.zeroCount += bit ? 0 : 1;
+    result.accepted = result.zeroCount <= editThreshold;
+    return result;
+}
+
+} // namespace quetzal::algos

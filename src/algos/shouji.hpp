@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shouji pre-alignment filter (Alser et al. 2019) — the second
+ * edit-distance-approximation algorithm the paper cites alongside
+ * SneakySnake, included to demonstrate that new filters run on the
+ * same QUETZAL hardware with only recompilation (the programmability
+ * claim of Section II-D).
+ *
+ * Shouji builds a neighborhood map: one match bit-vector per diagonal
+ * within +/-E of the main diagonal. A sliding 4-column window then
+ * keeps, per window, the diagonal sub-segment with the most matches,
+ * OR-ing it into the Shouji bit-vector. Zeros that survive mark
+ * probable edits; the pair is rejected when they exceed the
+ * threshold. Like SneakySnake it underestimates the edit distance,
+ * so it never rejects a pair that would align within E edits.
+ */
+#ifndef QUETZAL_ALGOS_SHOUJI_HPP
+#define QUETZAL_ALGOS_SHOUJI_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "algos/variant.hpp"
+#include "isa/vectorunit.hpp"
+#include "quetzal/qzunit.hpp"
+
+namespace quetzal::algos {
+
+/** Filter outcome. */
+struct ShoujiResult
+{
+    bool accepted = false;
+    std::int64_t zeroCount = 0; //!< surviving zeros (edit estimate)
+};
+
+/**
+ * Run the Shouji filter.
+ *
+ * @param variant Ref / Base / Vec / QzC (Qz behaves as QzC: the
+ *        window reads carry the whole cost either way).
+ * @param editThreshold E; the neighborhood spans 2E+1 diagonals.
+ */
+ShoujiResult shouji(Variant variant, std::string_view pattern,
+                    std::string_view text, std::int64_t editThreshold,
+                    isa::VectorUnit *vpu = nullptr,
+                    accel::QzUnit *qz = nullptr);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_SHOUJI_HPP

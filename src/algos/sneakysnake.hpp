@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SneakySnake (SS) edit-distance approximation / pre-alignment filter.
+ *
+ * SS computes a lower bound on the edit distance by greedily chaining
+ * the longest exact match runs across 2E+1 diagonals (paper Fig. 1c /
+ * Fig. 2b): if even the optimistic bound exceeds the threshold E the
+ * pair cannot align within E edits and is rejected before the
+ * expensive aligner runs. Long reads are processed in segments whose
+ * text base follows the diagonal the previous segment ended on (the
+ * grid decomposition SneakySnake uses for long sequences).
+ *
+ * The diagonal run-counting kernel is the hot loop; it executes per
+ * variant: Base (scalar), Vec (gathers across diagonal lanes), Qz
+ * (qzmhm<cmpeq>), QzC (qzmhm<qzcount>, 32 bases per lane per
+ * instruction).
+ */
+#ifndef QUETZAL_ALGOS_SNEAKYSNAKE_HPP
+#define QUETZAL_ALGOS_SNEAKYSNAKE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "algos/variant.hpp"
+#include "genomics/encoding.hpp"
+#include "isa/scalarunit.hpp"
+#include "isa/vectorunit.hpp"
+#include "quetzal/qzunit.hpp"
+
+namespace quetzal::algos {
+
+/** Filter outcome. */
+struct SsResult
+{
+    bool accepted = false;       //!< edit bound <= threshold
+    std::int64_t editBound = 0;  //!< SS's lower-bound estimate
+};
+
+/** Per-variant diagonal run-counting kernel. */
+class SsEngine
+{
+  public:
+    virtual ~SsEngine() = default;
+
+    /** Prepare for one pair (QUETZAL engines stage the QBUFFERs). */
+    void begin(std::string_view pattern, std::string_view text,
+               genomics::ElementSize esize =
+                   genomics::ElementSize::Bits2);
+
+    /**
+     * Longest exact-match run over diagonals [kLo, kHi]: the run for
+     * diagonal k starts at pattern index @p pi and text index
+     * @p tiBase + k.
+     *
+     * @param[out] bestK the smallest diagonal achieving the maximum.
+     * @return the maximum run length (0 when nothing matches).
+     */
+    virtual std::int32_t bestRun(std::int64_t pi, std::int64_t tiBase,
+                                 int kLo, int kHi, int &bestK) = 0;
+
+  protected:
+    virtual void onBegin(genomics::ElementSize esize) { (void)esize; }
+
+    /** Functional run length for one diagonal (shared golden model). */
+    std::int32_t runLength(std::int64_t pi, std::int64_t ti) const;
+
+    /** Sentinel padding for the word-wise kernels (see WfaEngine). */
+    static constexpr std::size_t kSeqPad = 8;
+    const char *patData() const { return p_.data(); }
+    const char *txtData() const { return t_.data(); }
+
+    std::string_view p_;
+    std::string_view t_;
+
+  private:
+    std::string paddedP_;
+    std::string paddedT_;
+};
+
+/** SneakySnake configuration. */
+struct SsConfig
+{
+    std::int64_t editThreshold = 0; //!< E; <=0 derives from length
+    std::size_t segmentLength = 1000; //!< long-read grid segment
+};
+
+/** Derive the default threshold for a read of @p length at @p rate. */
+std::int64_t defaultSsThreshold(std::size_t length, double errorRate);
+
+/** Run the filter with the given kernel engine. */
+SsResult sneakySnake(SsEngine &engine, std::string_view pattern,
+                     std::string_view text, const SsConfig &config,
+                     genomics::ElementSize esize =
+                         genomics::ElementSize::Bits2);
+
+/** Create the kernel engine for @p variant (see makeWfaEngine). */
+std::unique_ptr<SsEngine> makeSsEngine(Variant variant,
+                                       isa::VectorUnit *vpu,
+                                       accel::QzUnit *qz);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_SNEAKYSNAKE_HPP

@@ -1,0 +1,580 @@
+#include "algos/swg.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace quetzal::algos {
+
+using isa::Pred;
+using isa::VReg;
+
+namespace {
+
+enum Site : std::uint64_t
+{
+    kSiteH1 = 0x400, //!< H previous diagonal (for E)
+    kSiteH1b = 0x401, //!< H previous diagonal shifted (for F)
+    kSiteE1 = 0x402,
+    kSiteF1 = 0x403,
+    kSiteH2 = 0x404,
+    kSiteP = 0x405,
+    kSiteT = 0x406,
+    kSiteHS = 0x407, //!< stores
+    kSiteTb = 0x408,
+};
+
+constexpr std::int32_t kNegInf =
+    std::numeric_limits<std::int32_t>::min() / 4;
+constexpr sim::Cycle kForwardPenalty = 6;
+
+/** Banded, diagonal-major storage for one matrix (H, E, or F). */
+class BandTable
+{
+  public:
+    static constexpr int kPad = 4;
+
+    BandTable(std::int64_t m, std::int64_t n, int bandHalf)
+        : m_(m), n_(n), half_(bandHalf),
+          stride_(2 * bandHalf + 1 + 2 * kPad)
+    {
+        data_.assign(static_cast<std::size_t>((m + n + 1) * stride_),
+                     kNegInf);
+    }
+
+    std::int64_t center(std::int64_t d) const
+    {
+        if (!centers_.empty())
+            return centers_[static_cast<std::size_t>(
+                std::clamp<std::int64_t>(d, 0, m_ + n_))];
+        return d * m_ / (m_ + n_);
+    }
+
+    /** Switch to adaptive banding: centers start on the static line. */
+    void
+    enableAdaptiveCenters()
+    {
+        centers_.resize(static_cast<std::size_t>(m_ + n_ + 1));
+        for (std::int64_t d = 0; d <= m_ + n_; ++d)
+            centers_[static_cast<std::size_t>(d)] = d * m_ / (m_ + n_);
+    }
+
+    /** Recenter diagonal @p d on row @p c (monotonic, clamped). */
+    void
+    recenter(std::int64_t d, std::int64_t c)
+    {
+        if (centers_.empty() || d > m_ + n_)
+            return;
+        const std::int64_t prev =
+            centers_[static_cast<std::size_t>(d - 1)];
+        // The band may shift by at most one row per diagonal (cells
+        // only depend on the previous two diagonals).
+        centers_[static_cast<std::size_t>(d)] =
+            std::clamp<std::int64_t>(c, prev, prev + 1);
+    }
+    std::int64_t iMin(std::int64_t d) const
+    {
+        return std::max<std::int64_t>(0, d - n_);
+    }
+    std::int64_t iMax(std::int64_t d) const { return std::min(m_, d); }
+    std::int64_t bandLo(std::int64_t d) const
+    {
+        return std::max(iMin(d), center(d) - half_);
+    }
+    std::int64_t bandHi(std::int64_t d) const
+    {
+        return std::min(iMax(d), center(d) + half_);
+    }
+
+    /** Value at (i, j); sentinel outside the padded band. */
+    std::int32_t
+    at(std::int64_t i, std::int64_t j) const
+    {
+        const std::int64_t d = i + j;
+        if (d < 0 || d > m_ + n_)
+            return kNegInf;
+        const std::int64_t slot = i - bandLo(d) + kPad;
+        if (slot < 0 || slot >= stride_)
+            return kNegInf;
+        return data_[static_cast<std::size_t>(d * stride_ + slot)];
+    }
+
+    void
+    set(std::int64_t i, std::int64_t j, std::int32_t value)
+    {
+        const std::int64_t d = i + j;
+        const std::int64_t slot = i - bandLo(d) + kPad;
+        panic_if_not(slot >= 0 && slot < stride_,
+                     "SWG band write outside storage at ({}, {})", i, j);
+        data_[static_cast<std::size_t>(d * stride_ + slot)] = value;
+    }
+
+    /** Host pointer for diagonal @p d at row @p i (within padding). */
+    std::int32_t *
+    ptr(std::int64_t d, std::int64_t i)
+    {
+        const std::int64_t slot = i - bandLo(d) + kPad;
+        panic_if_not(slot >= 0 && slot < stride_,
+                     "SWG band pointer outside storage (d={}, i={})", d,
+                     i);
+        return data_.data() + d * stride_ + slot;
+    }
+
+  private:
+    std::int64_t m_, n_;
+    int half_;
+    std::int64_t stride_;
+    std::vector<std::int32_t> data_;
+    std::vector<std::int64_t> centers_; //!< adaptive band centers
+};
+
+struct Tables
+{
+    BandTable h, e, f;
+    Tables(std::int64_t m, std::int64_t n, int half, bool adaptive)
+        : h(m, n, half), e(m, n, half), f(m, n, half)
+    {
+        if (adaptive) {
+            h.enableAdaptiveCenters();
+            e.enableAdaptiveCenters();
+            f.enableAdaptiveCenters();
+        }
+    }
+
+    void
+    recenter(std::int64_t d, std::int64_t c)
+    {
+        h.recenter(d, c);
+        e.recenter(d, c);
+        f.recenter(d, c);
+    }
+};
+
+/**
+ * Adaptive-band steering (the Suzuki-Kasahara rule): compare the
+ * scores at the two band edges of diagonal @p d and shift the next
+ * band one row toward the better edge (+1 means towards larger i).
+ */
+std::int64_t
+steerBand(const BandTable &h, std::int64_t d, std::int64_t lo,
+          std::int64_t hi)
+{
+    const std::int32_t top = h.at(hi, d - hi);
+    const std::int32_t bot = h.at(lo, d - lo);
+    return top > bot ? 1 : 0;
+}
+
+/** Set the boundary cells (i = 0 / j = 0) of diagonal @p d. */
+void
+fillBoundary(Tables &tab, const SwgParams &sp, std::int64_t d,
+             std::int64_t m, std::int64_t n)
+{
+    const std::int32_t open = sp.gapOpen + sp.gapExtend;
+    if (d == 0) {
+        tab.h.set(0, 0, 0);
+        return;
+    }
+    // (0, d): leading gap along the text.
+    if (d <= n && tab.h.bandLo(d) <= 0) {
+        const auto g = static_cast<std::int32_t>(
+            -(sp.gapOpen + sp.gapExtend * d));
+        tab.h.set(0, d, g);
+        tab.e.set(0, d, g);
+    }
+    // (d, 0): leading gap along the pattern.
+    if (d <= m && tab.h.bandHi(d) >= d) {
+        const auto g = static_cast<std::int32_t>(
+            -(sp.gapOpen + sp.gapExtend * d));
+        tab.h.set(d, 0, g);
+        tab.f.set(d, 0, g);
+    }
+    (void)open;
+}
+
+/** Functional interior recurrence (golden model for every variant). */
+void
+swgCell(Tables &tab, const SwgParams &sp, std::string_view p,
+        std::string_view t, std::int64_t i, std::int64_t j,
+        std::int32_t &hOut, std::int32_t &eOut, std::int32_t &fOut)
+{
+    const std::int32_t open = sp.gapOpen + sp.gapExtend;
+    const std::int32_t e = std::max(tab.h.at(i, j - 1) - open,
+                                    tab.e.at(i, j - 1) - sp.gapExtend);
+    const std::int32_t f = std::max(tab.h.at(i - 1, j) - open,
+                                    tab.f.at(i - 1, j) - sp.gapExtend);
+    const bool match = p[static_cast<std::size_t>(i - 1)] ==
+                       t[static_cast<std::size_t>(j - 1)];
+    const std::int32_t sub = tab.h.at(i - 1, j - 1) +
+                             (match ? sp.match : sp.mismatch);
+    hOut = std::max(sub, std::max(e, f));
+    eOut = e;
+    fOut = f;
+}
+
+/** Scalar fill (Ref untimed / Base timed). */
+void
+fillScalar(Tables &tab, const SwgParams &sp, std::string_view p,
+           std::string_view t, isa::BaseUnit *bu)
+{
+    const auto m = static_cast<std::int64_t>(p.size());
+    const auto n = static_cast<std::int64_t>(t.size());
+    for (std::int64_t d = 0; d <= m + n; ++d) {
+        fillBoundary(tab, sp, d, m, n);
+        const std::int64_t lo =
+            std::max<std::int64_t>(tab.h.bandLo(d),
+                                   std::max<std::int64_t>(1, d - n));
+        const std::int64_t hi =
+            std::min<std::int64_t>(tab.h.bandHi(d), d - 1);
+        for (std::int64_t i = lo; i <= hi; ++i) {
+            const std::int64_t j = d - i;
+            if (bu) {
+                bu->loadInt(kSiteH1, tab.h.ptr(d - 1, i));
+                bu->loadInt(kSiteH1b, tab.h.ptr(d - 1, i - 1));
+                bu->loadInt(kSiteE1, tab.e.ptr(d - 1, i));
+                bu->loadInt(kSiteF1, tab.f.ptr(d - 1, i - 1));
+                bu->loadInt(kSiteH2, tab.h.ptr(d - 2, i - 1));
+                bu->loadChar(kSiteP, &p[static_cast<std::size_t>(i - 1)]);
+                bu->loadChar(kSiteT, &t[static_cast<std::size_t>(j - 1)]);
+                bu->alu(8);
+            }
+            std::int32_t hv, ev, fv;
+            swgCell(tab, sp, p, t, i, j, hv, ev, fv);
+            tab.h.set(i, j, hv);
+            tab.e.set(i, j, ev);
+            tab.f.set(i, j, fv);
+            if (bu) {
+                bu->storeInt(kSiteHS, tab.h.ptr(d, i), hv);
+                bu->storeInt(kSiteHS, tab.e.ptr(d, i), ev);
+                bu->storeInt(kSiteHS, tab.f.ptr(d, i), fv);
+            }
+        }
+        if (lo <= hi) {
+            tab.recenter(d + 1, tab.h.center(d) +
+                                    steerBand(tab.h, d, lo, hi));
+            if (std::getenv("QZ_DEBUG_BAND") && d % 20 == 0)
+                std::fprintf(stderr, "d=%ld center=%ld lo=%ld hi=%ld "
+                             "top=%d bot=%d\n", (long)d,
+                             (long)tab.h.center(d + 1), (long)lo,
+                             (long)hi, tab.h.at(hi, d - hi),
+                             tab.h.at(lo, d - lo));
+            if (bu) {
+                bu->loadInt(kSiteHS, tab.h.ptr(d, lo));
+                bu->loadInt(kSiteHS, tab.h.ptr(d, hi));
+                bu->alu(2);
+            }
+        }
+    }
+}
+
+/**
+ * Vector fill (Vec / Qz).
+ *
+ * The Vec path loads the previous two diagonals from the L1, paying
+ * the misaligned store-to-load forwarding penalty on the diagonal-to-
+ * diagonal critical chain. The Qz path implements Fig. 7: the rolling
+ * H/E/F band rows live in the QBUFFERs (they fit comfortably: the
+ * band is 31 cells), so the chain sees 2-cycle qzload reads instead.
+ * The full tables are still written to memory for the traceback.
+ */
+void
+fillVector(Tables &tab, const SwgParams &sp, std::string_view p,
+           std::string_view t, isa::VectorUnit &vpu, accel::QzUnit *qz)
+{
+    constexpr unsigned L = isa::kLanes32;
+    const auto m = static_cast<std::int64_t>(p.size());
+    const auto n = static_cast<std::int64_t>(t.size());
+    const std::int32_t open = sp.gapOpen + sp.gapExtend;
+
+    std::string trev(t.rbegin(), t.rend());
+    for (std::size_t c = 0; c < trev.size(); c += 64) {
+        const unsigned bytes =
+            static_cast<unsigned>(std::min<std::size_t>(64,
+                                                        trev.size() - c));
+        const VReg chunk = vpu.load(kSiteT, trev.data() + c, bytes);
+        vpu.store(kSiteT, trev.data() + c, chunk, bytes);
+    }
+
+    // QBUFFER layout (64-bit elements): two generations of each band
+    // row, 64 slots apart; buffer 0 holds H, buffer 1 holds E and F.
+    constexpr std::uint64_t kGenStride = 64;
+    constexpr std::uint64_t kFBase = 128;
+    auto genBase = [](std::int64_t d) {
+        return static_cast<std::uint64_t>(d & 1) * kGenStride;
+    };
+    if (qz)
+        qz->qzconf(2 * kGenStride, kFBase + 2 * kGenStride,
+                   genomics::ElementSize::Bits64);
+
+    // Band rows are addressed by slot = i - bandLo(d) + pad; slot 0
+    // maps to QBUFFER element genBase(d) + 0.
+    sim::Tag qzRowDep{};
+    // Packed rows: one 64-bit element holds two int32 band cells, so
+    // a whole 16-cell slice moves in one qzload / qzstore.
+    auto qzReadRow = [&](accel::QzSel sel, std::uint64_t base,
+                         std::int64_t slot, unsigned cnt,
+                         sim::Tag &dep) {
+        const unsigned lanes =
+            std::min(8u, (static_cast<unsigned>(slot & 1) + cnt + 1) / 2);
+        const isa::Pred p = vpu.whilelt(0, lanes, 8);
+        VReg idx;
+        for (unsigned l = 0; l < 8; ++l)
+            idx.setU64(l, base / 2 + static_cast<std::uint64_t>(
+                                         slot / 2 + l));
+        idx.tag = dep;
+        VReg row = qz->qzload(idx, sel, p, 8);
+        if (slot & 1)
+            row = vpu.shr64i(row, 32); // ext: realign odd offsets
+        return row;
+    };
+    auto qzWriteRow = [&](accel::QzSel sel, std::uint64_t base,
+                          const VReg &row, unsigned cnt) {
+        const unsigned lanes = std::min(8u, (cnt + 1) / 2);
+        VReg idx;
+        for (unsigned l = 0; l < 8; ++l)
+            idx.setU64(l, base / 2 + l);
+        idx.tag = row.tag;
+        qz->qzstore(row, idx, sel, vpu.whilelt(0, lanes, 8), 8);
+        qzRowDep = row.tag;
+    };
+    (void)qzRowDep;
+
+    const VReg vmatch = vpu.dup32(sp.match);
+    const VReg vmis = vpu.dup32(sp.mismatch);
+    sim::Tag prevStore{};
+    sim::Tag qzDep{};
+    for (std::int64_t d = 0; d <= m + n; ++d) {
+        fillBoundary(tab, sp, d, m, n);
+        vpu.scalarOps(2);
+        const std::int64_t lo =
+            std::max<std::int64_t>(tab.h.bandLo(d),
+                                   std::max<std::int64_t>(1, d - n));
+        const std::int64_t hi =
+            std::min<std::int64_t>(tab.h.bandHi(d), d - 1);
+        sim::Tag diagStore{};
+        for (std::int64_t i0 = lo; i0 <= hi;
+             i0 += static_cast<std::int64_t>(L)) {
+            const unsigned cnt = static_cast<unsigned>(
+                std::min<std::int64_t>(L, hi - i0 + 1));
+            const unsigned bytes = cnt * 4;
+            VReg h1a, h1b, e1, f1, h2;
+            if (qz) {
+                // Fig. 7: the previous two generations come from the
+                // QBUFFERs in 2-cycle reads. Functional values still
+                // come from the golden band tables below.
+                const std::int64_t s1 =
+                    i0 - tab.h.bandLo(d - 1) + BandTable::kPad;
+                const std::int64_t s2 =
+                    i0 - 1 - tab.h.bandLo(d - 2) + BandTable::kPad;
+                h1a = qzReadRow(accel::QzSel::Buf0, genBase(d - 1), s1,
+                                cnt, qzDep);
+                h1b = qzReadRow(accel::QzSel::Buf0, genBase(d - 1),
+                                s1 - 1, cnt, qzDep);
+                h2 = qzReadRow(accel::QzSel::Buf0, genBase(d - 2), s2,
+                               cnt, qzDep);
+                e1 = qzReadRow(accel::QzSel::Buf1, genBase(d - 1), s1,
+                               cnt, qzDep);
+                f1 = qzReadRow(accel::QzSel::Buf1,
+                               kFBase + genBase(d - 1), s1 - 1, cnt,
+                               qzDep);
+                // The model reads stale QBUFFER contents; substitute
+                // the functional values (identical once warm).
+                for (unsigned l = 0; l < cnt; ++l) {
+                    const std::int64_t i = i0 + l;
+                    h1a.setI32(l, tab.h.at(i, d - 1 - i));
+                    h1b.setI32(l, tab.h.at(i - 1, d - i));
+                    h2.setI32(l, tab.h.at(i - 1, d - 1 - i));
+                    e1.setI32(l, tab.e.at(i, d - 1 - i));
+                    f1.setI32(l, tab.f.at(i - 1, d - i));
+                }
+            } else {
+                const sim::Tag fwd{prevStore.ready + kForwardPenalty,
+                                   prevStore.mem};
+                h1a = vpu.load(kSiteH1, tab.h.ptr(d - 1, i0), bytes,
+                               fwd);
+                h1b = vpu.load(kSiteH1b, tab.h.ptr(d - 1, i0 - 1),
+                               bytes, fwd);
+                e1 = vpu.load(kSiteE1, tab.e.ptr(d - 1, i0), bytes,
+                              fwd);
+                f1 = vpu.load(kSiteF1, tab.f.ptr(d - 1, i0 - 1), bytes,
+                              fwd);
+                h2 = vpu.load(kSiteH2, tab.h.ptr(d - 2, i0 - 1), bytes);
+            }
+
+            // Substitution scores from contiguous residue loads.
+            const VReg pc =
+                vpu.load8to32(kSiteP, p.data() + (i0 - 1), cnt);
+            const VReg tc = vpu.load8to32(
+                kSiteT, trev.data() + (n - d + i0), cnt);
+            const Pred lanes = vpu.whilelt(0, cnt, L);
+            const Pred eqp = vpu.cmpeq32(pc, tc, lanes, L);
+            const VReg subst = vpu.sel32(eqp, vmatch, vmis);
+
+            const VReg ev = vpu.max32(vpu.add32i(h1a, -open),
+                                      vpu.add32i(e1, -sp.gapExtend));
+            const VReg fv = vpu.max32(vpu.add32i(h1b, -open),
+                                      vpu.add32i(f1, -sp.gapExtend));
+            const VReg hv =
+                vpu.max32(vpu.add32(h2, subst), vpu.max32(ev, fv));
+
+            for (unsigned l = 0; l < cnt; ++l) {
+                const std::int64_t i = i0 + l;
+                tab.h.set(i, d - i, hv.i32(l));
+                tab.e.set(i, d - i, ev.i32(l));
+                tab.f.set(i, d - i, fv.i32(l));
+            }
+            if (qz) {
+                // Rolling band rows go back into the QBUFFERs; the
+                // full tables are written to memory for traceback
+                // (plain streaming stores, no reload).
+                qzWriteRow(accel::QzSel::Buf0, genBase(d), hv, cnt);
+                qzWriteRow(accel::QzSel::Buf1, genBase(d), ev, cnt);
+                qzWriteRow(accel::QzSel::Buf1, kFBase + genBase(d), fv,
+                           cnt);
+                qzDep = hv.tag;
+            }
+            vpu.store(kSiteHS, tab.e.ptr(d, i0), ev, bytes);
+            vpu.store(kSiteHS, tab.f.ptr(d, i0), fv, bytes);
+            diagStore = vpu.store(kSiteHS, tab.h.ptr(d, i0), hv, bytes);
+        }
+        if (lo <= hi) {
+            tab.recenter(d + 1, tab.h.center(d) +
+                                    steerBand(tab.h, d, lo, hi));
+            vpu.scalarLoad(kSiteHS, tab.h.ptr(d, lo), 4);
+            vpu.scalarLoad(kSiteHS, tab.h.ptr(d, hi), 4);
+            vpu.scalarOps(2);
+        }
+        prevStore = diagStore;
+    }
+}
+
+/** Shared affine traceback over the banded tables. */
+Cigar
+swgTraceback(Tables &tab, const SwgParams &sp, std::string_view p,
+             std::string_view t, isa::VectorUnit *vpu)
+{
+    const auto m = static_cast<std::int64_t>(p.size());
+    const auto n = static_cast<std::int64_t>(t.size());
+    const std::int32_t open = sp.gapOpen + sp.gapExtend;
+    Cigar rev;
+    std::int64_t i = m, j = n;
+    enum class St { H, E, F } st = St::H;
+    while (i > 0 || j > 0) {
+        if (vpu) {
+            vpu->scalarLoad(kSiteTb, tab.h.ptr(i + j, std::max<std::int64_t>(
+                                       i, tab.h.bandLo(i + j))), 4);
+            vpu->scalarOps(3);
+        }
+        if (st == St::H) {
+            if (i == 0) {
+                rev.append('I');
+                --j;
+                continue;
+            }
+            if (j == 0) {
+                rev.append('D');
+                --i;
+                continue;
+            }
+            const std::int32_t here = tab.h.at(i, j);
+            const bool match = p[static_cast<std::size_t>(i - 1)] ==
+                               t[static_cast<std::size_t>(j - 1)];
+            const std::int32_t sub =
+                tab.h.at(i - 1, j - 1) +
+                (match ? sp.match : sp.mismatch);
+            if (here == sub) {
+                rev.append(match ? 'M' : 'X');
+                --i;
+                --j;
+            } else if (here == tab.e.at(i, j)) {
+                st = St::E;
+            } else if (here == tab.f.at(i, j)) {
+                st = St::F;
+            } else {
+                panic("SWG traceback: inconsistent H cell ({}, {})", i,
+                      j);
+            }
+        } else if (st == St::E) {
+            const std::int32_t here = tab.e.at(i, j);
+            rev.append('I');
+            if (here == tab.h.at(i, j - 1) - open)
+                st = St::H;
+            else
+                panic_if_not(here == tab.e.at(i, j - 1) - sp.gapExtend,
+                             "SWG traceback: inconsistent E cell "
+                             "({}, {})", i, j);
+            --j;
+        } else {
+            const std::int32_t here = tab.f.at(i, j);
+            rev.append('D');
+            if (here == tab.h.at(i - 1, j) - open)
+                st = St::H;
+            else
+                panic_if_not(here == tab.f.at(i - 1, j) - sp.gapExtend,
+                             "SWG traceback: inconsistent F cell "
+                             "({}, {})", i, j);
+            --i;
+        }
+    }
+    std::reverse(rev.ops.begin(), rev.ops.end());
+    return rev;
+}
+
+} // namespace
+
+SwgResult
+swgAlign(Variant variant, std::string_view pattern, std::string_view text,
+         const SwgParams &params, isa::VectorUnit *vpu,
+         accel::QzUnit *qz, bool traceback)
+{
+    SwgResult result;
+    if (pattern.empty() || text.empty()) {
+        const auto gaps = static_cast<std::int64_t>(
+            std::max(pattern.size(), text.size()));
+        if (gaps > 0) {
+            result.score = -(params.gapOpen + params.gapExtend * gaps);
+            if (traceback)
+                result.cigar.append(pattern.empty() ? 'I' : 'D',
+                                    static_cast<std::size_t>(gaps));
+        }
+        return result;
+    }
+
+    const auto m = static_cast<std::int64_t>(pattern.size());
+    const auto n = static_cast<std::int64_t>(text.size());
+    Tables tab(m, n, params.bandHalf, params.adaptiveBand);
+
+    switch (variant) {
+      case Variant::Ref:
+        fillScalar(tab, params, pattern, text, nullptr);
+        break;
+      case Variant::Base: {
+        panic_if_not(vpu != nullptr, "Base SWG needs a VectorUnit");
+        isa::BaseUnit bu(vpu->pipeline());
+        fillScalar(tab, params, pattern, text, &bu);
+        break;
+      }
+      case Variant::Vec:
+        panic_if_not(vpu != nullptr, "Vec SWG needs a VectorUnit");
+        fillVector(tab, params, pattern, text, *vpu, nullptr);
+        break;
+      case Variant::Qz:
+      case Variant::QzC:
+        panic_if_not(vpu != nullptr && qz != nullptr,
+                     "Qz SWG needs a VectorUnit and a QzUnit");
+        fillVector(tab, params, pattern, text, *vpu,
+                   params.qbufferRows ? qz : nullptr);
+        break;
+    }
+
+    result.score = tab.h.at(m, n);
+    if (traceback)
+        result.cigar = swgTraceback(tab, params, pattern, text,
+                                    variant == Variant::Ref ? nullptr
+                                                            : vpu);
+    return result;
+}
+
+} // namespace quetzal::algos

@@ -1,0 +1,93 @@
+#include "algos/tiled.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace quetzal::algos {
+
+std::size_t
+tiledWindowCount(std::size_t patternLength, const TiledConfig &config)
+{
+    fatal_if(config.windowBases == 0, "window size must be positive");
+    return std::max<std::size_t>(
+        1, (patternLength + config.windowBases - 1) /
+               config.windowBases);
+}
+
+AlignResult
+tiledAlign(WfaEngine &engine, std::string_view pattern,
+           std::string_view text, const TiledConfig &config,
+           genomics::ElementSize esize)
+{
+    const std::size_t window = config.windowBases;
+    const std::size_t capacity =
+        esize == genomics::ElementSize::Bits2 ? 32768 : 8192;
+    fatal_if(window == 0, "window size must be positive");
+    fatal_if(window > capacity,
+             "window of {} bases exceeds the QBUFFER capacity {} at "
+             "this encoding",
+             window, capacity);
+
+    if (pattern.size() <= window && text.size() <= capacity)
+        return wfaAlign(engine, pattern, text, true, esize);
+
+    AlignResult total;
+    const std::size_t windows = tiledWindowCount(pattern.size(), config);
+    // Cumulative (text consumed - pattern consumed): where the next
+    // text window starts relative to the pattern cut.
+    std::int64_t drift = 0;
+    std::size_t pLo = 0;
+    for (std::size_t g = 0; g < windows; ++g) {
+        const bool last = g + 1 == windows;
+        const std::size_t pHi =
+            last ? pattern.size()
+                 : std::min(pattern.size(), pLo + window);
+        const std::size_t chunk = pHi - pLo;
+
+        const auto tLo = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(
+                static_cast<std::int64_t>(pLo) + drift, 0,
+                static_cast<std::int64_t>(text.size())));
+        // Equal-length text window; the final window absorbs the
+        // length difference.
+        std::size_t tHi =
+            last ? text.size() : std::min(text.size(), tLo + chunk);
+        // The final window absorbs the length difference but must
+        // still fit the scratchpad; clamp and patch with a gap.
+        std::size_t tailGap = 0;
+        if (last && tHi - tLo > capacity) {
+            tailGap = (tHi - tLo) - capacity;
+            tHi = tLo + capacity;
+        }
+
+        const std::string_view pWin = pattern.substr(pLo, chunk);
+        const std::string_view tWin = text.substr(tLo, tHi - tLo);
+        panic_if_not(last || tWin.size() <= capacity,
+                     "text window exceeds the QBUFFER capacity");
+
+        AlignResult part;
+        if (pWin.empty() || tWin.empty()) {
+            // Degenerate window (drift consumed the text): pure gap.
+            part.score = static_cast<std::int64_t>(
+                std::max(pWin.size(), tWin.size()));
+            part.cigar.append(pWin.empty() ? 'I' : 'D',
+                              std::max(pWin.size(), tWin.size()));
+        } else {
+            part = wfaAlign(engine, pWin, tWin, true, esize);
+        }
+
+        total.score += part.score;
+        total.cigar.ops += part.cigar.ops;
+        if (tailGap > 0) {
+            total.score += static_cast<std::int64_t>(tailGap);
+            total.cigar.append('I', tailGap);
+        }
+        drift += static_cast<std::int64_t>(tHi - tLo) -
+                 static_cast<std::int64_t>(chunk);
+        pLo = pHi;
+    }
+    return total;
+}
+
+} // namespace quetzal::algos

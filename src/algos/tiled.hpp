@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Windowed (tiled) alignment for ultra-long reads — the Section VI
+ * software path for sequences beyond the QBUFFERs' 32.7 kbp direct
+ * capacity (e.g. Oxford Nanopore reads up to 2 Mbp).
+ *
+ * The read is cut into QBUFFER-sized windows; each window is aligned
+ * independently (so each staging fits the scratchpad) against a text
+ * window whose start follows the indel drift accumulated by earlier
+ * windows, and the per-window CIGARs concatenate into one transcript.
+ * This trades a little optimality at the seams for bounded on-chip
+ * state — the same trade the paper's cited windowing/tiling approaches
+ * make.
+ */
+#ifndef QUETZAL_ALGOS_TILED_HPP
+#define QUETZAL_ALGOS_TILED_HPP
+
+#include <cstddef>
+
+#include "algos/wfa.hpp"
+
+namespace quetzal::algos {
+
+/** Tiling knobs. */
+struct TiledConfig
+{
+    /**
+     * Pattern bases per window. Must fit a QBUFFER at the chosen
+     * encoding (32768 elements at 2-bit; 8192 at 8-bit).
+     */
+    std::size_t windowBases = 30000;
+};
+
+/**
+ * Align @p pattern to @p text window by window with the given engine.
+ *
+ * The result is always a valid alignment transcript; its score is an
+ * upper bound on the optimal edit distance (equal when the optimal
+ * path crosses every seam where the tiling cuts).
+ */
+AlignResult tiledAlign(WfaEngine &engine, std::string_view pattern,
+                       std::string_view text,
+                       const TiledConfig &config = TiledConfig{},
+                       genomics::ElementSize esize =
+                           genomics::ElementSize::Bits2);
+
+/** Number of windows tiledAlign() will use for @p patternLength. */
+std::size_t tiledWindowCount(std::size_t patternLength,
+                             const TiledConfig &config);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_TILED_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Algorithm-variant taxonomy matching the paper's evaluation bars.
+ */
+#ifndef QUETZAL_ALGOS_VARIANT_HPP
+#define QUETZAL_ALGOS_VARIANT_HPP
+
+#include <string_view>
+
+namespace quetzal::algos {
+
+/** Which implementation of an algorithm runs. */
+enum class Variant
+{
+    Ref,  //!< untimed functional reference (golden model)
+    Base, //!< timed scalar baseline (compiler auto-vectorization proxy)
+    Vec,  //!< timed SVE-intrinsics implementation ("VEC" in the paper)
+    Qz,   //!< QBUFFERs only ("QUETZAL")
+    QzC,  //!< QBUFFERs + count ALU ("QUETZAL+C")
+};
+
+/** Display name matching the paper's figures. */
+constexpr std::string_view
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Ref:
+        return "REF";
+      case Variant::Base:
+        return "BASE";
+      case Variant::Vec:
+        return "VEC";
+      case Variant::Qz:
+        return "QUETZAL";
+      case Variant::QzC:
+        return "QUETZAL+C";
+    }
+    return "?";
+}
+
+/** True when the variant needs QUETZAL hardware. */
+constexpr bool
+needsQuetzal(Variant v)
+{
+    return v == Variant::Qz || v == Variant::QzC;
+}
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_VARIANT_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wavefront storage shared by WFA and BiWFA.
+ *
+ * A Wave holds the furthest-reaching text offsets for every diagonal
+ * in [lo, hi] at a given score. The backing array is padded with
+ * invalid sentinels on both sides so the vectorized kernels can load
+ * k-1 / k+1 neighbours and full 16-element batches without bounds
+ * branches — the same trick real SIMD WFA implementations use.
+ */
+#ifndef QUETZAL_ALGOS_WAVEFRONT_HPP
+#define QUETZAL_ALGOS_WAVEFRONT_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace quetzal::algos {
+
+/** Invalid-offset sentinel; stays negative under +1 arithmetic. */
+inline constexpr std::int32_t kOffNone =
+    std::numeric_limits<std::int32_t>::min() / 4;
+
+/** One wavefront: offsets for diagonals lo..hi at a fixed score. */
+class Wave
+{
+  public:
+    /** Sentinel padding on each side (covers a 16-lane overshoot). */
+    static constexpr int kPad = 18;
+
+    Wave() = default;
+
+    /** Construct covering diagonals [lo, hi], all offsets invalid. */
+    Wave(int lo, int hi) { reset(lo, hi); }
+
+    /** Reinitialize to [lo, hi] with every offset invalid. */
+    void
+    reset(int lo, int hi)
+    {
+        panic_if_not(lo <= hi, "wave range [{}, {}] inverted", lo, hi);
+        lo_ = lo;
+        hi_ = hi;
+        data_.assign(static_cast<std::size_t>(hi - lo + 1) + 2 * kPad,
+                     kOffNone);
+    }
+
+    int lo() const { return lo_; }
+    int hi() const { return hi_; }
+    bool contains(int k) const { return k >= lo_ && k <= hi_; }
+
+    /** Offset for diagonal @p k (must be within [lo-kPad, hi+kPad]). */
+    std::int32_t
+    at(int k) const
+    {
+        return data_[index(k)];
+    }
+
+    void
+    set(int k, std::int32_t offset)
+    {
+        data_[index(k)] = offset;
+    }
+
+    /** Host pointer for diagonal @p k (for the timed vector kernels). */
+    std::int32_t *ptr(int k) { return data_.data() + index(k); }
+    const std::int32_t *ptr(int k) const
+    {
+        return data_.data() + index(k);
+    }
+
+  private:
+    std::size_t
+    index(int k) const
+    {
+        const long idx = static_cast<long>(k) - lo_ + kPad;
+        panic_if_not(idx >= 0 &&
+                         idx < static_cast<long>(data_.size()),
+                     "diagonal {} outside wave [{}, {}] incl. padding",
+                     k, lo_, hi_);
+        return static_cast<std::size_t>(idx);
+    }
+
+    int lo_ = 0;
+    int hi_ = 0;
+    std::vector<std::int32_t> data_;
+};
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_WAVEFRONT_HPP

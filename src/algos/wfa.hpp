@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Wavefront Alignment (WFA) for unit (edit) penalties.
+ *
+ * Computes the optimal edit distance and alignment in O(n + s^2)
+ * expected work, where s is the score — the modern DP formulation the
+ * paper accelerates (Section II-B, Fig. 1b). The control structure is
+ * variant-independent; the hot kernels run through a WfaEngine.
+ */
+#ifndef QUETZAL_ALGOS_WFA_HPP
+#define QUETZAL_ALGOS_WFA_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "algos/cigar.hpp"
+#include "algos/wfa_engine.hpp"
+
+namespace quetzal::algos {
+
+/**
+ * Optional wavefront-reduction heuristic (the "adaptive" mode of the
+ * WFA2 library): diagonals whose anti-diagonal progress lags the
+ * best by more than maxLag are trimmed from the wavefront edges.
+ * Trades guaranteed optimality for less wavefront work — exactly the
+ * heuristic/exact split the paper discusses for banded methods.
+ */
+struct WfaHeuristic
+{
+    /** <= 0 disables pruning (exact WFA). */
+    std::int32_t maxLag = 0;
+
+    bool enabled() const { return maxLag > 0; }
+};
+
+/** Alignment outcome. */
+struct AlignResult
+{
+    std::int64_t score = 0; //!< optimal edit distance
+    Cigar cigar;            //!< empty when traceback was not requested
+};
+
+/**
+ * Align @p pattern to @p text with the given engine.
+ *
+ * @param traceback when true, all wavefronts are retained and the
+ *        optimal CIGAR is recovered (the paper includes traceback in
+ *        every measurement).
+ * @param esize element encoding for QUETZAL variants (Bits2 for
+ *        DNA/RNA, Bits8 for proteins).
+ */
+AlignResult wfaAlign(WfaEngine &engine, std::string_view pattern,
+                     std::string_view text, bool traceback = true,
+                     genomics::ElementSize esize =
+                         genomics::ElementSize::Bits2,
+                     const WfaHeuristic &heuristic = WfaHeuristic{});
+
+/** Score-only WFA with O(s) rolling wavefront storage. */
+std::int64_t wfaScore(WfaEngine &engine, std::string_view pattern,
+                      std::string_view text,
+                      genomics::ElementSize esize =
+                          genomics::ElementSize::Bits2);
+
+/**
+ * Number of logical DP cells WFA evaluates for a score-@p s alignment
+ * (wavefront cells), used by the GCUPS accounting.
+ */
+std::uint64_t wfaCellCount(std::int64_t score);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_WFA_HPP

@@ -1,0 +1,311 @@
+#include "algos/wfa_affine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace quetzal::algos {
+
+namespace {
+
+/** The three wavefront components at one penalty value. */
+struct WaveSet
+{
+    std::optional<Wave> m;
+    std::optional<Wave> i;
+    std::optional<Wave> d;
+};
+
+/** Source row for a component about to be computed. */
+struct Source
+{
+    const Wave *wave = nullptr;
+    int kShift = 0;
+    std::int32_t addend = 0;
+};
+
+/** Range union of shifted sources, clamped to [-m, n]. */
+bool
+rangeOf(std::initializer_list<Source> sources, std::int64_t m,
+        std::int64_t n, int &lo, int &hi)
+{
+    bool any = false;
+    lo = 0;
+    hi = 0;
+    for (const Source &src : sources) {
+        if (!src.wave)
+            continue;
+        const int slo = src.wave->lo() + src.kShift;
+        const int shi = src.wave->hi() + src.kShift;
+        if (!any) {
+            lo = slo;
+            hi = shi;
+            any = true;
+        } else {
+            lo = std::min(lo, slo);
+            hi = std::max(hi, shi);
+        }
+    }
+    if (!any)
+        return false;
+    lo = std::max(lo, static_cast<int>(-m));
+    hi = std::min(hi, static_cast<int>(n));
+    return lo <= hi;
+}
+
+const Wave *
+mWave(const std::vector<WaveSet> &sets, std::int64_t s)
+{
+    if (s < 0 || static_cast<std::size_t>(s) >= sets.size())
+        return nullptr;
+    return sets[static_cast<std::size_t>(s)].m ?
+               &*sets[static_cast<std::size_t>(s)].m : nullptr;
+}
+
+const Wave *
+iWave(const std::vector<WaveSet> &sets, std::int64_t s)
+{
+    if (s < 0 || static_cast<std::size_t>(s) >= sets.size())
+        return nullptr;
+    return sets[static_cast<std::size_t>(s)].i ?
+               &*sets[static_cast<std::size_t>(s)].i : nullptr;
+}
+
+const Wave *
+dWave(const std::vector<WaveSet> &sets, std::int64_t s)
+{
+    if (s < 0 || static_cast<std::size_t>(s) >= sets.size())
+        return nullptr;
+    return sets[static_cast<std::size_t>(s)].d ?
+               &*sets[static_cast<std::size_t>(s)].d : nullptr;
+}
+
+/** Offset at diagonal k, or kOffNone when absent/out of range. */
+std::int32_t
+at(const Wave *wave, int k)
+{
+    if (!wave || k < wave->lo() || k > wave->hi())
+        return kOffNone;
+    return wave->at(k);
+}
+
+Cigar
+affineTraceback(WfaEngine &engine, const std::vector<WaveSet> &sets,
+                const AffinePenalties &pen, std::int64_t score,
+                std::int64_t m, std::int64_t n)
+{
+    Cigar rev;
+    std::int64_t s = score;
+    int k = static_cast<int>(n - m);
+    std::int32_t j = static_cast<std::int32_t>(n);
+    enum class St { M, I, D } st = St::M;
+    const std::int64_t oe = pen.gapOpen + pen.gapExtend;
+
+    for (;;) {
+        panic_if_not(s >= 0, "affine traceback underflowed the score");
+        if (st == St::M) {
+            if (s == 0 && k == 0) {
+                panic_if_not(j >= 0, "affine traceback overshot");
+                rev.append('M', static_cast<std::size_t>(j));
+                engine.chargeTracebackRun(static_cast<std::size_t>(j));
+                break;
+            }
+            const std::int32_t viaX =
+                s >= pen.mismatch
+                    ? at(mWave(sets, s - pen.mismatch), k)
+                    : kOffNone;
+            const std::int32_t a =
+                viaX == kOffNone ? kOffNone : viaX + 1;
+            const std::int32_t b = at(iWave(sets, s), k);
+            const std::int32_t c = at(dWave(sets, s), k);
+            const std::int32_t base = std::max(a, std::max(b, c));
+            panic_if_not(base > kOffNone / 2,
+                         "affine traceback: dead end at s={}, k={}", s,
+                         k);
+            const std::int32_t matches = j - base;
+            panic_if_not(matches >= 0,
+                         "affine traceback: negative run at s={}, k={}",
+                         s, k);
+            rev.append('M', static_cast<std::size_t>(matches));
+            engine.chargeTracebackRun(
+                static_cast<std::size_t>(matches));
+            if (base == a) {
+                rev.append('X');
+                s -= pen.mismatch;
+                j = base - 1;
+            } else if (base == b) {
+                st = St::I;
+                j = base;
+            } else {
+                st = St::D;
+                j = base;
+            }
+        } else if (st == St::I) {
+            rev.append('I');
+            const std::int32_t cur = at(iWave(sets, s), k);
+            const std::int32_t viaM =
+                s >= oe ? at(mWave(sets, s - oe), k - 1) : kOffNone;
+            if (viaM != kOffNone && cur == viaM + 1) {
+                s -= oe;
+                st = St::M;
+            } else {
+                const std::int32_t viaI =
+                    s >= pen.gapExtend
+                        ? at(iWave(sets, s - pen.gapExtend), k - 1)
+                        : kOffNone;
+                panic_if_not(viaI != kOffNone && cur == viaI + 1,
+                             "affine traceback: broken I chain at "
+                             "s={}, k={}", s, k);
+                s -= pen.gapExtend;
+            }
+            k -= 1;
+            j = cur - 1;
+        } else {
+            rev.append('D');
+            const std::int32_t cur = at(dWave(sets, s), k);
+            const std::int32_t viaM =
+                s >= oe ? at(mWave(sets, s - oe), k + 1) : kOffNone;
+            if (viaM != kOffNone && cur == viaM) {
+                s -= oe;
+                st = St::M;
+            } else {
+                const std::int32_t viaD =
+                    s >= pen.gapExtend
+                        ? at(dWave(sets, s - pen.gapExtend), k + 1)
+                        : kOffNone;
+                panic_if_not(viaD != kOffNone && cur == viaD,
+                             "affine traceback: broken D chain at "
+                             "s={}, k={}", s, k);
+                s -= pen.gapExtend;
+            }
+            k += 1;
+            j = cur;
+        }
+    }
+    std::reverse(rev.ops.begin(), rev.ops.end());
+    return rev;
+}
+
+} // namespace
+
+std::int64_t
+affinePenaltyOf(const Cigar &cigar, const AffinePenalties &pen)
+{
+    std::int64_t penalty = 0;
+    char prev = 'M';
+    for (char op : cigar.ops) {
+        switch (op) {
+          case 'M':
+            break;
+          case 'X':
+            penalty += pen.mismatch;
+            break;
+          case 'I':
+          case 'D':
+            penalty += pen.gapExtend;
+            if (op != prev)
+                penalty += pen.gapOpen;
+            break;
+          default:
+            panic("unknown CIGAR op '{}'", op);
+        }
+        prev = op;
+    }
+    return penalty;
+}
+
+AffineResult
+affineWfaAlign(WfaEngine &engine, std::string_view pattern,
+               std::string_view text, const AffinePenalties &pen,
+               bool traceback, genomics::ElementSize esize)
+{
+    fatal_if(pen.mismatch <= 0 || pen.gapExtend <= 0 || pen.gapOpen < 0,
+             "affine penalties need x > 0, e > 0, o >= 0");
+
+    AffineResult result;
+    if (pattern.empty() || text.empty()) {
+        const auto gap = static_cast<std::int64_t>(
+            std::max(pattern.size(), text.size()));
+        if (gap > 0) {
+            result.score = pen.gapOpen + pen.gapExtend * gap;
+            if (traceback)
+                result.cigar.append(pattern.empty() ? 'I' : 'D',
+                                    static_cast<std::size_t>(gap));
+        }
+        return result;
+    }
+
+    const auto m = static_cast<std::int64_t>(pattern.size());
+    const auto n = static_cast<std::int64_t>(text.size());
+    const int kEnd = static_cast<int>(n - m);
+    const std::int64_t oe = pen.gapOpen + pen.gapExtend;
+
+    engine.begin(pattern, text, esize);
+
+    std::vector<WaveSet> sets(1);
+    sets[0].m.emplace(0, 0);
+    sets[0].m->set(0, 0);
+    engine.extend(*sets[0].m, Dir::Fwd);
+
+    auto done = [&](std::int64_t s) {
+        const Wave *wave = mWave(sets, s);
+        return wave && wave->contains(kEnd) && wave->at(kEnd) >= n;
+    };
+
+    std::int64_t s = 0;
+    const std::int64_t bound =
+        (m + n + 2) * std::max<std::int64_t>(pen.mismatch, oe) + 1;
+    while (!done(s)) {
+        ++s;
+        panic_if_not(s <= bound, "affine WFA exceeded its score bound");
+        sets.emplace_back();
+        WaveSet &cur = sets.back();
+
+        const Wave *mx = s >= pen.mismatch
+                             ? mWave(sets, s - pen.mismatch)
+                             : nullptr;
+        const Wave *moe = s >= oe ? mWave(sets, s - oe) : nullptr;
+        const Wave *ie = s >= pen.gapExtend
+                             ? iWave(sets, s - pen.gapExtend)
+                             : nullptr;
+        const Wave *de = s >= pen.gapExtend
+                             ? dWave(sets, s - pen.gapExtend)
+                             : nullptr;
+
+        int lo, hi;
+        if (rangeOf({Source{moe, +1, 0}, Source{ie, +1, 0}}, m, n, lo,
+                    hi)) {
+            cur.i.emplace(lo, hi);
+            const WfaEngine::WaveTerm terms[] = {{moe, -1, 1},
+                                                 {ie, -1, 1}};
+            engine.combineWave(terms, *cur.i);
+        }
+        if (rangeOf({Source{moe, -1, 0}, Source{de, -1, 0}}, m, n, lo,
+                    hi)) {
+            cur.d.emplace(lo, hi);
+            const WfaEngine::WaveTerm terms[] = {{moe, +1, 0},
+                                                 {de, +1, 0}};
+            engine.combineWave(terms, *cur.d);
+        }
+        const Wave *iCur = cur.i ? &*cur.i : nullptr;
+        const Wave *dCur = cur.d ? &*cur.d : nullptr;
+        if (rangeOf({Source{mx, 0, 0}, Source{iCur, 0, 0},
+                     Source{dCur, 0, 0}},
+                    m, n, lo, hi)) {
+            cur.m.emplace(lo, hi);
+            const WfaEngine::WaveTerm terms[] = {
+                {mx, 0, 1}, {iCur, 0, 0}, {dCur, 0, 0}};
+            engine.combineWave(terms, *cur.m);
+            engine.extend(*cur.m, Dir::Fwd);
+        }
+    }
+
+    result.score = s;
+    if (traceback)
+        result.cigar = affineTraceback(engine, sets, pen, s, m, n);
+    return result;
+}
+
+} // namespace quetzal::algos

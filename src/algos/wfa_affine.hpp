@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Gap-affine Wavefront Alignment (WFA with the (x, o, e) penalty
+ * model of Marco-Sola et al.) — the "configurable scoring functions"
+ * requirement of the paper's Section II-D, built on the same
+ * per-variant engines (and therefore the same QUETZAL acceleration)
+ * as the edit-distance WFA.
+ *
+ * Three wavefront components track the furthest-reaching offsets per
+ * penalty s: M (match/mismatch state), I (gap in the pattern), and
+ * D (gap in the text):
+ *
+ *   I_s[k] = max(M_{s-o-e}[k-1], I_{s-e}[k-1]) + 1
+ *   D_s[k] = max(M_{s-o-e}[k+1], D_{s-e}[k+1])
+ *   M_s[k] = max(M_{s-x}[k] + 1, I_s[k], D_s[k]),  then extend
+ */
+#ifndef QUETZAL_ALGOS_WFA_AFFINE_HPP
+#define QUETZAL_ALGOS_WFA_AFFINE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "algos/wfa.hpp"
+
+namespace quetzal::algos {
+
+/** Gap-affine penalties (match costs 0). */
+struct AffinePenalties
+{
+    std::int32_t mismatch = 4; //!< x
+    std::int32_t gapOpen = 6;  //!< o: a length-L gap costs o + L*e
+    std::int32_t gapExtend = 2; //!< e
+
+    /** Unit penalties: gap-affine degenerates to edit distance. */
+    static AffinePenalties
+    edit()
+    {
+        return AffinePenalties{1, 0, 1};
+    }
+};
+
+/** Result of a gap-affine alignment (score is the total penalty). */
+struct AffineResult
+{
+    std::int64_t score = 0;
+    Cigar cigar;
+};
+
+/**
+ * Gap-affine WFA alignment with traceback.
+ * Engine semantics match wfaAlign (Ref/Base/Vec/Qz/QzC).
+ */
+AffineResult affineWfaAlign(WfaEngine &engine, std::string_view pattern,
+                            std::string_view text,
+                            const AffinePenalties &penalties =
+                                AffinePenalties{},
+                            bool traceback = true,
+                            genomics::ElementSize esize =
+                                genomics::ElementSize::Bits2);
+
+/** Penalty of @p cigar under @p penalties (for validation). */
+std::int64_t affinePenaltyOf(const Cigar &cigar,
+                             const AffinePenalties &penalties);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_WFA_AFFINE_HPP

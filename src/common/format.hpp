@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal std::format stand-in ("{}" placeholders only).
+ *
+ * The toolchain in use (libstdc++ 12) does not ship <format>, so this
+ * header provides qformat(): sequential "{}" substitution rendered via
+ * iostreams. Numeric precision helpers live in table.hpp where tables
+ * are built.
+ */
+#ifndef QUETZAL_COMMON_FORMAT_HPP
+#define QUETZAL_COMMON_FORMAT_HPP
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace quetzal {
+
+namespace detail {
+
+inline void
+formatRest(std::string &out, std::string_view fmt)
+{
+    out.append(fmt);
+}
+
+template <typename First, typename... Rest>
+void
+formatRest(std::string &out, std::string_view fmt, First &&first,
+           Rest &&...rest)
+{
+    const std::size_t pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        out.append(fmt);
+        return;
+    }
+    out.append(fmt.substr(0, pos));
+    std::ostringstream os;
+    os << first;
+    out += os.str();
+    formatRest(out, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+
+} // namespace detail
+
+/**
+ * Substitute each "{}" in @p fmt with the next argument, rendered with
+ * operator<<. Extra placeholders are left verbatim; extra arguments are
+ * ignored.
+ */
+template <typename... Args>
+std::string
+qformat(std::string_view fmt, Args &&...args)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16 * sizeof...(args));
+    detail::formatRest(out, fmt, std::forward<Args>(args)...);
+    return out;
+}
+
+} // namespace quetzal
+
+#endif // QUETZAL_COMMON_FORMAT_HPP

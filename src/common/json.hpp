@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Minimal JSON writer for machine-readable experiment output.
+ *
+ * The bench binaries print human tables; automation wants JSON. This
+ * is a write-only builder (objects, arrays, scalars) with correct
+ * string escaping — deliberately tiny, no parsing.
+ */
+#ifndef QUETZAL_COMMON_JSON_HPP
+#define QUETZAL_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace quetzal {
+
+/** Streaming JSON writer. */
+class JsonWriter
+{
+  public:
+    /** Begin an object; @p key when inside an object. */
+    JsonWriter &
+    beginObject(std::string_view key = {})
+    {
+        comma();
+        writeKey(key);
+        out_ << '{';
+        stack_.push_back(Frame::Object);
+        fresh_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        pop(Frame::Object);
+        out_ << '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray(std::string_view key = {})
+    {
+        comma();
+        writeKey(key);
+        out_ << '[';
+        stack_.push_back(Frame::Array);
+        fresh_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        pop(Frame::Array);
+        out_ << ']';
+        return *this;
+    }
+
+    JsonWriter &
+    field(std::string_view key, std::string_view value)
+    {
+        comma();
+        writeKey(key);
+        writeString(value);
+        return *this;
+    }
+
+    JsonWriter &
+    field(std::string_view key, const char *value)
+    {
+        return field(key, std::string_view(value));
+    }
+
+    JsonWriter &
+    field(std::string_view key, std::uint64_t value)
+    {
+        comma();
+        writeKey(key);
+        out_ << value;
+        return *this;
+    }
+
+    JsonWriter &
+    field(std::string_view key, std::int64_t value)
+    {
+        comma();
+        writeKey(key);
+        out_ << value;
+        return *this;
+    }
+
+    JsonWriter &
+    field(std::string_view key, double value)
+    {
+        comma();
+        writeKey(key);
+        out_ << value;
+        return *this;
+    }
+
+    JsonWriter &
+    field(std::string_view key, bool value)
+    {
+        comma();
+        writeKey(key);
+        out_ << (value ? "true" : "false");
+        return *this;
+    }
+
+    /** Bare value inside an array. */
+    JsonWriter &
+    value(std::string_view v)
+    {
+        comma();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        comma();
+        out_ << v;
+        return *this;
+    }
+
+    /** Final JSON text; all scopes must be closed. */
+    std::string
+    str() const
+    {
+        panic_if_not(stack_.empty(),
+                     "JsonWriter: {} unclosed scopes", stack_.size());
+        return out_.str();
+    }
+
+  private:
+    enum class Frame { Object, Array };
+
+    void
+    comma()
+    {
+        if (!fresh_)
+            out_ << ',';
+        fresh_ = false;
+    }
+
+    void
+    pop(Frame expected)
+    {
+        panic_if_not(!stack_.empty() && stack_.back() == expected,
+                     "JsonWriter: mismatched scope close");
+        stack_.pop_back();
+        fresh_ = false;
+    }
+
+    void
+    writeKey(std::string_view key)
+    {
+        if (key.empty())
+            return;
+        panic_if_not(!stack_.empty() &&
+                         stack_.back() == Frame::Object,
+                     "JsonWriter: keyed value outside an object");
+        writeString(key);
+        out_ << ':';
+    }
+
+    void
+    writeString(std::string_view s)
+    {
+        out_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                out_ << "\\\"";
+                break;
+              case '\\':
+                out_ << "\\\\";
+                break;
+              case '\n':
+                out_ << "\\n";
+                break;
+              case '\t':
+                out_ << "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ << buf;
+                } else {
+                    out_ << c;
+                }
+            }
+        }
+        out_ << '"';
+    }
+
+    std::ostringstream out_;
+    std::vector<Frame> stack_;
+    bool fresh_ = true;
+};
+
+} // namespace quetzal
+
+#endif // QUETZAL_COMMON_JSON_HPP

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lightweight statistics registry, in the spirit of gem5's stats package.
+ *
+ * Simulator components register named counters with a StatGroup; harness
+ * code reads them back by name or dumps the whole group. Counters are
+ * plain 64-bit values — the simulator is single-threaded per core.
+ */
+#ifndef QUETZAL_COMMON_STATS_HPP
+#define QUETZAL_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace quetzal {
+
+/** A single named statistic. */
+class Stat
+{
+  public:
+    Stat() = default;
+    explicit Stat(std::string desc) : desc_(std::move(desc)) {}
+
+    Stat &operator++() { ++value_; return *this; }
+    Stat &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &description() const { return desc_; }
+
+  private:
+    std::uint64_t value_ = 0;
+    std::string desc_;
+};
+
+/**
+ * A named collection of statistics.
+ *
+ * Components own a StatGroup and expose it; the harness iterates or
+ * queries by dotted name.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Register (or fetch) a counter under @p name. */
+    Stat &
+    stat(const std::string &name, const std::string &desc = "")
+    {
+        auto [it, inserted] = stats_.try_emplace(name, Stat{desc});
+        if (inserted && desc.empty())
+            it->second = Stat{name};
+        return it->second;
+    }
+
+    /** Look up an existing counter; panics when absent. */
+    const Stat &
+    get(const std::string &name) const
+    {
+        auto it = stats_.find(name);
+        panic_if_not(it != stats_.end(),
+                     "unknown stat '{}' in group '{}'", name, name_);
+        return it->second;
+    }
+
+    bool has(const std::string &name) const { return stats_.contains(name); }
+
+    /** Zero every counter in the group. */
+    void
+    resetAll()
+    {
+        for (auto &[name, stat] : stats_)
+            stat.reset();
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Stable-ordered view for dumping. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    dump() const
+    {
+        std::vector<std::pair<std::string, std::uint64_t>> out;
+        out.reserve(stats_.size());
+        for (const auto &[name, stat] : stats_)
+            out.emplace_back(name, stat.value());
+        return out;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Stat> stats_;
+};
+
+} // namespace quetzal
+
+#endif // QUETZAL_COMMON_STATS_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Plain-text table formatter for the benchmark harness.
+ *
+ * Every bench binary reproduces a paper table or figure by printing the
+ * same rows/series the paper reports; this helper keeps the output
+ * aligned and machine-greppable.
+ */
+#ifndef QUETZAL_COMMON_TABLE_HPP
+#define QUETZAL_COMMON_TABLE_HPP
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace quetzal {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append a row; must have the same arity as the header. */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        cells.resize(headers_.size());
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with fixed precision. */
+    static std::string
+    num(double v, int precision = 2)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    /** Render the table to @p os with a separator under the header. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                os << row[c]
+                   << std::string(width[c] - row[c].size(), ' ');
+                os << (c + 1 == row.size() ? "\n" : "  ");
+            }
+        };
+        emit(headers_);
+        std::string rule;
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            rule.append(width[c], '-');
+            if (c + 1 != headers_.size())
+                rule += "  ";
+        }
+        os << rule << "\n";
+        for (const auto &row : rows_)
+            emit(row);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace quetzal
+
+#endif // QUETZAL_COMMON_TABLE_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Biological-sequence alphabets: DNA, RNA, and the 20-letter protein
+ * alphabet, plus the ambiguous nucleotide 'N'.
+ *
+ * QUETZAL (Section IV-A) distinguishes two encoding regimes: 4-letter
+ * nucleotide alphabets use a 2-bit code derived from ASCII bits 1..2,
+ * while proteins (and 'N') fall back to an 8-bit code.
+ */
+#ifndef QUETZAL_GENOMICS_ALPHABET_HPP
+#define QUETZAL_GENOMICS_ALPHABET_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace quetzal::genomics {
+
+/** The kind of biological data a sequence holds. */
+enum class AlphabetKind
+{
+    Dna,     //!< A, C, G, T
+    Rna,     //!< A, C, G, U
+    Protein, //!< 20 amino-acid letters
+};
+
+/** The 20 standard amino-acid one-letter codes. */
+inline constexpr std::string_view kProteinLetters = "ACDEFGHIKLMNPQRSTVWY";
+
+/** The DNA base letters. */
+inline constexpr std::string_view kDnaLetters = "ACGT";
+
+/** The RNA base letters. */
+inline constexpr std::string_view kRnaLetters = "ACGU";
+
+/** Letters of the given alphabet. */
+std::string_view letters(AlphabetKind kind);
+
+/** True when @p base is a valid letter of @p kind (uppercase). */
+bool isValid(AlphabetKind kind, char base);
+
+/** True when every character of @p seq is valid for @p kind. */
+bool isValid(AlphabetKind kind, std::string_view seq);
+
+/** Watson-Crick complement of a DNA base; 'N' maps to 'N'. */
+char complement(char base);
+
+/** Reverse complement of a DNA sequence. */
+std::string reverseComplement(std::string_view seq);
+
+/** Human-readable alphabet name. */
+std::string_view name(AlphabetKind kind);
+
+} // namespace quetzal::genomics
+
+#endif // QUETZAL_GENOMICS_ALPHABET_HPP

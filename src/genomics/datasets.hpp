@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Dataset catalog reproducing Table II of the paper.
+ *
+ * Four DNA datasets: two short-read (Illumina-class, 100 bp and 250 bp)
+ * and two long-read (PacBio-HiFi-class, 10 kbp and 30 kbp). The paper
+ * uses the SneakySnake repository datasets for the short reads and
+ * simulates the long reads with the same methodology; here all four are
+ * simulated with the in-repo read simulator (see DESIGN.md,
+ * substitutions). Pair counts are scaled down so each experiment
+ * simulates in seconds rather than the days/weeks the paper reports for
+ * gem5 — the paper itself constrained dataset sizes for the same reason.
+ */
+#ifndef QUETZAL_GENOMICS_DATASETS_HPP
+#define QUETZAL_GENOMICS_DATASETS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genomics/sequence.hpp"
+
+namespace quetzal::genomics {
+
+/** Catalog entry describing one Table II dataset. */
+struct DatasetSpec
+{
+    std::string name;         //!< e.g. "100bp_1"
+    std::size_t readLength;   //!< bases per read
+    double errorRate;         //!< per-base edit rate, well-matched half
+    double highErrorRate;     //!< edit rate of the divergent half
+    std::size_t defaultPairs; //!< pair count at scale = 1.0
+    bool longRead;            //!< long-read technology class
+};
+
+/** All Table II datasets, in paper order. */
+const std::vector<DatasetSpec> &datasetCatalog();
+
+/** Look up a catalog entry by name; throws FatalError when unknown. */
+const DatasetSpec &datasetSpec(std::string_view name);
+
+/**
+ * Materialize a dataset.
+ *
+ * @param name catalog name ("100bp_1", "250bp_1", "10Kbp", "30Kbp").
+ * @param scale multiplies the default pair count (min 1 pair).
+ */
+PairDataset makeDataset(std::string_view name, double scale = 1.0);
+
+/** Names of the short-read datasets. */
+std::vector<std::string> shortReadNames();
+
+/** Names of the long-read datasets. */
+std::vector<std::string> longReadNames();
+
+} // namespace quetzal::genomics
+
+#endif // QUETZAL_GENOMICS_DATASETS_HPP

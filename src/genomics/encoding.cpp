@@ -1,0 +1,84 @@
+#include "genomics/encoding.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace quetzal::genomics {
+
+char
+decodeBase2Dna(std::uint8_t code)
+{
+    // Codes are ASCII bits 1..2: A->00, C->01, T->10, G->11.
+    static constexpr char table[4] = {'A', 'C', 'T', 'G'};
+    panic_if_not(code < 4, "2-bit code out of range: {}", code);
+    return table[code];
+}
+
+char
+decodeBase2Rna(std::uint8_t code)
+{
+    static constexpr char table[4] = {'A', 'C', 'U', 'G'};
+    panic_if_not(code < 4, "2-bit code out of range: {}", code);
+    return table[code];
+}
+
+std::vector<std::uint64_t>
+pack2bit(std::string_view seq)
+{
+    std::vector<std::uint64_t> words(divCeil(seq.size() * 2, 64), 0);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const std::uint64_t code = encodeBase2(seq[i]);
+        words[i / 32] |= code << (2 * (i % 32));
+    }
+    return words;
+}
+
+std::string
+unpack2bitDna(const std::vector<std::uint64_t> &words, std::size_t count)
+{
+    panic_if_not(count * 2 <= words.size() * 64,
+                 "unpack2bitDna: {} bases exceed packed stream", count);
+    std::string out(count, '\0');
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto code = static_cast<std::uint8_t>(
+            bits(words[i / 32], 2 * (i % 32), 2));
+        out[i] = decodeBase2Dna(code);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+pack8bit(std::string_view seq)
+{
+    std::vector<std::uint64_t> words(divCeil(seq.size(), 8), 0);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        words[i / 8] |= std::uint64_t{
+            static_cast<unsigned char>(seq[i])} << (8 * (i % 8));
+    }
+    return words;
+}
+
+std::string
+unpack8bit(const std::vector<std::uint64_t> &words, std::size_t count)
+{
+    panic_if_not(count <= words.size() * 8,
+                 "unpack8bit: {} chars exceed packed stream", count);
+    std::string out(count, '\0');
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = static_cast<char>(bits(words[i / 8], 8 * (i % 8), 8));
+    return out;
+}
+
+std::uint64_t
+extractElement(const std::vector<std::uint64_t> &words, std::size_t index,
+               ElementSize size)
+{
+    const unsigned ebits = bitsPerElement(size);
+    const std::size_t bit = index * ebits;
+    const std::size_t word = bit / 64;
+    panic_if_not(word < words.size(),
+                 "extractElement: index {} out of range", index);
+    return bits(words[word], bit % 64, ebits);
+}
+
+} // namespace quetzal::genomics

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Software reference implementation of QUETZAL's base encodings.
+ *
+ * The hardware data encoder (paper Section IV-A, Fig. 9) extracts ASCII
+ * bits 1 and 2 of each nucleotide character to form a 2-bit code:
+ *
+ *   A = 0x41 -> 00,  C = 0x43 -> 01,  T = 0x54 -> 10,  G = 0x47 -> 11
+ *   (U = 0x55 -> 10, sharing T's code, which is safe because RNA has no T)
+ *
+ * Proteins and the ambiguous base 'N' use the 8-bit character directly.
+ * These functions are the golden model the hardware encoder unit tests
+ * compare against, and the algorithms' scalar baselines use them too.
+ */
+#ifndef QUETZAL_GENOMICS_ENCODING_HPP
+#define QUETZAL_GENOMICS_ENCODING_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quetzal::genomics {
+
+/** Element width of data stored in a QBUFFER (matches qzconf's Esiz). */
+enum class ElementSize : std::uint8_t
+{
+    Bits2 = 0,  //!< 2-bit encoded nucleotides
+    Bits8 = 1,  //!< raw 8-bit characters (proteins, 'N')
+    Bits64 = 2, //!< raw 64-bit elements (DP values, histograms)
+};
+
+/** Number of bits per element for @p size. */
+inline unsigned
+bitsPerElement(ElementSize size)
+{
+    switch (size) {
+      case ElementSize::Bits2:
+        return 2;
+      case ElementSize::Bits8:
+        return 8;
+      default:
+        return 64;
+    }
+}
+
+/** 2-bit code of a nucleotide character: ASCII bits 1..2. */
+inline std::uint8_t
+encodeBase2(char base)
+{
+    return static_cast<std::uint8_t>(
+        (static_cast<unsigned char>(base) >> 1) & 0x3u);
+}
+
+/**
+ * Decode a 2-bit DNA code back to its character.
+ * Inverse of encodeBase2 over {A, C, G, T}.
+ */
+char decodeBase2Dna(std::uint8_t code);
+
+/** Decode a 2-bit RNA code (T's slot becomes 'U'). */
+char decodeBase2Rna(std::uint8_t code);
+
+/**
+ * Pack a character sequence into 2-bit codes, 32 bases per 64-bit word,
+ * base i occupying bits [2i, 2i+1] of word i/32.
+ */
+std::vector<std::uint64_t> pack2bit(std::string_view seq);
+
+/** Unpack @p count bases from a pack2bit() word stream (DNA letters). */
+std::string unpack2bitDna(const std::vector<std::uint64_t> &words,
+                          std::size_t count);
+
+/** Pack raw characters 8 per 64-bit word (protein / 8-bit mode). */
+std::vector<std::uint64_t> pack8bit(std::string_view seq);
+
+/** Unpack @p count characters from a pack8bit() word stream. */
+std::string unpack8bit(const std::vector<std::uint64_t> &words,
+                       std::size_t count);
+
+/**
+ * Read element @p index from a packed word stream with the given element
+ * size — the software model of the QBUFFER read-logic slicing path.
+ */
+std::uint64_t extractElement(const std::vector<std::uint64_t> &words,
+                             std::size_t index, ElementSize size);
+
+} // namespace quetzal::genomics
+
+#endif // QUETZAL_GENOMICS_ENCODING_HPP

@@ -1,0 +1,148 @@
+#include "genomics/fasta.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hpp"
+
+namespace quetzal::genomics {
+
+namespace {
+
+/** getline that strips a trailing '\r' (CRLF tolerance). */
+bool
+getLine(std::istream &in, std::string &line)
+{
+    if (!std::getline(in, line))
+        return false;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return true;
+}
+
+std::string
+toUpper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return s;
+}
+
+} // namespace
+
+std::vector<Sequence>
+readFasta(std::istream &in)
+{
+    std::vector<Sequence> records;
+    std::string line;
+    Sequence current;
+    bool open = false;
+
+    auto flush = [&] {
+        if (open) {
+            fatal_if(current.bases.empty(),
+                     "FASTA record '{}' has no sequence data", current.id);
+            records.push_back(std::move(current));
+            current = Sequence{};
+        }
+    };
+
+    while (getLine(in, line)) {
+        if (line.empty() || line[0] == ';')
+            continue;
+        if (line[0] == '>') {
+            flush();
+            open = true;
+            current.id = line.substr(1, line.find_first_of(" \t") - 1);
+        } else {
+            fatal_if(!open, "FASTA data before first '>' header");
+            current.bases += toUpper(line);
+        }
+    }
+    flush();
+    return records;
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<Sequence> &records,
+           std::size_t wrap)
+{
+    panic_if_not(wrap > 0, "FASTA wrap width must be positive");
+    for (const auto &rec : records) {
+        out << '>' << rec.id << '\n';
+        for (std::size_t i = 0; i < rec.bases.size(); i += wrap)
+            out << rec.bases.substr(i, wrap) << '\n';
+    }
+}
+
+std::vector<FastqRecord>
+readFastq(std::istream &in)
+{
+    std::vector<FastqRecord> records;
+    std::string header, bases, plus, quality;
+    while (getLine(in, header)) {
+        if (header.empty())
+            continue;
+        fatal_if(header[0] != '@',
+                 "FASTQ record must start with '@', got '{}'", header);
+        fatal_if(!getLine(in, bases) || !getLine(in, plus) ||
+                     !getLine(in, quality),
+                 "truncated FASTQ record '{}'", header);
+        fatal_if(plus.empty() || plus[0] != '+',
+                 "FASTQ separator line must start with '+'");
+        fatal_if(bases.size() != quality.size(),
+                 "FASTQ record '{}': sequence length {} != quality "
+                 "length {}",
+                 header, bases.size(), quality.size());
+        FastqRecord rec;
+        rec.seq.id = header.substr(1, header.find_first_of(" \t") - 1);
+        rec.seq.bases = toUpper(bases);
+        rec.quality = quality;
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+void
+writeFastq(std::ostream &out, const std::vector<FastqRecord> &records)
+{
+    for (const auto &rec : records) {
+        panic_if_not(rec.seq.bases.size() == rec.quality.size(),
+                     "FASTQ record '{}' has mismatched quality length",
+                     rec.seq.id);
+        out << '@' << rec.seq.id << '\n'
+            << rec.seq.bases << '\n'
+            << "+\n"
+            << rec.quality << '\n';
+    }
+}
+
+std::vector<SequencePair>
+readPairFile(std::istream &in)
+{
+    std::vector<SequencePair> pairs;
+    std::string pat, txt;
+    while (getLine(in, pat)) {
+        if (pat.empty())
+            continue;
+        fatal_if(pat[0] != '>',
+                 "pair file: expected '>' pattern line, got '{}'", pat);
+        fatal_if(!getLine(in, txt) || txt.empty() || txt[0] != '<',
+                 "pair file: pattern line without '<' text line");
+        SequencePair pair;
+        pair.pattern = toUpper(pat.substr(1));
+        pair.text = toUpper(txt.substr(1));
+        pairs.push_back(std::move(pair));
+    }
+    return pairs;
+}
+
+void
+writePairFile(std::ostream &out, const std::vector<SequencePair> &pairs)
+{
+    for (const auto &pair : pairs)
+        out << '>' << pair.pattern << '\n' << '<' << pair.text << '\n';
+}
+
+} // namespace quetzal::genomics

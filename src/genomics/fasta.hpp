@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FASTA and FASTQ readers/writers.
+ *
+ * Minimal but standards-conforming: multi-line FASTA records, '>' and ';'
+ * comment headers, FASTQ 4-line records with '+' separators, CRLF
+ * tolerance, and a paired "seq-pair" text format (one pattern line and
+ * one text line per pair, SneakySnake-repository style: each line is
+ * prefixed with '>' for the pattern and '<' for the text).
+ */
+#ifndef QUETZAL_GENOMICS_FASTA_HPP
+#define QUETZAL_GENOMICS_FASTA_HPP
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "genomics/sequence.hpp"
+
+namespace quetzal::genomics {
+
+/** Parse all FASTA records from @p in. Throws FatalError on bad input. */
+std::vector<Sequence> readFasta(std::istream &in);
+
+/** Write records as FASTA with the given line wrap width. */
+void writeFasta(std::ostream &out, const std::vector<Sequence> &records,
+                std::size_t wrap = 60);
+
+/** One FASTQ record: sequence plus per-base quality string. */
+struct FastqRecord
+{
+    Sequence seq;
+    std::string quality;
+};
+
+/** Parse all FASTQ records from @p in. Throws FatalError on bad input. */
+std::vector<FastqRecord> readFastq(std::istream &in);
+
+/** Write FASTQ records. */
+void writeFastq(std::ostream &out, const std::vector<FastqRecord> &records);
+
+/**
+ * Parse a SneakySnake-style pair file: alternating lines
+ * `>PATTERN` / `<TEXT`.
+ */
+std::vector<SequencePair> readPairFile(std::istream &in);
+
+/** Write pairs in the same alternating `>`/`<` format. */
+void writePairFile(std::ostream &out,
+                   const std::vector<SequencePair> &pairs);
+
+} // namespace quetzal::genomics
+
+#endif // QUETZAL_GENOMICS_FASTA_HPP

@@ -1,0 +1,94 @@
+#include "genomics/protein.hpp"
+
+#include "common/format.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace quetzal::genomics {
+
+std::vector<SequencePair>
+ProteinFamily::allPairs() const
+{
+    std::vector<SequencePair> pairs;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+            SequencePair pair;
+            pair.pattern = members[i].bases;
+            pair.text = members[j].bases;
+            pair.alphabet = AlphabetKind::Protein;
+            pairs.push_back(std::move(pair));
+        }
+    }
+    return pairs;
+}
+
+std::vector<ProteinFamily>
+generateProteinFamilies(const ProteinFamilyConfig &config)
+{
+    fatal_if(config.membersPerFamily < 2,
+             "a protein family needs at least two members");
+    Rng rng(config.seed);
+    const auto alpha = kProteinLetters;
+
+    auto random_residue = [&] { return alpha[rng.below(alpha.size())]; };
+
+    std::vector<ProteinFamily> families;
+    families.reserve(config.familyCount);
+    for (std::size_t f = 0; f < config.familyCount; ++f) {
+        // Sample the ancestor and mark conserved columns.
+        std::string ancestor(config.ancestorLength, '\0');
+        for (auto &c : ancestor)
+            c = random_residue();
+        std::vector<bool> conserved(config.ancestorLength);
+        for (auto &&col : conserved)
+            col = rng.chance(config.conservedFraction);
+
+        ProteinFamily family;
+        for (std::size_t m = 0; m < config.membersPerFamily; ++m) {
+            Sequence seq;
+            seq.id = qformat("fam{}_seq{}", f, m);
+            seq.alphabet = AlphabetKind::Protein;
+            seq.bases.reserve(config.ancestorLength + 16);
+            for (std::size_t i = 0; i < ancestor.size(); ++i) {
+                if (conserved[i] || !rng.chance(config.divergence)) {
+                    seq.bases += ancestor[i];
+                    continue;
+                }
+                // Divergent column: substitution (60%), insertion
+                // (20%), or deletion (20%), mirroring the DNA model.
+                const double kind = rng.uniform();
+                if (kind < 0.6) {
+                    char c = ancestor[i];
+                    while (c == ancestor[i])
+                        c = random_residue();
+                    seq.bases += c;
+                } else if (kind < 0.8) {
+                    seq.bases += random_residue();
+                    seq.bases += ancestor[i];
+                }
+                // else: deletion, emit nothing
+            }
+            if (seq.bases.empty())
+                seq.bases += random_residue();
+            family.members.push_back(std::move(seq));
+        }
+        families.push_back(std::move(family));
+    }
+    return families;
+}
+
+std::vector<SequencePair>
+proteinPairWorkload(const ProteinFamilyConfig &config)
+{
+    std::vector<SequencePair> workload;
+    for (const auto &family : generateProteinFamilies(config)) {
+        auto pairs = family.allPairs();
+        workload.insert(workload.end(),
+                        std::make_move_iterator(pairs.begin()),
+                        std::make_move_iterator(pairs.end()));
+    }
+    return workload;
+}
+
+} // namespace quetzal::genomics

@@ -1,0 +1,89 @@
+#include "genomics/readsim.hpp"
+
+#include "common/logging.hpp"
+
+namespace quetzal::genomics {
+
+ReadSimulator::ReadSimulator(const ReadSimConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    fatal_if(config.readLength == 0, "read length must be positive");
+    fatal_if(config.errorRate < 0.0 || config.errorRate > 1.0,
+             "error rate {} out of [0,1]", config.errorRate);
+    fatal_if(config.substitutionFrac + config.insertionFrac > 1.0,
+             "substitution + insertion fractions exceed 1");
+}
+
+char
+ReadSimulator::randomResidue()
+{
+    const auto alpha = letters(config_.alphabet);
+    return alpha[rng_.below(alpha.size())];
+}
+
+char
+ReadSimulator::randomResidueOtherThan(char base)
+{
+    const auto alpha = letters(config_.alphabet);
+    char c = base;
+    while (c == base)
+        c = alpha[rng_.below(alpha.size())];
+    return c;
+}
+
+std::string
+ReadSimulator::randomSequence(std::size_t length)
+{
+    std::string seq(length, '\0');
+    for (auto &c : seq)
+        c = randomResidue();
+    return seq;
+}
+
+std::string
+ReadSimulator::mutate(const std::string &text, std::int64_t &edits)
+{
+    std::string pattern;
+    pattern.reserve(text.size() + 8);
+    edits = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (rng_.chance(config_.errorRate)) {
+            ++edits;
+            const double kind = rng_.uniform();
+            if (kind < config_.substitutionFrac) {
+                pattern += randomResidueOtherThan(text[i]);
+            } else if (kind <
+                       config_.substitutionFrac + config_.insertionFrac) {
+                // Insertion: emit a random residue, then the original.
+                pattern += randomResidue();
+                pattern += text[i];
+            }
+            // Deletion: skip the original base entirely.
+        } else {
+            pattern += text[i];
+        }
+    }
+    if (pattern.empty()) {
+        // Pathological full-deletion case; keep one residue so the
+        // algorithms never see an empty pattern.
+        pattern += text.front();
+    }
+    return pattern;
+}
+
+std::vector<SequencePair>
+ReadSimulator::generatePairs(std::size_t count)
+{
+    std::vector<SequencePair> pairs;
+    pairs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        SequencePair pair;
+        pair.alphabet = config_.alphabet;
+        pair.text = randomSequence(config_.readLength);
+        pair.pattern = mutate(pair.text, pair.trueEdits);
+        pairs.push_back(std::move(pair));
+    }
+    return pairs;
+}
+
+} // namespace quetzal::genomics

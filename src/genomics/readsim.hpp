@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Read simulator: generates pattern/text pairs with a controlled edit
+ * model, following the SneakySnake dataset methodology the paper uses
+ * for its 30 kbp dataset (Section V-C).
+ *
+ * A synthetic reference genome is sampled uniformly over the alphabet;
+ * each read is a window of the reference ("text") into which
+ * substitutions, insertions, and deletions are injected at a
+ * configurable per-base rate to form the "pattern". The number of
+ * injected edits is recorded as ground truth so algorithm tests can
+ * assert that WFA's reported score never exceeds it.
+ */
+#ifndef QUETZAL_GENOMICS_READSIM_HPP
+#define QUETZAL_GENOMICS_READSIM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "genomics/sequence.hpp"
+
+namespace quetzal::genomics {
+
+/** Parameters for the mutation model. */
+struct ReadSimConfig
+{
+    std::size_t readLength = 100;   //!< nominal read length (bases)
+    double errorRate = 0.03;        //!< per-base probability of an edit
+    double substitutionFrac = 0.6;  //!< fraction of edits: substitutions
+    double insertionFrac = 0.2;     //!< fraction of edits: insertions
+    //!< remainder are deletions
+    AlphabetKind alphabet = AlphabetKind::Dna;
+    std::uint64_t seed = 42;        //!< deterministic generation seed
+};
+
+/** Generates synthetic references and mutated reads. */
+class ReadSimulator
+{
+  public:
+    explicit ReadSimulator(const ReadSimConfig &config);
+
+    /** Sample a uniform random sequence of @p length residues. */
+    std::string randomSequence(std::size_t length);
+
+    /**
+     * Mutate @p text with the configured error model.
+     * @param[out] edits number of edit operations applied.
+     */
+    std::string mutate(const std::string &text, std::int64_t &edits);
+
+    /** Generate @p count independent pattern/text pairs. */
+    std::vector<SequencePair> generatePairs(std::size_t count);
+
+    const ReadSimConfig &config() const { return config_; }
+
+  private:
+    char randomResidue();
+    char randomResidueOtherThan(char base);
+
+    ReadSimConfig config_;
+    Rng rng_;
+};
+
+} // namespace quetzal::genomics
+
+#endif // QUETZAL_GENOMICS_READSIM_HPP

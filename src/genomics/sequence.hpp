@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Core sequence value types shared by the I/O layer, the read simulator,
+ * and the alignment algorithms.
+ */
+#ifndef QUETZAL_GENOMICS_SEQUENCE_HPP
+#define QUETZAL_GENOMICS_SEQUENCE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genomics/alphabet.hpp"
+
+namespace quetzal::genomics {
+
+/** A named biological sequence. */
+struct Sequence
+{
+    std::string id;          //!< record identifier (FASTA header)
+    std::string bases;       //!< the residues, uppercase
+    AlphabetKind alphabet = AlphabetKind::Dna;
+
+    std::size_t length() const { return bases.size(); }
+};
+
+/**
+ * A pattern/text pair as consumed by the ASM algorithms: the pattern is
+ * the read, the text the reference window it is compared against.
+ */
+struct SequencePair
+{
+    std::string pattern; //!< the read (query)
+    std::string text;    //!< the candidate reference region
+    AlphabetKind alphabet = AlphabetKind::Dna;
+
+    /**
+     * Ground-truth edit distance recorded by the read simulator when the
+     * pair was generated; negative when unknown (e.g. parsed from file).
+     */
+    std::int64_t trueEdits = -1;
+};
+
+/** A dataset: a homogeneous batch of pairs plus catalog metadata. */
+struct PairDataset
+{
+    std::string name;                //!< catalog name, e.g. "100bp_1"
+    std::vector<SequencePair> pairs; //!< the workload
+    std::size_t readLength = 0;      //!< nominal read length in bases
+    double errorRate = 0.0;          //!< simulator per-base edit rate
+
+    std::size_t size() const { return pairs.size(); }
+
+    /** Total bases across all patterns (used for throughput metrics). */
+    std::size_t
+    totalPatternBases() const
+    {
+        std::size_t total = 0;
+        for (const auto &p : pairs)
+            total += p.pattern.size();
+        return total;
+    }
+};
+
+} // namespace quetzal::genomics
+
+#endif // QUETZAL_GENOMICS_SEQUENCE_HPP

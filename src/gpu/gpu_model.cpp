@@ -1,0 +1,84 @@
+#include "gpu/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace quetzal::gpu {
+
+GpuToolModel
+wfaGpuModel()
+{
+    GpuToolModel model;
+    model.name = "WFA-GPU";
+    model.wsBase = 1024;
+    model.wsPerBase = 2.0;      // sequences + offsets
+    model.wsPerError2 = 4.0;    // wavefront table ~ 4 B per cell, s^2
+    model.cyclesBase = 8e3;
+    model.cyclesPerBase = 560.0; // per-worker cost, fitted to the
+                                 // paper's short-read GPU lead
+    return model;
+}
+
+GpuToolModel
+gasal2Model()
+{
+    GpuToolModel model;
+    model.name = "GASAL2";
+    model.wsBase = 1024;
+    model.wsPerBase = 30.0;     // banded DP rows live on chip
+    model.wsPerError2 = 0.0;
+    model.cyclesBase = 10e3;
+    model.cyclesPerBase = 480.0; // banded DP cell work per worker
+    return model;
+}
+
+namespace {
+
+double
+workingSetBytes(const GpuToolModel &tool, std::size_t readLength,
+                double errorRate)
+{
+    const double len = static_cast<double>(readLength);
+    const double s = len * errorRate;
+    return tool.wsBase + tool.wsPerBase * len +
+           tool.wsPerError2 * s * s;
+}
+
+} // namespace
+
+double
+gpuOccupancy(const GpuDeviceParams &device, const GpuToolModel &tool,
+             std::size_t readLength, double errorRate)
+{
+    fatal_if(readLength == 0, "read length must be positive");
+    const double ws = workingSetBytes(tool, readLength, errorRate);
+    const double fit = device.onChipBytesPerSm / ws;
+    return std::clamp(fit, 1.0,
+                      static_cast<double>(device.maxResidentPerSm));
+}
+
+double
+gpuThroughput(const GpuDeviceParams &device, const GpuToolModel &tool,
+              std::size_t readLength, double errorRate)
+{
+    const double occupancy =
+        gpuOccupancy(device, tool, readLength, errorRate);
+    const double cyclesPerAlignment =
+        tool.cyclesBase +
+        tool.cyclesPerBase * static_cast<double>(readLength);
+    const double perWorker =
+        device.clockGhz * 1e9 / cyclesPerAlignment;
+    // When a single worker's state outgrows the SM's on-chip memory,
+    // spills to device memory slow it down; the sqrt reflects that
+    // only part of the working set is hot at any time.
+    const double ws = workingSetBytes(tool, readLength, errorRate);
+    const double spillPenalty =
+        ws > device.onChipBytesPerSm
+            ? std::sqrt(device.onChipBytesPerSm / ws)
+            : 1.0;
+    return occupancy * device.sms * perWorker * spillPenalty;
+}
+
+} // namespace quetzal::gpu

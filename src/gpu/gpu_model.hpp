@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytic GPU throughput model for the Fig. 15a comparison.
+ *
+ * The paper runs WFA-GPU and GASAL2 on an NVIDIA A40 and observes the
+ * occupancy cliff: as sequence length grows, each alignment's active
+ * working set (DP state, wavefronts, metadata) outgrows the per-SM
+ * on-chip memory, capping the number of resident alignments and
+ * collapsing throughput. We model exactly that mechanism: resident
+ * alignments per SM = clamp(onChipBytes / workingSet(len), 1, max),
+ * with per-tool working-set and per-cell rate constants calibrated to
+ * the paper's reported ratios (substitution documented in DESIGN.md —
+ * no physical A40 is available here).
+ */
+#ifndef QUETZAL_GPU_GPU_MODEL_HPP
+#define QUETZAL_GPU_GPU_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace quetzal::gpu {
+
+/** A40-class device parameters. */
+struct GpuDeviceParams
+{
+    double clockGhz = 1.74;
+    unsigned sms = 84;
+    unsigned maxResidentPerSm = 32;     //!< alignment workers per SM
+    double onChipBytesPerSm = 128.0e3;  //!< shared memory + L1
+    double areaMm2 = 628.0;             //!< GA102 die (the >10x claim)
+};
+
+/** Per-tool cost model. */
+struct GpuToolModel
+{
+    std::string name;
+    /** Active working-set bytes for one alignment of length len. */
+    double wsBase = 2048;     //!< fixed metadata
+    double wsPerBase = 0.0;   //!< linear component (banded DP state)
+    double wsPerError2 = 0.0; //!< quadratic component (wavefronts)
+    /** Cycles one worker spends per alignment of length len. */
+    double cyclesBase = 20e3;
+    double cyclesPerBase = 0.0;
+};
+
+/** WFA-GPU cost model (wavefront state grows with s^2). */
+GpuToolModel wfaGpuModel();
+
+/** GASAL2 cost model (banded DP state grows linearly). */
+GpuToolModel gasal2Model();
+
+/**
+ * Alignments per second for @p tool on @p device at the given read
+ * length and error rate.
+ */
+double gpuThroughput(const GpuDeviceParams &device,
+                     const GpuToolModel &tool, std::size_t readLength,
+                     double errorRate);
+
+/** Resident alignments per SM (the occupancy the paper discusses). */
+double gpuOccupancy(const GpuDeviceParams &device,
+                    const GpuToolModel &tool, std::size_t readLength,
+                    double errorRate);
+
+} // namespace quetzal::gpu
+
+#endif // QUETZAL_GPU_GPU_MODEL_HPP

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Scalar execution facade for the baseline (compiler-auto-vectorized)
+ * algorithm variants.
+ *
+ * The paper normalizes every result to the compiler's auto-vectorized
+ * build, which for these irregular kernels degenerates to mostly-scalar
+ * code whose inner loops serialize: each residue load feeds a compare
+ * and a data-dependent branch that gates the next load (Section II-E:
+ * "the serialization of memory instructions at runtime"). BaseUnit
+ * models that shape: loads join the loop-carried chain, so every
+ * residue costs roughly a load-to-use plus the compare on the critical
+ * path, and cache misses serialize.
+ */
+#ifndef QUETZAL_ISA_SCALARUNIT_HPP
+#define QUETZAL_ISA_SCALARUNIT_HPP
+
+#include <cstdint>
+#include <cstring>
+
+#include "sim/pipeline.hpp"
+
+namespace quetzal::isa {
+
+/** Scalar baseline timing facade. */
+class BaseUnit
+{
+  public:
+    explicit BaseUnit(sim::Pipeline &pipeline) : pipeline_(pipeline) {}
+
+    /** Load one byte; gated by the loop-carried chain. */
+    std::uint8_t
+    loadChar(std::uint64_t site, const char *ptr)
+    {
+        const sim::Tag tag = pipeline_.executeMem(
+            sim::OpClass::ScalarLoad, site,
+            reinterpret_cast<sim::Addr>(ptr), 1, {chain_});
+        pending_ = sim::Tag::join(pending_, tag);
+        return static_cast<std::uint8_t>(*ptr);
+    }
+
+    /** Load a 32-bit word; gated by the loop-carried chain. */
+    std::int32_t
+    loadInt(std::uint64_t site, const std::int32_t *ptr)
+    {
+        const sim::Tag tag = pipeline_.executeMem(
+            sim::OpClass::ScalarLoad, site,
+            reinterpret_cast<sim::Addr>(ptr), 4, {chain_});
+        pending_ = sim::Tag::join(pending_, tag);
+        return *ptr;
+    }
+
+    /** Store a 32-bit word (value produced by the current chain). */
+    void
+    storeInt(std::uint64_t site, std::int32_t *ptr, std::int32_t value)
+    {
+        *ptr = value;
+        pipeline_.executeMem(sim::OpClass::ScalarStore, site,
+                             reinterpret_cast<sim::Addr>(ptr), 4,
+                             {chain_});
+    }
+
+    /**
+     * Charge @p count ALU ops consuming the pending loads and the
+     * loop-carried chain; the result becomes the new chain.
+     */
+    void
+    alu(unsigned count = 1)
+    {
+        for (unsigned i = 0; i < count; ++i) {
+            chain_ = pipeline_.executeOp(
+                sim::OpClass::ScalarAlu,
+                {chain_, pending_});
+            pending_ = sim::Tag{};
+        }
+    }
+
+    /** Charge a (predicted) conditional branch on the chain. */
+    void
+    branch()
+    {
+        pipeline_.executeOp(sim::OpClass::Branch, {chain_, pending_});
+        pending_ = sim::Tag{};
+    }
+
+    /** Charge a mispredicted branch (data-dependent loop exits). */
+    void
+    branchMiss()
+    {
+        branch();
+        pipeline_.bubble(12, sim::StallKind::Frontend);
+    }
+
+    /** Break the dependency chain (independent work begins). */
+    void
+    cut()
+    {
+        chain_ = sim::Tag{};
+        pending_ = sim::Tag{};
+    }
+
+    sim::Pipeline &pipeline() { return pipeline_; }
+
+  private:
+    sim::Pipeline &pipeline_;
+    sim::Tag chain_{};   //!< loop-carried scalar register state
+    sim::Tag pending_{}; //!< loads issued since the last ALU op
+};
+
+} // namespace quetzal::isa
+
+#endif // QUETZAL_ISA_SCALARUNIT_HPP

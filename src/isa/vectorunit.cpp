@@ -1,0 +1,756 @@
+#include "isa/vectorunit.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <bit>
+#include <limits>
+#include <vector>
+
+namespace quetzal::isa {
+
+using sim::Addr;
+using sim::OpClass;
+
+namespace {
+
+/** Branch-mispredict redirect bubble on loop exits (A64FX ~ 8). */
+constexpr unsigned kMispredictBubble = 12;
+
+Addr
+toAddr(const void *ptr)
+{
+    return reinterpret_cast<Addr>(ptr);
+}
+
+} // namespace
+
+VReg
+VectorUnit::dup32(std::int32_t value)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        out.setI32(i, value);
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {});
+    return out;
+}
+
+VReg
+VectorUnit::dup64(std::uint64_t value)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, value);
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {});
+    return out;
+}
+
+VReg
+VectorUnit::index32(std::int32_t start, std::int32_t step)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        out.setI32(i, start + static_cast<std::int32_t>(i) * step);
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {});
+    return out;
+}
+
+VReg
+VectorUnit::load(SiteId site, const void *ptr, unsigned bytes,
+                 sim::Tag dep)
+{
+    panic_if_not(bytes <= 64, "vector load of {} bytes", bytes);
+    VReg out;
+    std::memcpy(out.words.data(), ptr, bytes);
+    out.tag = pipeline_.executeMem(OpClass::VecLoad, site, toAddr(ptr),
+                                   bytes, {dep});
+    return out;
+}
+
+VReg
+VectorUnit::load8to32(SiteId site, const void *ptr, unsigned n,
+                      sim::Tag dep)
+{
+    panic_if_not(n <= kLanes32, "widening load of {} bytes", n);
+    const auto *bytes = static_cast<const std::uint8_t *>(ptr);
+    VReg out;
+    for (unsigned i = 0; i < n; ++i)
+        out.setU32(i, bytes[i]);
+    out.tag = pipeline_.executeMem(OpClass::VecLoad, site, toAddr(ptr),
+                                   n, {dep});
+    return out;
+}
+
+sim::Tag
+VectorUnit::store(SiteId site, void *ptr, const VReg &value,
+                  unsigned bytes)
+{
+    panic_if_not(bytes <= 64, "vector store of {} bytes", bytes);
+    std::memcpy(ptr, value.words.data(), bytes);
+    return pipeline_.executeMem(OpClass::VecStore, site, toAddr(ptr),
+                                bytes, {value.tag});
+}
+
+VReg
+VectorUnit::gather8(SiteId site, const void *base, const VReg &idx,
+                    const Pred &p, unsigned n)
+{
+    panic_if_not(n <= kLanes32, "gather8 over {} elements", n);
+    const auto *bytes = static_cast<const std::uint8_t *>(base);
+    VReg out;
+    std::vector<Addr> addrs;
+    addrs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (!p.active(i))
+            continue;
+        const std::uint32_t index = idx.u32(i);
+        out.setU32(i, bytes[index]);
+        addrs.push_back(toAddr(bytes + index));
+    }
+    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 1,
+                                       {idx.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::gather32(SiteId site, const std::int32_t *base,
+                     const VReg &idx, const Pred &p, unsigned n)
+{
+    panic_if_not(n <= kLanes32, "gather32 over {} elements", n);
+    VReg out;
+    std::vector<Addr> addrs;
+    addrs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (!p.active(i))
+            continue;
+        const std::uint32_t index = idx.u32(i);
+        out.setI32(i, base[index]);
+        addrs.push_back(toAddr(base + index));
+    }
+    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 4,
+                                       {idx.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::gatherU32(SiteId site, const void *base, const VReg &idx,
+                      const Pred &p, unsigned n)
+{
+    panic_if_not(n <= kLanes32, "gatherU32 over {} elements", n);
+    const auto *bytes = static_cast<const std::uint8_t *>(base);
+    VReg out;
+    std::vector<Addr> addrs;
+    addrs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (!p.active(i))
+            continue;
+        const std::int32_t index = idx.i32(i);
+        std::uint32_t word = 0;
+        std::memcpy(&word, bytes + index, 4);
+        out.setU32(i, word);
+        addrs.push_back(toAddr(bytes + index));
+    }
+    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 4,
+                                       {idx.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::gather64(SiteId site, const std::uint64_t *base,
+                     const VReg &idx, const Pred &p, unsigned n)
+{
+    panic_if_not(n <= kLanes64, "gather64 over {} lanes", n);
+    VReg out;
+    std::vector<Addr> addrs;
+    addrs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (!p.active(i))
+            continue;
+        const std::uint64_t index = idx.u64(i);
+        out.setU64(i, base[index]);
+        addrs.push_back(toAddr(base + index));
+    }
+    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 8,
+                                       {idx.tag, p.tag});
+    return out;
+}
+
+void
+VectorUnit::scatter32(SiteId site, std::int32_t *base, const VReg &idx,
+                      const VReg &value, const Pred &p, unsigned n)
+{
+    panic_if_not(n <= kLanes32, "scatter32 over {} elements", n);
+    std::vector<Addr> addrs;
+    addrs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (!p.active(i))
+            continue;
+        const std::uint32_t index = idx.u32(i);
+        base[index] = value.i32(i);
+        addrs.push_back(toAddr(base + index));
+    }
+    pipeline_.executeIndexed(OpClass::VecScatter, site, addrs, 4,
+                             {idx.tag, value.tag, p.tag});
+}
+
+void
+VectorUnit::scatter64(SiteId site, std::uint64_t *base, const VReg &idx,
+                      const VReg &value, const Pred &p, unsigned n)
+{
+    panic_if_not(n <= kLanes64, "scatter64 over {} lanes", n);
+    std::vector<Addr> addrs;
+    addrs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (!p.active(i))
+            continue;
+        const std::uint64_t index = idx.u64(i);
+        base[index] = value.u64(i);
+        addrs.push_back(toAddr(base + index));
+    }
+    pipeline_.executeIndexed(OpClass::VecScatter, site, addrs, 8,
+                             {idx.tag, value.tag, p.tag});
+}
+
+VReg
+VectorUnit::add32(const VReg &a, const VReg &b)
+{
+    return map32(a, b, [](std::int32_t x, std::int32_t y) {
+        return x + y;
+    });
+}
+
+VReg
+VectorUnit::add32i(const VReg &a, std::int32_t imm)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        out.setI32(i, a.i32(i) + imm);
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
+    return out;
+}
+
+VReg
+VectorUnit::sub32(const VReg &a, const VReg &b)
+{
+    return map32(a, b, [](std::int32_t x, std::int32_t y) {
+        return x - y;
+    });
+}
+
+VReg
+VectorUnit::max32(const VReg &a, const VReg &b)
+{
+    return map32(a, b, [](std::int32_t x, std::int32_t y) {
+        return std::max(x, y);
+    });
+}
+
+VReg
+VectorUnit::min32(const VReg &a, const VReg &b)
+{
+    return map32(a, b, [](std::int32_t x, std::int32_t y) {
+        return std::min(x, y);
+    });
+}
+
+VReg
+VectorUnit::addUnderPred32(const VReg &a, std::int32_t imm, const Pred &p)
+{
+    VReg out = a;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        if (p.active(i))
+            out.setI32(i, a.i32(i) + imm);
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::addvUnderPred32(const VReg &a, const VReg &b, const Pred &p)
+{
+    VReg out = a;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        if (p.active(i))
+            out.setI32(i, a.i32(i) + b.i32(i));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu,
+                                  {a.tag, b.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::sel32(const Pred &p, const VReg &a, const VReg &b)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        out.setI32(i, p.active(i) ? a.i32(i) : b.i32(i));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu,
+                                  {a.tag, b.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::sub64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return x - y;
+    });
+}
+
+VReg
+VectorUnit::min64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return static_cast<std::uint64_t>(
+            std::min(static_cast<std::int64_t>(x),
+                     static_cast<std::int64_t>(y)));
+    });
+}
+
+VReg
+VectorUnit::max64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return static_cast<std::uint64_t>(
+            std::max(static_cast<std::int64_t>(x),
+                     static_cast<std::int64_t>(y)));
+    });
+}
+
+VReg
+VectorUnit::add64i(const VReg &a, std::int64_t imm)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, a.u64(i) + static_cast<std::uint64_t>(imm));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
+    return out;
+}
+
+VReg
+VectorUnit::addUnderPred64(const VReg &a, std::int64_t imm, const Pred &p)
+{
+    VReg out = a;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        if (p.active(i))
+            out.setU64(i, a.u64(i) + static_cast<std::uint64_t>(imm));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::addvUnderPred64(const VReg &a, const VReg &b, const Pred &p)
+{
+    VReg out = a;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        if (p.active(i))
+            out.setU64(i, a.u64(i) + b.u64(i));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu,
+                                  {a.tag, b.tag, p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::sel64(const Pred &p, const VReg &a, const VReg &b)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, p.active(i) ? a.u64(i) : b.u64(i));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu,
+                                  {a.tag, b.tag, p.tag});
+    return out;
+}
+
+Pred
+VectorUnit::cmpeq64(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
+        return x == y;
+    });
+}
+
+Pred
+VectorUnit::cmpne64(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
+        return x != y;
+    });
+}
+
+Pred
+VectorUnit::cmplt64(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
+        return x < y;
+    });
+}
+
+Pred
+VectorUnit::cmpgt64(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
+        return x > y;
+    });
+}
+
+VReg
+VectorUnit::widenLo32to64(const VReg &v)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(v.i32(i))));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
+    return out;
+}
+
+VReg
+VectorUnit::widenHi32to64(const VReg &v)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(v.i32(8 + i))));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
+    return out;
+}
+
+VReg
+VectorUnit::pack64to32(const VReg &lo, const VReg &hi)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i) {
+        out.setI32(i, static_cast<std::int32_t>(lo.i64(i)));
+        out.setI32(8 + i, static_cast<std::int32_t>(hi.i64(i)));
+    }
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {lo.tag, hi.tag});
+    return out;
+}
+
+Pred
+VectorUnit::punpkLo(const Pred &p)
+{
+    Pred out;
+    out.mask = p.mask & 0xFF;
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {p.tag});
+    return out;
+}
+
+Pred
+VectorUnit::punpkHi(const Pred &p)
+{
+    Pred out;
+    out.mask = (p.mask >> 8) & 0xFF;
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {p.tag});
+    return out;
+}
+
+VReg
+VectorUnit::narrow64to32(const VReg &v)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setI32(i, static_cast<std::int32_t>(v.i64(i)));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
+    return out;
+}
+
+std::int64_t
+VectorUnit::reduceMax64(const VReg &v, const Pred &p, unsigned n)
+{
+    pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
+    std::int64_t best = std::numeric_limits<std::int64_t>::min();
+    for (unsigned i = 0; i < n && i < kLanes64; ++i)
+        if (p.active(i))
+            best = std::max(best, v.i64(i));
+    return best;
+}
+
+namespace {
+
+unsigned
+equalBytesFromBottom(std::uint32_t a, std::uint32_t b)
+{
+    unsigned count = 0;
+    while (count < 4 &&
+           ((a >> (8 * count)) & 0xFF) == ((b >> (8 * count)) & 0xFF))
+        ++count;
+    return count;
+}
+
+unsigned
+equalBytesFromTop(std::uint32_t a, std::uint32_t b)
+{
+    unsigned count = 0;
+    while (count < 4 && ((a >> (8 * (3 - count))) & 0xFF) ==
+                            ((b >> (8 * (3 - count))) & 0xFF))
+        ++count;
+    return count;
+}
+
+} // namespace
+
+VReg
+VectorUnit::matchBytes32(const VReg &a, const VReg &b)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        out.setU32(i, equalBytesFromBottom(a.u32(i), b.u32(i)));
+    // Two dependent instructions: byte compare + break/count.
+    const sim::Tag mid =
+        pipeline_.executeOp(OpClass::VecCmp, {a.tag, b.tag});
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {mid});
+    return out;
+}
+
+VReg
+VectorUnit::matchBytes32Rev(const VReg &a, const VReg &b)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes32; ++i)
+        out.setU32(i, equalBytesFromTop(a.u32(i), b.u32(i)));
+    const sim::Tag mid =
+        pipeline_.executeOp(OpClass::VecCmp, {a.tag, b.tag});
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {mid});
+    return out;
+}
+
+VReg
+VectorUnit::ctz64(const VReg &a)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, std::countr_zero(a.u64(i)));
+    // rbit + clz on SVE: two instructions.
+    const sim::Tag mid = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {mid});
+    return out;
+}
+
+VReg
+VectorUnit::clz64(const VReg &a)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, std::countl_zero(a.u64(i)));
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
+    return out;
+}
+
+VReg
+VectorUnit::and64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return x & y;
+    });
+}
+
+VReg
+VectorUnit::or64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return x | y;
+    });
+}
+
+VReg
+VectorUnit::xor64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return x ^ y;
+    });
+}
+
+VReg
+VectorUnit::xnor64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return ~(x ^ y);
+    });
+}
+
+VReg
+VectorUnit::shr64i(const VReg &a, unsigned shift)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, shift >= 64 ? 0 : a.u64(i) >> shift);
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
+    return out;
+}
+
+VReg
+VectorUnit::shl64i(const VReg &a, unsigned shift)
+{
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i)
+        out.setU64(i, shift >= 64 ? 0 : a.u64(i) << shift);
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
+    return out;
+}
+
+VReg
+VectorUnit::add64(const VReg &a, const VReg &b)
+{
+    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
+        return x + y;
+    });
+}
+
+Pred
+VectorUnit::cmpeq32(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
+        return x == y;
+    });
+}
+
+Pred
+VectorUnit::cmpne32(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
+        return x != y;
+    });
+}
+
+Pred
+VectorUnit::cmpgt32(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
+        return x > y;
+    });
+}
+
+Pred
+VectorUnit::cmplt32(const VReg &a, const VReg &b, const Pred &p,
+                    unsigned n)
+{
+    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
+        return x < y;
+    });
+}
+
+Pred
+VectorUnit::pTrue(unsigned n)
+{
+    panic_if_not(n <= 64, "predicate width {} too large", n);
+    Pred out;
+    out.mask = n >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << n) - 1;
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {});
+    return out;
+}
+
+Pred
+VectorUnit::whilelt(std::int64_t i, std::int64_t n, unsigned elems)
+{
+    panic_if_not(elems <= 64, "predicate width {} too large", elems);
+    Pred out;
+    for (unsigned e = 0; e < elems; ++e)
+        out.set(e, i + static_cast<std::int64_t>(e) < n);
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {});
+    return out;
+}
+
+Pred
+VectorUnit::pAnd(const Pred &a, const Pred &b)
+{
+    Pred out;
+    out.mask = a.mask & b.mask;
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {a.tag, b.tag});
+    return out;
+}
+
+Pred
+VectorUnit::pOr(const Pred &a, const Pred &b)
+{
+    Pred out;
+    out.mask = a.mask | b.mask;
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {a.tag, b.tag});
+    return out;
+}
+
+Pred
+VectorUnit::pBic(const Pred &a, const Pred &b)
+{
+    Pred out;
+    out.mask = a.mask & ~b.mask;
+    out.tag = pipeline_.executeOp(OpClass::VecPred, {a.tag, b.tag});
+    return out;
+}
+
+bool
+VectorUnit::anyActive(const Pred &p)
+{
+    pipeline_.executeOp(OpClass::Branch, {p.tag});
+    const bool any = !p.none();
+    if (!any) {
+        // Loop-exit misprediction: the core speculated another
+        // iteration and must redirect.
+        pipeline_.bubble(kMispredictBubble, sim::StallKind::Frontend);
+    }
+    return any;
+}
+
+unsigned
+VectorUnit::countActive(const Pred &p)
+{
+    pipeline_.executeOp(OpClass::VecPred, {p.tag});
+    return p.count();
+}
+
+std::int32_t
+VectorUnit::reduceMax32(const VReg &v, const Pred &p, unsigned n)
+{
+    pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
+    std::int32_t best = std::numeric_limits<std::int32_t>::min();
+    for (unsigned i = 0; i < n && i < kLanes32; ++i)
+        if (p.active(i))
+            best = std::max(best, v.i32(i));
+    return best;
+}
+
+std::int32_t
+VectorUnit::reduceMin32(const VReg &v, const Pred &p, unsigned n)
+{
+    pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
+    std::int32_t best = std::numeric_limits<std::int32_t>::max();
+    for (unsigned i = 0; i < n && i < kLanes32; ++i)
+        if (p.active(i))
+            best = std::min(best, v.i32(i));
+    return best;
+}
+
+std::int64_t
+VectorUnit::reduceAdd32(const VReg &v, const Pred &p, unsigned n)
+{
+    pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
+    std::int64_t sum = 0;
+    for (unsigned i = 0; i < n && i < kLanes32; ++i)
+        if (p.active(i))
+            sum += v.i32(i);
+    return sum;
+}
+
+std::uint64_t
+VectorUnit::scalarLoad(SiteId site, const void *ptr, unsigned bytes)
+{
+    std::uint64_t value = 0;
+    std::memcpy(&value, ptr, std::min(bytes, 8u));
+    pipeline_.executeMem(OpClass::ScalarLoad, site, toAddr(ptr), bytes,
+                         {});
+    return value;
+}
+
+void
+VectorUnit::scalarStore(SiteId site, void *ptr, unsigned bytes)
+{
+    pipeline_.executeMem(OpClass::ScalarStore, site, toAddr(ptr), bytes,
+                         {});
+}
+
+} // namespace quetzal::isa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SVE-like 512-bit vector register and predicate value types.
+ *
+ * A VReg carries both its functional contents (8 x 64-bit lanes, with
+ * 8/16/32/64-bit element views) and its timing tag (the cycle the value
+ * becomes available plus whether a memory instruction produced it).
+ * This is how the ISA facade keeps functional and timing simulation in
+ * lock-step without a register-renaming model.
+ */
+#ifndef QUETZAL_ISA_VREG_HPP
+#define QUETZAL_ISA_VREG_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "sim/pipeline.hpp"
+
+namespace quetzal::isa {
+
+/** Vector register width in bits. */
+inline constexpr unsigned kVlenBits = 512;
+/** 64-bit lanes per register. */
+inline constexpr unsigned kLanes64 = kVlenBits / 64;
+/** 32-bit elements per register. */
+inline constexpr unsigned kLanes32 = kVlenBits / 32;
+/** 8-bit elements per register. */
+inline constexpr unsigned kLanes8 = kVlenBits / 8;
+
+/** A 512-bit vector register value plus its readiness tag. */
+struct VReg
+{
+    std::array<std::uint64_t, kLanes64> words{};
+    sim::Tag tag{};
+
+    // -- 64-bit element view ---------------------------------------
+    std::uint64_t
+    u64(unsigned lane) const
+    {
+        panic_if_not(lane < kLanes64, "lane {} out of range", lane);
+        return words[lane];
+    }
+
+    void
+    setU64(unsigned lane, std::uint64_t value)
+    {
+        panic_if_not(lane < kLanes64, "lane {} out of range", lane);
+        words[lane] = value;
+    }
+
+    std::int64_t i64(unsigned lane) const
+    {
+        return static_cast<std::int64_t>(u64(lane));
+    }
+
+    // -- 32-bit element view ---------------------------------------
+    std::uint32_t
+    u32(unsigned elem) const
+    {
+        panic_if_not(elem < kLanes32, "element {} out of range", elem);
+        return static_cast<std::uint32_t>(
+            words[elem / 2] >> (32 * (elem % 2)));
+    }
+
+    void
+    setU32(unsigned elem, std::uint32_t value)
+    {
+        panic_if_not(elem < kLanes32, "element {} out of range", elem);
+        const unsigned shift = 32 * (elem % 2);
+        std::uint64_t &word = words[elem / 2];
+        word &= ~(std::uint64_t{0xffffffff} << shift);
+        word |= std::uint64_t{value} << shift;
+    }
+
+    std::int32_t i32(unsigned elem) const
+    {
+        return static_cast<std::int32_t>(u32(elem));
+    }
+
+    void
+    setI32(unsigned elem, std::int32_t value)
+    {
+        setU32(elem, static_cast<std::uint32_t>(value));
+    }
+
+    // -- 8-bit element view ----------------------------------------
+    std::uint8_t
+    u8(unsigned elem) const
+    {
+        panic_if_not(elem < kLanes8, "element {} out of range", elem);
+        return static_cast<std::uint8_t>(
+            words[elem / 8] >> (8 * (elem % 8)));
+    }
+
+    void
+    setU8(unsigned elem, std::uint8_t value)
+    {
+        panic_if_not(elem < kLanes8, "element {} out of range", elem);
+        const unsigned shift = 8 * (elem % 8);
+        std::uint64_t &word = words[elem / 8];
+        word &= ~(std::uint64_t{0xff} << shift);
+        word |= std::uint64_t{value} << shift;
+    }
+};
+
+/**
+ * Predicate register: one bit per element (the user supplies the
+ * element count context at each use, as SVE governing predicates do).
+ */
+struct Pred
+{
+    std::uint64_t mask = 0;
+    sim::Tag tag{};
+
+    bool
+    active(unsigned elem) const
+    {
+        panic_if_not(elem < 64, "predicate element {} out of range", elem);
+        return (mask >> elem) & 1;
+    }
+
+    void
+    set(unsigned elem, bool value)
+    {
+        panic_if_not(elem < 64, "predicate element {} out of range", elem);
+        if (value)
+            mask |= std::uint64_t{1} << elem;
+        else
+            mask &= ~(std::uint64_t{1} << elem);
+    }
+
+    /** True when no element is active. */
+    bool none() const { return mask == 0; }
+
+    /** Number of active elements. */
+    unsigned count() const { return std::popcount(mask); }
+};
+
+} // namespace quetzal::isa
+
+#endif // QUETZAL_ISA_VREG_HPP

@@ -1,0 +1,177 @@
+#include "kernels/histogram.hpp"
+
+#include "common/bitutil.hpp"
+#include "isa/scalarunit.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace quetzal::kernels {
+
+using algos::Variant;
+using isa::Pred;
+using isa::VReg;
+
+namespace {
+
+enum Site : std::uint64_t
+{
+    kSiteData = 0x500,
+    kSiteBins = 0x501,
+    kSiteBinsW = 0x502,
+};
+
+std::vector<std::uint64_t>
+histogramRef(const HistogramInput &input)
+{
+    std::vector<std::uint64_t> bins(input.bins, 0);
+    for (std::uint32_t v : input.data)
+        ++bins[v % input.bins];
+    return bins;
+}
+
+std::vector<std::uint64_t>
+histogramBase(const HistogramInput &input, isa::VectorUnit &vpu)
+{
+    isa::BaseUnit bu(vpu.pipeline());
+    std::vector<std::uint64_t> bins(input.bins, 0);
+    for (std::uint32_t v : input.data) {
+        bu.loadInt(kSiteData,
+                   reinterpret_cast<const std::int32_t *>(&v));
+        const std::uint32_t bin = v % input.bins;
+        bu.alu(); // bin index
+        // Read-modify-write of the bin counter (pointer chase).
+        bu.loadInt(kSiteBins,
+                   reinterpret_cast<std::int32_t *>(&bins[bin]));
+        bu.alu();
+        ++bins[bin];
+        bu.storeInt(kSiteBinsW,
+                    reinterpret_cast<std::int32_t *>(&bins[bin]),
+                    static_cast<std::int32_t>(bins[bin]));
+    }
+    return bins;
+}
+
+std::vector<std::uint64_t>
+histogramVec(const HistogramInput &input, isa::VectorUnit &vpu)
+{
+    constexpr unsigned L = isa::kLanes64;
+    std::vector<std::uint64_t> bins(input.bins, 0);
+    const VReg vmask = vpu.dup64(input.bins - 1);
+    for (std::size_t base = 0; base < input.data.size(); base += L) {
+        const unsigned cnt = static_cast<unsigned>(
+            std::min<std::size_t>(L, input.data.size() - base));
+        const Pred p = vpu.whilelt(0, cnt, L);
+        // Load 8 samples (widened), mask to bin indices.
+        VReg idx = vpu.load(kSiteData, input.data.data() + base,
+                            cnt * 4);
+        idx = vpu.and64(vpu.widenLo32to64(idx), vmask);
+        // Gather counters, increment, scatter back. Conflicting lanes
+        // within the vector are resolved by the serialization pass the
+        // real SVE code needs (charged as one extra predicate op).
+        const VReg counters =
+            vpu.gather64(kSiteBins, bins.data(), idx, p, L);
+        const VReg inc = vpu.add64i(counters, 1);
+        vpu.scalarOps(1); // conflict detection (svmatch-style)
+        // Functional fix-up for intra-vector duplicates.
+        for (unsigned l = 0; l < cnt; ++l)
+            ++bins[idx.u64(l)];
+        VReg out = inc;
+        for (unsigned l = 0; l < cnt; ++l)
+            out.setU64(l, bins[idx.u64(l)]);
+        out.tag = inc.tag;
+        vpu.scatter64(kSiteBinsW, bins.data(), idx, out, p, L);
+        // The scatter wrote the already-updated values.
+        for (unsigned l = 0; l < cnt; ++l)
+            bins[idx.u64(l)] = out.u64(l);
+    }
+    return bins;
+}
+
+std::vector<std::uint64_t>
+histogramQz(const HistogramInput &input, isa::VectorUnit &vpu,
+            accel::QzUnit &qz)
+{
+    constexpr unsigned L = isa::kLanes64;
+    fatal_if(input.bins > qz.buffer(accel::QzSel::Buf0)
+                               .capacityElements(
+                                   genomics::ElementSize::Bits64),
+             "histogram bins exceed QBUFFER capacity");
+    // Table lives in QBUFFER 0 (Fig. 8).
+    qz.qzconf(input.bins, 0, genomics::ElementSize::Bits64);
+    std::vector<std::uint64_t> zero(input.bins, 0);
+    qz.stageWords64(accel::QzSel::Buf0, zero);
+
+    const VReg vmask = vpu.dup64(input.bins - 1);
+    const VReg vone = vpu.dup64(1);
+    for (std::size_t base = 0; base < input.data.size(); base += L) {
+        const unsigned cnt = static_cast<unsigned>(
+            std::min<std::size_t>(L, input.data.size() - base));
+        const Pred p = vpu.whilelt(0, cnt, L);
+        VReg idx = vpu.load(kSiteData, input.data.data() + base,
+                            cnt * 4);
+        idx = vpu.and64(vpu.widenLo32to64(idx), vmask);
+        // qzmm<add> reads the counters and adds 1 in one instruction.
+        VReg updated =
+            qz.qzmm(accel::QzOpn::Add, vone, idx, accel::QzSel::Buf0,
+                    p, L);
+        vpu.scalarOps(1); // conflict detection
+        // Functional fix-up for intra-vector duplicates, mirrored into
+        // the buffer by the qzstore below.
+        for (unsigned l = 0; l < cnt; ++l) {
+            const std::uint64_t bin = idx.u64(l);
+            const std::uint64_t fresh =
+                qz.buffer(accel::QzSel::Buf0)
+                    .readElement(bin, genomics::ElementSize::Bits64) +
+                1;
+            updated.setU64(l, fresh);
+            qz.buffer(accel::QzSel::Buf0).writeWord(bin, fresh);
+        }
+        qz.qzstore(updated, idx, accel::QzSel::Buf0, p, L);
+    }
+
+    std::vector<std::uint64_t> bins(input.bins, 0);
+    for (std::uint32_t b = 0; b < input.bins; ++b)
+        bins[b] = qz.buffer(accel::QzSel::Buf0)
+                      .readElement(b, genomics::ElementSize::Bits64);
+    return bins;
+}
+
+} // namespace
+
+HistogramInput
+makeHistogramInput(std::size_t count, std::uint32_t bins,
+                   std::uint64_t seed)
+{
+    fatal_if(!isPowerOf2(bins), "bin count must be a power of two");
+    HistogramInput input;
+    input.bins = bins;
+    input.data.resize(count);
+    Rng rng(seed);
+    for (auto &v : input.data)
+        v = static_cast<std::uint32_t>(rng());
+    return input;
+}
+
+std::vector<std::uint64_t>
+histogram(Variant variant, const HistogramInput &input,
+          isa::VectorUnit *vpu, accel::QzUnit *qz)
+{
+    switch (variant) {
+      case Variant::Ref:
+        return histogramRef(input);
+      case Variant::Base:
+        panic_if_not(vpu != nullptr, "Base histogram needs a VPU");
+        return histogramBase(input, *vpu);
+      case Variant::Vec:
+        panic_if_not(vpu != nullptr, "Vec histogram needs a VPU");
+        return histogramVec(input, *vpu);
+      case Variant::Qz:
+      case Variant::QzC:
+        panic_if_not(vpu != nullptr && qz != nullptr,
+                     "Qz histogram needs a VPU and a QzUnit");
+        return histogramQz(input, *vpu, *qz);
+    }
+    panic("unknown Variant");
+}
+
+} // namespace quetzal::kernels

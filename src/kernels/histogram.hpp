@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Histogram calculation — the paper's representative other-domain
+ * kernel (Section III-E, Fig. 8; evaluated in Fig. 15b).
+ *
+ * The kernel is dominated by indexed read-modify-write of the bin
+ * table. The QUETZAL variant keeps the table in a QBUFFER and updates
+ * it with qzmm<add> + qzstore, replacing the gather/scatter round trip
+ * through the cache hierarchy.
+ */
+#ifndef QUETZAL_KERNELS_HISTOGRAM_HPP
+#define QUETZAL_KERNELS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algos/variant.hpp"
+#include "isa/vectorunit.hpp"
+#include "quetzal/qzunit.hpp"
+
+namespace quetzal::kernels {
+
+/** Histogram problem instance. */
+struct HistogramInput
+{
+    std::vector<std::uint32_t> data; //!< samples
+    std::uint32_t bins = 256;        //!< bin count (power of two)
+};
+
+/** Deterministically generate @p count samples over @p bins bins. */
+HistogramInput makeHistogramInput(std::size_t count,
+                                  std::uint32_t bins = 256,
+                                  std::uint64_t seed = 33);
+
+/**
+ * Compute the histogram with the given variant.
+ * Ref computes untimed; Base/Vec charge the core model; Qz/QzC use the
+ * QBUFFER-resident table.
+ */
+std::vector<std::uint64_t>
+histogram(algos::Variant variant, const HistogramInput &input,
+          isa::VectorUnit *vpu = nullptr, accel::QzUnit *qz = nullptr);
+
+} // namespace quetzal::kernels
+
+#endif // QUETZAL_KERNELS_HISTOGRAM_HPP

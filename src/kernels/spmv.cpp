@@ -1,0 +1,223 @@
+#include "kernels/spmv.hpp"
+
+#include "common/logging.hpp"
+#include "isa/scalarunit.hpp"
+#include "common/rng.hpp"
+
+namespace quetzal::kernels {
+
+using algos::Variant;
+using isa::Pred;
+using isa::VReg;
+
+namespace {
+
+enum Site : std::uint64_t
+{
+    kSiteCol = 0x600,
+    kSiteVal = 0x601,
+    kSiteX = 0x602,
+    kSiteY = 0x603,
+};
+
+std::vector<std::int64_t>
+spmvRef(const CsrMatrix &a, const std::vector<std::int64_t> &x)
+{
+    std::vector<std::int64_t> y(a.rows, 0);
+    for (std::size_t r = 0; r < a.rows; ++r)
+        for (std::uint32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e)
+            y[r] += a.values[e] * x[a.colIdx[e]];
+    return y;
+}
+
+std::vector<std::int64_t>
+spmvBase(const CsrMatrix &a, const std::vector<std::int64_t> &x,
+         isa::VectorUnit &vpu)
+{
+    isa::BaseUnit bu(vpu.pipeline());
+    std::vector<std::int64_t> y(a.rows, 0);
+    for (std::size_t r = 0; r < a.rows; ++r) {
+        bu.cut(); // rows are independent
+        for (std::uint32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1]; ++e) {
+            bu.loadInt(kSiteCol, reinterpret_cast<const std::int32_t *>(
+                                     &a.colIdx[e]));
+            bu.loadInt(kSiteVal, reinterpret_cast<const std::int32_t *>(
+                                     &a.values[e]));
+            // Indirect access to the dense vector.
+            bu.loadInt(kSiteX, reinterpret_cast<const std::int32_t *>(
+                                   &x[a.colIdx[e]]));
+            bu.alu(2); // multiply-accumulate
+            y[r] += a.values[e] * x[a.colIdx[e]];
+            bu.branch();
+        }
+        bu.storeInt(kSiteY, reinterpret_cast<std::int32_t *>(&y[r]),
+                    static_cast<std::int32_t>(y[r]));
+    }
+    return y;
+}
+
+std::vector<std::int64_t>
+spmvVec(const CsrMatrix &a, const std::vector<std::int64_t> &x,
+        isa::VectorUnit &vpu)
+{
+    constexpr unsigned L = isa::kLanes64;
+    std::vector<std::int64_t> y(a.rows, 0);
+    for (std::size_t r = 0; r < a.rows; ++r) {
+        std::int64_t acc = 0;
+        for (std::uint32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1];
+             e += L) {
+            const unsigned cnt =
+                std::min<std::uint32_t>(L, a.rowPtr[r + 1] - e);
+            const Pred p = vpu.whilelt(0, cnt, L);
+            const VReg cols = vpu.widenLo32to64(
+                vpu.load(kSiteCol, a.colIdx.data() + e, cnt * 4));
+            const VReg vals =
+                vpu.load(kSiteVal, a.values.data() + e, cnt * 8);
+            const VReg xs = vpu.gather64(
+                kSiteX,
+                reinterpret_cast<const std::uint64_t *>(x.data()), cols,
+                p, L);
+            VReg prod;
+            for (unsigned l = 0; l < cnt; ++l)
+                prod.setU64(l, vals.u64(l) * xs.u64(l));
+            prod.tag = vpu.pipeline().executeOp(
+                sim::OpClass::VecAlu, {vals.tag, xs.tag});
+            for (unsigned l = 0; l < cnt; ++l)
+                acc += prod.i64(l);
+            vpu.pipeline().executeOp(sim::OpClass::VecReduce,
+                                     {prod.tag});
+        }
+        y[r] = acc;
+        vpu.scalarStore(kSiteY, &y[r], 8);
+    }
+    return y;
+}
+
+std::vector<std::int64_t>
+spmvQz(const CsrMatrix &a, const std::vector<std::int64_t> &x,
+       isa::VectorUnit &vpu, accel::QzUnit &qz)
+{
+    constexpr unsigned L = isa::kLanes64;
+    const std::size_t cap =
+        qz.buffer(accel::QzSel::Buf0)
+            .capacityElements(genomics::ElementSize::Bits64);
+    fatal_if(a.cols > 2 * cap,
+             "SpMV dense vector exceeds both QBUFFERs ({} > {})",
+             a.cols, 2 * cap);
+
+    // Stage the dense vector: first half in buffer 0, rest in buffer 1
+    // (Section VII-F: "stores segments from the input vector").
+    const std::size_t half = std::min(a.cols, cap);
+    qz.qzconf(half, a.cols > half ? a.cols - half : 0,
+              genomics::ElementSize::Bits64);
+    std::vector<std::uint64_t> seg0(
+        reinterpret_cast<const std::uint64_t *>(x.data()),
+        reinterpret_cast<const std::uint64_t *>(x.data()) + half);
+    qz.stageWords64(accel::QzSel::Buf0, seg0);
+    if (a.cols > half) {
+        std::vector<std::uint64_t> seg1(
+            reinterpret_cast<const std::uint64_t *>(x.data()) + half,
+            reinterpret_cast<const std::uint64_t *>(x.data()) + a.cols);
+        qz.stageWords64(accel::QzSel::Buf1, seg1);
+    }
+
+    std::vector<std::int64_t> y(a.rows, 0);
+    const VReg vhalf = vpu.dup64(half);
+    (void)vhalf;
+    for (std::size_t r = 0; r < a.rows; ++r) {
+        std::int64_t acc = 0;
+        for (std::uint32_t e = a.rowPtr[r]; e < a.rowPtr[r + 1];
+             e += L) {
+            const unsigned cnt =
+                std::min<std::uint32_t>(L, a.rowPtr[r + 1] - e);
+            const VReg cols = vpu.widenLo32to64(
+                vpu.load(kSiteCol, a.colIdx.data() + e, cnt * 4));
+            const VReg vals =
+                vpu.load(kSiteVal, a.values.data() + e, cnt * 8);
+            // Split lanes by buffer segment; qzmm<mul> fuses the
+            // indexed read of x with the multiply.
+            Pred lo, hi;
+            VReg idxLo = cols, idxHi = cols;
+            for (unsigned l = 0; l < cnt; ++l) {
+                const bool inLo = cols.u64(l) < half;
+                lo.set(l, inLo);
+                hi.set(l, !inLo);
+                if (!inLo)
+                    idxHi.setU64(l, cols.u64(l) - half);
+            }
+            lo.tag = cols.tag;
+            hi.tag = cols.tag;
+            vpu.scalarOps(1); // segment select
+            VReg prod = vpu.dup64(0);
+            if (lo.count() > 0)
+                prod = qz.qzmm(accel::QzOpn::Mul, vals, idxLo,
+                               accel::QzSel::Buf0, lo, L);
+            if (hi.count() > 0) {
+                const VReg prodHi =
+                    qz.qzmm(accel::QzOpn::Mul, vals, idxHi,
+                            accel::QzSel::Buf1, hi, L);
+                prod = vpu.sel64(hi, prodHi, prod);
+            }
+            for (unsigned l = 0; l < cnt; ++l)
+                acc += prod.i64(l);
+            vpu.pipeline().executeOp(sim::OpClass::VecReduce,
+                                     {prod.tag});
+        }
+        y[r] = acc;
+        vpu.scalarStore(kSiteY, &y[r], 8);
+    }
+    return y;
+}
+
+} // namespace
+
+CsrMatrix
+makeSparseMatrix(std::size_t rows, std::size_t cols, unsigned nnzPerRow,
+                 std::uint64_t seed)
+{
+    fatal_if(cols == 0 || rows == 0, "matrix must be non-empty");
+    CsrMatrix a;
+    a.rows = rows;
+    a.cols = cols;
+    a.rowPtr.resize(rows + 1, 0);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const unsigned nnz =
+            1 + static_cast<unsigned>(rng.below(2 * nnzPerRow));
+        for (unsigned e = 0; e < nnz; ++e) {
+            a.colIdx.push_back(
+                static_cast<std::uint32_t>(rng.below(cols)));
+            a.values.push_back(rng.range(-50, 50));
+        }
+        a.rowPtr[r + 1] = static_cast<std::uint32_t>(a.colIdx.size());
+    }
+    return a;
+}
+
+std::vector<std::int64_t>
+spmv(Variant variant, const CsrMatrix &matrix,
+     const std::vector<std::int64_t> &x, isa::VectorUnit *vpu,
+     accel::QzUnit *qz)
+{
+    fatal_if(x.size() != matrix.cols,
+             "dense vector length {} != matrix cols {}", x.size(),
+             matrix.cols);
+    switch (variant) {
+      case Variant::Ref:
+        return spmvRef(matrix, x);
+      case Variant::Base:
+        panic_if_not(vpu != nullptr, "Base SpMV needs a VPU");
+        return spmvBase(matrix, x, *vpu);
+      case Variant::Vec:
+        panic_if_not(vpu != nullptr, "Vec SpMV needs a VPU");
+        return spmvVec(matrix, x, *vpu);
+      case Variant::Qz:
+      case Variant::QzC:
+        panic_if_not(vpu != nullptr && qz != nullptr,
+                     "Qz SpMV needs a VPU and a QzUnit");
+        return spmvQz(matrix, x, *vpu, *qz);
+    }
+    panic("unknown Variant");
+}
+
+} // namespace quetzal::kernels

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sparse matrix-vector multiplication (CSR), the second other-domain
+ * kernel of Fig. 15b.
+ *
+ * SpMV's bottleneck is the gather of x[colidx]; the QUETZAL variant
+ * stages the dense vector in the QBUFFERs and fuses the indexed read
+ * with the multiply via qzmm<mul>.
+ */
+#ifndef QUETZAL_KERNELS_SPMV_HPP
+#define QUETZAL_KERNELS_SPMV_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/variant.hpp"
+#include "isa/vectorunit.hpp"
+#include "quetzal/qzunit.hpp"
+
+namespace quetzal::kernels {
+
+/** CSR matrix over int64 values. */
+struct CsrMatrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::uint32_t> rowPtr; //!< rows + 1 entries
+    std::vector<std::uint32_t> colIdx;
+    std::vector<std::int64_t> values;
+
+    std::size_t nnz() const { return values.size(); }
+};
+
+/** Deterministic sparse matrix with ~nnzPerRow entries per row. */
+CsrMatrix makeSparseMatrix(std::size_t rows, std::size_t cols,
+                           unsigned nnzPerRow, std::uint64_t seed = 55);
+
+/** y = A * x with the given variant (semantics as histogram()). */
+std::vector<std::int64_t>
+spmv(algos::Variant variant, const CsrMatrix &matrix,
+     const std::vector<std::int64_t> &x, isa::VectorUnit *vpu = nullptr,
+     accel::QzUnit *qz = nullptr);
+
+} // namespace quetzal::kernels
+
+#endif // QUETZAL_KERNELS_SPMV_HPP

@@ -1,0 +1,76 @@
+#include "quetzal/area_model.hpp"
+
+#include "common/format.hpp"
+
+#include "common/logging.hpp"
+
+namespace quetzal::accel {
+
+namespace {
+
+/**
+ * Fixed (port-independent) logic: data encoder, access control,
+ * count ALUs, write logic. Anchored so that the 1-port and 8-port
+ * points land on the paper's Table III values (0.013 / 0.097 mm^2).
+ */
+constexpr double kFixedLogicMm2 = 0.001;
+/** One replicated SRAM read-port copy of both 8 KB QBUFFERs. */
+constexpr double kPerPortMm2 = 0.012;
+
+/** Power follows the same replication structure (anchor: 746 uW @8P). */
+constexpr double kFixedLogicMw = 0.026;
+constexpr double kPerPortMw = 0.090;
+
+} // namespace
+
+AreaPowerEstimate
+estimateAreaPower(unsigned readPorts)
+{
+    fatal_if(readPorts == 0 || readPorts > 8,
+             "QUETZAL supports 1..8 read ports, got {}", readPorts);
+    AreaPowerEstimate est;
+    est.config = qformat("QZ_{}P", readPorts);
+    est.readPorts = readPorts;
+    est.areaMm2 = kFixedLogicMm2 + kPerPortMm2 * readPorts;
+    est.powerMw = kFixedLogicMw + kPerPortMw * readPorts;
+    est.corePercent = 100.0 * est.areaMm2 / A64fxReference::coreAreaMm2;
+    est.socPercent = 100.0 * est.areaMm2 * A64fxReference::socCores /
+                     A64fxReference::socAreaMm2;
+    sim::QuetzalParams params;
+    params.readPorts = readPorts;
+    est.readLatency = params.readLatency();
+    return est;
+}
+
+std::vector<AreaPowerEstimate>
+tableIiiConfigs()
+{
+    return {estimateAreaPower(1), estimateAreaPower(2),
+            estimateAreaPower(4), estimateAreaPower(8)};
+}
+
+std::vector<AcceleratorRow>
+publishedAccelerators()
+{
+    // Published numbers from the paper's Table IV (areas already
+    // scaled to 7 nm there).
+    return {
+        {"GenASM", "ASIC", 32, 1.37, 2043.8, },
+        {"WFAsic (w/ backtrack)", "ASIC", 1, 0.45, 61.2},
+        {"WFAsic (no backtrack)", "ASIC", 1, 0.45, 136.1},
+        {"GenDP", "ASIC", 64, 5.82, 296.8},
+        {"Darwin", "ASIC", 64, 5.06, 3469.1},
+    };
+}
+
+double
+gcups(std::uint64_t dpCells, std::uint64_t cycles, double clockGhz)
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(cycles) / (clockGhz * 1e9);
+    return static_cast<double>(dpCells) / seconds / 1e9;
+}
+
+} // namespace quetzal::accel

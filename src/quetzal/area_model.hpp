@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytic 7 nm area/power model for QUETZAL configurations
+ * (paper Table III) and the accelerator comparison (Table IV).
+ *
+ * The paper's numbers come from Synopsys ICC2 place-and-route; we
+ * reproduce them with an SRAM-macro scaling model: each added read
+ * port replicates the SRAM array (data-replication multi-porting,
+ * Section IV-B1), so area and power grow close to linearly in the
+ * port count on top of a fixed logic overhead (encoder, access
+ * control, count ALUs). Constants are anchored to the paper's QZ_8P
+ * figures (0.097 mm^2, 746 uW, 1.41% of an A64FX SoC).
+ */
+#ifndef QUETZAL_QUETZAL_AREA_MODEL_HPP
+#define QUETZAL_QUETZAL_AREA_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+
+namespace quetzal::accel {
+
+/** Area/power estimate for one QUETZAL configuration. */
+struct AreaPowerEstimate
+{
+    std::string config;      //!< "QZ_1P" .. "QZ_8P"
+    unsigned readPorts;
+    double areaMm2;          //!< total QUETZAL area, both QBUFFERs
+    double powerMw;          //!< total power
+    double corePercent;      //!< overhead vs one A64FX core
+    double socPercent;       //!< overhead vs the A64FX SoC (48 cores)
+    unsigned readLatency;    //!< cycles, 8/ports + 1
+};
+
+/** Reference A64FX geometry used for the overhead columns. */
+struct A64fxReference
+{
+    static constexpr double coreAreaMm2 = 2.79; //!< one core, 7 nm
+    static constexpr unsigned socCores = 48;
+    static constexpr double socAreaMm2 = 331.0; //!< compute region
+};
+
+/** Estimate area/power for a port count (1, 2, 4, or 8). */
+AreaPowerEstimate estimateAreaPower(unsigned readPorts);
+
+/** All four Table III configurations. */
+std::vector<AreaPowerEstimate> tableIiiConfigs();
+
+/** One row of the Table IV accelerator comparison. */
+struct AcceleratorRow
+{
+    std::string study;   //!< "QUETZAL", "GenASM", ...
+    std::string device;  //!< "CPU" or "ASIC"
+    unsigned numPes;
+    double areaMm2;      //!< scaled to 7 nm
+    double pgcups;       //!< peak GCUPS
+    double
+    pgcupsPerMm2() const
+    {
+        return areaMm2 > 0 ? pgcups / areaMm2 : 0.0;
+    }
+};
+
+/**
+ * Published accelerator reference rows (GenASM, WFAsic with/without
+ * backtracking, GenDP, Darwin), areas scaled to 7 nm as in the paper.
+ */
+std::vector<AcceleratorRow> publishedAccelerators();
+
+/**
+ * Compute GCUPS (giga cell-updates per second) from a simulated run:
+ * DP-cells the algorithm logically updates divided by wall time at
+ * the simulated clock.
+ */
+double gcups(std::uint64_t dpCells, std::uint64_t cycles,
+             double clockGhz);
+
+/** Equivalent DP-cell count of one alignment of an n x m pair. */
+inline std::uint64_t
+dpCellsClassic(std::uint64_t n, std::uint64_t m)
+{
+    return n * m;
+}
+
+} // namespace quetzal::accel
+
+#endif // QUETZAL_QUETZAL_AREA_MODEL_HPP

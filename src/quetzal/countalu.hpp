@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Count ALU: the qzcount functional unit (paper Section IV-D, Fig. 11).
+ *
+ * Counts consecutive matching elements between two 64-bit segments:
+ * (1) bitwise XNOR marks matching bits, (2) trailing-ones count finds
+ * the run of consecutive matching bits from bit 0, (3) a shift by
+ * log2(element bits) converts matching bits to whole matching elements.
+ */
+#ifndef QUETZAL_QUETZAL_COUNTALU_HPP
+#define QUETZAL_QUETZAL_COUNTALU_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "genomics/encoding.hpp"
+
+namespace quetzal::accel {
+
+/** Hardware model of one count-ALU instance (one per 64-bit lane). */
+class CountAlu
+{
+  public:
+    /** Pipeline depth in cycles (xnor / count / shift stages). */
+    static constexpr unsigned kPipelineDepth = 3;
+
+    /**
+     * Number of consecutive matching elements between segments
+     * @p a and @p b at @p size granularity, counted from bit 0.
+     */
+    static unsigned
+    count(std::uint64_t a, std::uint64_t b, genomics::ElementSize size)
+    {
+        const std::uint64_t matched = ~(a ^ b);          // stage 1: xnor
+        const int trailing = countTrailingOnesOf(matched); // stage 2
+        return static_cast<unsigned>(trailing) >> shiftFor(size); // 3
+    }
+
+    /**
+     * Reverse count: consecutive matching elements counted from the
+     * top of the segment downwards. The mirror of count() — a bit-
+     * reversed input into the same trailing-ones tree — needed by
+     * BiWFA's reverse wavefront extension (the paper evaluates BiWFA;
+     * its hardware counts runs in both directions, see DESIGN.md).
+     */
+    static unsigned
+    countReverse(std::uint64_t a, std::uint64_t b,
+                 genomics::ElementSize size)
+    {
+        const std::uint64_t matched = ~(a ^ b);
+        const int leading = std::countl_one(matched);
+        return static_cast<unsigned>(leading) >> shiftFor(size);
+    }
+
+    /** Shift amount per element size: 2-bit -> 1, 8-bit -> 3, 64 -> 6. */
+    static unsigned
+    shiftFor(genomics::ElementSize size)
+    {
+        switch (size) {
+          case genomics::ElementSize::Bits2:
+            return 1;
+          case genomics::ElementSize::Bits8:
+            return 3;
+          default:
+            return 6;
+        }
+    }
+
+    /** Elements per 64-bit segment at @p size granularity. */
+    static unsigned
+    elementsPerSegment(genomics::ElementSize size)
+    {
+        return 64 / genomics::bitsPerElement(size);
+    }
+
+  private:
+    static int
+    countTrailingOnesOf(std::uint64_t value)
+    {
+        return std::countr_one(value);
+    }
+};
+
+} // namespace quetzal::accel
+
+#endif // QUETZAL_QUETZAL_COUNTALU_HPP

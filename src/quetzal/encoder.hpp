@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Data encoder: hardware model of the unit feeding qzencode
+ * (paper Section IV-A, Fig. 9a/b).
+ *
+ * Receives a 512-bit vector of characters from the VRF, extracts ASCII
+ * bits 1 and 2 of each character, and packs the resulting 2-bit codes
+ * into a 128-bit vector (two 64-bit segments) destined for a QBUFFER.
+ */
+#ifndef QUETZAL_QUETZAL_ENCODER_HPP
+#define QUETZAL_QUETZAL_ENCODER_HPP
+
+#include <cstdint>
+#include <utility>
+
+#include "genomics/encoding.hpp"
+#include "isa/vreg.hpp"
+
+namespace quetzal::accel {
+
+/** The static bit-encoding unit. */
+class DataEncoder
+{
+  public:
+    /**
+     * Encode the 64 characters of @p chars into two 64-bit segments of
+     * packed 2-bit codes (segA = chars 0..31, segB = chars 32..63).
+     */
+    static std::pair<std::uint64_t, std::uint64_t>
+    encode(const isa::VReg &chars)
+    {
+        std::uint64_t segA = 0, segB = 0;
+        for (unsigned i = 0; i < 32; ++i) {
+            segA |= std::uint64_t{genomics::encodeBase2(
+                        static_cast<char>(chars.u8(i)))}
+                    << (2 * i);
+            segB |= std::uint64_t{genomics::encodeBase2(
+                        static_cast<char>(chars.u8(32 + i)))}
+                    << (2 * i);
+        }
+        return {segA, segB};
+    }
+};
+
+} // namespace quetzal::accel
+
+#endif // QUETZAL_QUETZAL_ENCODER_HPP

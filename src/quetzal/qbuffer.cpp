@@ -1,0 +1,162 @@
+#include "quetzal/qbuffer.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace quetzal::accel {
+
+QBuffer::QBuffer(const sim::QuetzalParams &params)
+    : params_(params), storage_(params.bufferBytes / 8, 0)
+{
+    fatal_if(params.bufferBytes % 8 != 0,
+             "QBUFFER size must be a multiple of the 64-bit word");
+    fatal_if(params.banks == 0 || params.readPorts == 0,
+             "QBUFFER needs at least one bank and one read port");
+}
+
+unsigned
+QBuffer::writeEncodedPair(std::size_t wordIdx, std::uint64_t segA,
+                          std::uint64_t segB)
+{
+    panic_if_not(wordIdx + 1 < storage_.size(),
+                 "encoded write pair at {} beyond QBUFFER of {} words",
+                 wordIdx, storage_.size());
+    storage_[wordIdx] = segA;
+    storage_[wordIdx + 1] = segB;
+    return 1;
+}
+
+void
+QBuffer::writeWord(std::size_t wordIdx, std::uint64_t value)
+{
+    panic_if_not(wordIdx < storage_.size(),
+                 "word write at {} beyond QBUFFER of {} words", wordIdx,
+                 storage_.size());
+    storage_[wordIdx] = value;
+}
+
+std::uint64_t
+QBuffer::readWord(std::size_t wordIdx) const
+{
+    panic_if_not(wordIdx < storage_.size(),
+                 "word read at {} beyond QBUFFER of {} words", wordIdx,
+                 storage_.size());
+    return storage_[wordIdx];
+}
+
+void
+QBuffer::writeElement(std::size_t elemIdx, std::uint64_t value,
+                      ElementSize size)
+{
+    const unsigned ebits = genomics::bitsPerElement(size);
+    const std::size_t bit = elemIdx * ebits;
+    const std::size_t word = bit / 64;
+    panic_if_not(word < storage_.size(),
+                 "element write at {} beyond QBUFFER", elemIdx);
+    storage_[word] =
+        insertBits(storage_[word], bit % 64, ebits, value);
+}
+
+unsigned
+QBuffer::writeDirect(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> elems,
+    ElementSize size)
+{
+    const unsigned ebits = genomics::bitsPerElement(size);
+    std::vector<unsigned> perBank(params_.banks, 0);
+    for (const auto &[idx, value] : elems) {
+        writeElement(idx, value, size);
+        const std::size_t word = idx * ebits / 64;
+        ++perBank[bankOf(word)];
+    }
+    unsigned worst = 0;
+    for (unsigned count : perBank)
+        worst = std::max(worst, count);
+    return std::max(worst, 1u);
+}
+
+std::uint64_t
+QBuffer::readElement(std::size_t elemIdx, ElementSize size) const
+{
+    return genomics::extractElement(storage_, elemIdx, size);
+}
+
+std::uint64_t
+QBuffer::readWindow64(std::size_t elemIdx, ElementSize size) const
+{
+    const unsigned ebits = genomics::bitsPerElement(size);
+    const std::size_t bit = elemIdx * ebits;
+    const std::size_t word = bit / 64;
+    const unsigned offset = static_cast<unsigned>(bit % 64);
+    panic_if_not(word < storage_.size(),
+                 "window read at element {} beyond QBUFFER", elemIdx);
+
+    // Access logic: fetch two consecutive SRAM words (W1, W2) ...
+    const std::uint64_t w1 = storage_[word];
+    const std::uint64_t w2 =
+        word + 1 < storage_.size() ? storage_[word + 1] : 0;
+    // ... then the slicing logic extracts offset..offset+63 and packs.
+    if (offset == 0)
+        return w1;
+    return (w1 >> offset) | (w2 << (64 - offset));
+}
+
+std::uint64_t
+QBuffer::readWindow64Ending(std::size_t elemIdx, ElementSize size) const
+{
+    const unsigned ebits = genomics::bitsPerElement(size);
+    const std::int64_t endBit =
+        static_cast<std::int64_t>((elemIdx + 1) * ebits);
+    const std::int64_t startBit = endBit - 64;
+    if (startBit >= 0) {
+        const std::size_t word = static_cast<std::size_t>(startBit) / 64;
+        const unsigned offset =
+            static_cast<unsigned>(static_cast<std::size_t>(startBit) % 64);
+        panic_if_not(word < storage_.size(),
+                     "reverse window at element {} beyond QBUFFER",
+                     elemIdx);
+        const std::uint64_t w1 = storage_[word];
+        const std::uint64_t w2 =
+            word + 1 < storage_.size() ? storage_[word + 1] : 0;
+        if (offset == 0)
+            return w1;
+        return (w1 >> offset) | (w2 << (64 - offset));
+    }
+    // Window underruns the buffer start: real elements occupy the top
+    // bits, the bottom pads with zeros.
+    panic_if_not(!storage_.empty(), "reverse window on empty QBUFFER");
+    const unsigned pad = static_cast<unsigned>(-startBit);
+    const std::uint64_t w1 = storage_[0];
+    if (pad >= 64)
+        return 0;
+    return w1 << pad;
+}
+
+unsigned
+QBuffer::vectorReadCycles(unsigned requests) const
+{
+    if (requests == 0)
+        return 1;
+    return static_cast<unsigned>(
+        divCeil(requests, params_.readPorts) + 1);
+}
+
+void
+QBuffer::clear()
+{
+    std::fill(storage_.begin(), storage_.end(), 0);
+}
+
+void
+QBuffer::restore(const std::vector<std::uint64_t> &snapshot)
+{
+    panic_if_not(snapshot.size() == storage_.size(),
+                 "QBUFFER snapshot size mismatch: {} vs {}",
+                 snapshot.size(), storage_.size());
+    storage_ = snapshot;
+}
+
+} // namespace quetzal::accel

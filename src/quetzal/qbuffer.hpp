@@ -1,0 +1,122 @@
+/**
+ * @file
+ * QBUFFER: the scratchpad-style buffer attached to the VPU
+ * (paper Section IV-B, Fig. 9c).
+ *
+ * Geometry: 8 KB organized as 64-bit SRAM words across 8 banks (one per
+ * 64-bit VPU lane), words interleaved across banks like the VRF. The
+ * structure is direct-mapped and index-addressed (no tags), supports
+ * 2-/8-/64-bit element granularities including unaligned sub-word
+ * reads (the read logic fetches two consecutive SRAM words and slices,
+ * Fig. 10), and is multi-ported via data replication: a full-vector
+ * read of R requests takes ceil(R / ports) + 1 cycles.
+ */
+#ifndef QUETZAL_QUETZAL_QBUFFER_HPP
+#define QUETZAL_QUETZAL_QBUFFER_HPP
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "genomics/encoding.hpp"
+#include "sim/params.hpp"
+
+namespace quetzal::accel {
+
+using genomics::ElementSize;
+
+/** One QBUFFER instance (hardware model). */
+class QBuffer
+{
+  public:
+    explicit QBuffer(const sim::QuetzalParams &params);
+
+    /** Total 64-bit SRAM words. */
+    std::size_t words() const { return storage_.size(); }
+
+    /** Elements the buffer can hold at @p size granularity. */
+    std::size_t
+    capacityElements(ElementSize size) const
+    {
+        return words() * (64 / genomics::bitsPerElement(size));
+    }
+
+    /**
+     * Encoded-mode write (from the data encoder): stores a 128-bit
+     * vector as two consecutive words starting at @p wordIdx.
+     * Single-cycle (Section IV-B2).
+     * @return cycles taken (always 1).
+     */
+    unsigned writeEncodedPair(std::size_t wordIdx, std::uint64_t segA,
+                              std::uint64_t segB);
+
+    /** Write one raw 64-bit word (used when filling 64-bit data). */
+    void writeWord(std::size_t wordIdx, std::uint64_t value);
+
+    /** Read one raw 64-bit word. */
+    std::uint64_t readWord(std::size_t wordIdx) const;
+
+    /**
+     * Direct-mode write: element (index, value) pairs land in the SRAM
+     * column selected by each index; concurrent writes to the same bank
+     * serialize (Section IV-B2: all-same-bank = 8 cycles).
+     * @return cycles = worst per-bank request count.
+     */
+    unsigned writeDirect(
+        std::span<const std::pair<std::uint64_t, std::uint64_t>> elems,
+        ElementSize size);
+
+    /** Read the element at @p elemIdx with @p size granularity. */
+    std::uint64_t readElement(std::size_t elemIdx, ElementSize size) const;
+
+    /**
+     * Read a full 64-bit window starting at element @p elemIdx — the
+     * unaligned read-logic path (Fig. 10): two consecutive SRAM words
+     * are fetched, sliced at the element offset, and packed.
+     */
+    std::uint64_t readWindow64(std::size_t elemIdx, ElementSize size) const;
+
+    /**
+     * Read the 64-bit window whose top element slot is @p elemIdx (the
+     * reverse-direction unaligned read used by BiWFA's reverse
+     * extension). Elements below the start of the buffer read as zero.
+     */
+    std::uint64_t readWindow64Ending(std::size_t elemIdx,
+                                     ElementSize size) const;
+
+    /**
+     * Cycles for a vector read of @p requests lane requests:
+     * ceil(requests / readPorts) + 1 (the +1 is the slicing stage,
+     * Section IV-C1).
+     */
+    unsigned vectorReadCycles(unsigned requests) const;
+
+    /** Bank of SRAM word @p wordIdx (interleaved mapping). */
+    unsigned bankOf(std::size_t wordIdx) const
+    {
+        return static_cast<unsigned>(wordIdx % params_.banks);
+    }
+
+    const sim::QuetzalParams &params() const { return params_; }
+
+    /** Zero the storage (context-switch restore testing). */
+    void clear();
+
+    /** Architectural state snapshot (context switches, Section IV-E). */
+    std::vector<std::uint64_t> save() const { return storage_; }
+    /** Restore a snapshot taken with save(). */
+    void restore(const std::vector<std::uint64_t> &snapshot);
+
+  private:
+    /** Write @p value into the element slot, read-modify-write. */
+    void writeElement(std::size_t elemIdx, std::uint64_t value,
+                      ElementSize size);
+
+    sim::QuetzalParams params_;
+    std::vector<std::uint64_t> storage_;
+};
+
+} // namespace quetzal::accel
+
+#endif // QUETZAL_QUETZAL_QBUFFER_HPP

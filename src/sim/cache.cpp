@@ -1,0 +1,103 @@
+#include "sim/cache.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace quetzal::sim {
+
+Cache::Cache(std::string name, const CacheParams &params)
+    : params_(params), stats_(std::move(name))
+{
+    fatal_if(params.lineBytes == 0 || !isPowerOf2(params.lineBytes),
+             "cache line size must be a power of two");
+    fatal_if(params.associativity == 0, "associativity must be positive");
+    const std::uint64_t lines = params.sizeBytes / params.lineBytes;
+    fatal_if(lines % params.associativity != 0,
+             "cache size {} not divisible into {}-way sets",
+             params.sizeBytes, params.associativity);
+    numSets_ = lines / params.associativity;
+    ways_.resize(lines);
+    hits_ = &stats_.stat("hits", "demand accesses that hit");
+    misses_ = &stats_.stat("misses", "demand accesses that missed");
+}
+
+Cache::Way *
+Cache::find(std::uint64_t line)
+{
+    const std::size_t set = setOf(line);
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        Way &way = ways_[set * params_.associativity + w];
+        if (way.valid && way.tag == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::find(std::uint64_t line) const
+{
+    return const_cast<Cache *>(this)->find(line);
+}
+
+Cache::Way &
+Cache::victim(std::uint64_t line)
+{
+    const std::size_t set = setOf(line);
+    Way *lru = &ways_[set * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        Way &way = ways_[set * params_.associativity + w];
+        if (!way.valid)
+            return way;
+        if (way.lastUse < lru->lastUse)
+            lru = &way;
+    }
+    return *lru;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++useClock_;
+    const std::uint64_t line = lineOf(addr);
+    if (Way *way = find(line)) {
+        way->lastUse = useClock_;
+        ++*hits_;
+        return true;
+    }
+    ++*misses_;
+    Way &way = victim(line);
+    way.valid = true;
+    way.tag = line;
+    way.lastUse = useClock_;
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return find(lineOf(addr)) != nullptr;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    ++useClock_;
+    const std::uint64_t line = lineOf(addr);
+    if (Way *way = find(line)) {
+        way->lastUse = useClock_;
+        return;
+    }
+    Way &way = victim(line);
+    way.valid = true;
+    way.tag = line;
+    way.lastUse = useClock_;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &way : ways_)
+        way.valid = false;
+}
+
+} // namespace quetzal::sim

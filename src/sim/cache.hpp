@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tag-only set-associative cache timing model with LRU replacement.
+ *
+ * Functional data lives in host memory (the algorithms operate on their
+ * real arrays); the cache model only tracks which lines would be
+ * resident, gem5-classic style, so timing and functional state stay
+ * decoupled.
+ */
+#ifndef QUETZAL_SIM_CACHE_HPP
+#define QUETZAL_SIM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/params.hpp"
+
+namespace quetzal::sim {
+
+/** Physical-address alias; we use host pointers as addresses. */
+using Addr = std::uint64_t;
+
+/** A set-associative, LRU, tag-only cache. */
+class Cache
+{
+  public:
+    /**
+     * @param name stat-group name, e.g. "l1d".
+     * @param params geometry and latency.
+     */
+    Cache(std::string name, const CacheParams &params);
+
+    /**
+     * Probe and update the cache for a (timing) access.
+     * @return true on hit. On miss the line is filled.
+     */
+    bool access(Addr addr);
+
+    /** Probe without fill (used by the prefetcher to test residency). */
+    bool contains(Addr addr) const;
+
+    /** Insert a line without counting it as a demand access. */
+    void fill(Addr addr);
+
+    /** Drop all lines and leave stats intact. */
+    void invalidateAll();
+
+    unsigned loadToUse() const { return params_.loadToUse; }
+    unsigned lineBytes() const { return params_.lineBytes; }
+
+    std::uint64_t hits() const { return hits_->value(); }
+    std::uint64_t misses() const { return misses_->value(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t lineOf(Addr addr) const { return addr / params_.lineBytes; }
+    std::size_t setOf(std::uint64_t line) const { return line % numSets_; }
+
+    /** Find the way holding @p line in its set, or nullptr. */
+    Way *find(std::uint64_t line);
+    const Way *find(std::uint64_t line) const;
+
+    /** Victim selection: invalid way first, else LRU. */
+    Way &victim(std::uint64_t line);
+
+    CacheParams params_;
+    std::size_t numSets_;
+    std::vector<Way> ways_;       //!< numSets_ x associativity
+    std::uint64_t useClock_ = 0;  //!< LRU timestamp source
+
+    StatGroup stats_;
+    Stat *hits_;
+    Stat *misses_;
+};
+
+} // namespace quetzal::sim
+
+#endif // QUETZAL_SIM_CACHE_HPP

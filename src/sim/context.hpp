@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SimContext: one simulated core's worth of state — memory hierarchy
+ * plus pipeline — bundled for convenient construction by algorithm
+ * runners and tests.
+ */
+#ifndef QUETZAL_SIM_CONTEXT_HPP
+#define QUETZAL_SIM_CONTEXT_HPP
+
+#include "sim/memsystem.hpp"
+#include "sim/multicore.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/params.hpp"
+
+namespace quetzal::sim {
+
+/** A fresh simulated core. */
+class SimContext
+{
+  public:
+    explicit SimContext(const SystemParams &params = SystemParams::baseline())
+        : params_(params), mem_(params), pipeline_(params, mem_)
+    {}
+
+    Pipeline &pipeline() { return pipeline_; }
+    MemorySystem &mem() { return mem_; }
+    const SystemParams &params() const { return params_; }
+
+    /** Execution summary for the multicore composition model. */
+    CoreDemand
+    demand() const
+    {
+        return CoreDemand{pipeline_.totalCycles(), mem_.dramBytes()};
+    }
+
+  private:
+    SystemParams params_;
+    MemorySystem mem_;
+    Pipeline pipeline_;
+};
+
+} // namespace quetzal::sim
+
+#endif // QUETZAL_SIM_CONTEXT_HPP

@@ -1,0 +1,56 @@
+#include "sim/memsystem.hpp"
+
+#include <algorithm>
+
+namespace quetzal::sim {
+
+MemorySystem::MemorySystem(const SystemParams &params)
+    : params_(params), l1d_("l1d", params.l1d), l2_("l2", params.l2),
+      l1Prefetcher_(params.prefetcher, l1d_), stats_("mem")
+{
+    requests_ = &stats_.stat("requests", "demand requests to L1D");
+    l2Requests_ = &stats_.stat("l2_requests", "requests that reached L2");
+    dramRequests_ = &stats_.stat("dram_requests",
+                                 "requests that reached DRAM");
+    dramBytes_ = &stats_.stat("dram_bytes", "bytes fetched from DRAM");
+}
+
+unsigned
+MemorySystem::accessLine(std::uint64_t pc, Addr addr)
+{
+    ++*requests_;
+    l1Prefetcher_.observe(pc, addr);
+    if (l1d_.access(addr))
+        return l1d_.loadToUse();
+
+    ++*l2Requests_;
+    if (l2_.access(addr)) {
+        l1d_.fill(addr);
+        return l2_.loadToUse();
+    }
+
+    ++*dramRequests_;
+    *dramBytes_ += l2_.lineBytes();
+    l2_.fill(addr);
+    l1d_.fill(addr);
+    return params_.dram.latencyCycles;
+}
+
+unsigned
+MemorySystem::access(std::uint64_t pc, Addr addr, unsigned bytes,
+                     bool write)
+{
+    // Stores are write-allocate and, for timing purposes, behave like
+    // loads (the LSQ hides store latency; the occupancy cost is modeled
+    // in the pipeline).
+    (void)write;
+    const unsigned line = l1d_.lineBytes();
+    unsigned worst = 0;
+    const Addr first = addr / line;
+    const Addr last = (addr + std::max(1u, bytes) - 1) / line;
+    for (Addr l = first; l <= last; ++l)
+        worst = std::max(worst, accessLine(pc, l * line));
+    return worst;
+}
+
+} // namespace quetzal::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Two-level cache hierarchy plus DRAM: the per-core view of the memory
+ * system from Table I (L1D 64 KB / L2 8 MB shared / 4-channel HBM2).
+ *
+ * Returns load-to-use latencies for timing and counts requests and DRAM
+ * traffic; DRAM byte counts feed the multicore bandwidth-contention
+ * model (Fig. 13b) and the memory-request-reduction results (Fig. 14a).
+ */
+#ifndef QUETZAL_SIM_MEMSYSTEM_HPP
+#define QUETZAL_SIM_MEMSYSTEM_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "sim/cache.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace quetzal::sim {
+
+/** Per-core memory hierarchy timing model. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SystemParams &params);
+
+    /**
+     * Perform one (timing) access.
+     *
+     * @param pc static instruction site, used by the stride prefetcher.
+     * @param addr host address standing in for the physical address.
+     * @param bytes access footprint; accesses spanning multiple lines
+     *              probe each line and return the worst latency.
+     * @param write true for stores (timed like loads; write-allocate).
+     * @return load-to-use latency in cycles.
+     */
+    unsigned access(std::uint64_t pc, Addr addr, unsigned bytes,
+                    bool write);
+
+    /** Total demand requests sent to the L1 (the Fig. 14a numerator). */
+    std::uint64_t totalRequests() const { return requests_->value(); }
+
+    /** Bytes transferred from DRAM (for bandwidth contention). */
+    std::uint64_t dramBytes() const { return dramBytes_->value(); }
+
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+
+    const SystemParams &params() const { return params_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    unsigned accessLine(std::uint64_t pc, Addr addr);
+
+    SystemParams params_;
+    Cache l1d_;
+    Cache l2_;
+    StridePrefetcher l1Prefetcher_;
+
+    StatGroup stats_;
+    Stat *requests_;
+    Stat *l2Requests_;
+    Stat *dramRequests_;
+    Stat *dramBytes_;
+};
+
+} // namespace quetzal::sim
+
+#endif // QUETZAL_SIM_MEMSYSTEM_HPP

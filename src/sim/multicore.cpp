@@ -1,0 +1,37 @@
+#include "sim/multicore.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace quetzal::sim {
+
+double
+multicoreSpeedup(const CoreDemand &demand, unsigned cores,
+                 const SystemParams &params)
+{
+    fatal_if(cores == 0, "core count must be positive");
+    const double perCore = demand.bytesPerCycle();
+    if (perCore <= 0.0)
+        return static_cast<double>(cores);
+
+    // Bandwidth ceiling: total sustained demand cannot exceed the HBM2
+    // peak. Below the ceiling, scaling is linear.
+    const double ceiling = params.dram.peakBytesPerCycle / perCore;
+    return std::min<double>(static_cast<double>(cores), ceiling);
+}
+
+double
+multicoreThroughput(const CoreDemand &demand,
+                    std::uint64_t itemsPerStream, unsigned cores,
+                    const SystemParams &params)
+{
+    if (demand.cycles == 0)
+        return 0.0;
+    const double single =
+        static_cast<double>(itemsPerStream) /
+        static_cast<double>(demand.cycles);
+    return single * multicoreSpeedup(demand, cores, params);
+}
+
+} // namespace quetzal::sim

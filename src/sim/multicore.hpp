@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multicore throughput composition (Fig. 13b).
+ *
+ * The workloads are embarrassingly parallel across sequence pairs, so
+ * an N-core run is N single-core streams contending for shared L2/DRAM
+ * bandwidth. We measure a core's DRAM demand (bytes per cycle) in a
+ * single-core simulation, then compose N cores under a bandwidth
+ * roofline: small working sets scale linearly; once aggregate demand
+ * exceeds the HBM2 peak the scaling flattens, which is exactly the
+ * sub-linear long-read behaviour the paper reports.
+ */
+#ifndef QUETZAL_SIM_MULTICORE_HPP
+#define QUETZAL_SIM_MULTICORE_HPP
+
+#include <cstdint>
+
+#include "sim/params.hpp"
+
+namespace quetzal::sim {
+
+/** Single-core measurement used as the composition input. */
+struct CoreDemand
+{
+    std::uint64_t cycles = 0;    //!< single-core execution cycles
+    std::uint64_t dramBytes = 0; //!< DRAM traffic during those cycles
+
+    double
+    bytesPerCycle() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(dramBytes) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/**
+ * Speedup of @p cores identical streams over one stream, under the
+ * shared-bandwidth roofline of @p params.
+ */
+double multicoreSpeedup(const CoreDemand &demand, unsigned cores,
+                        const SystemParams &params);
+
+/**
+ * Aggregate throughput (work items per cycle) for @p cores streams,
+ * where one stream finishes @p itemsPerStream items in demand.cycles.
+ */
+double multicoreThroughput(const CoreDemand &demand,
+                           std::uint64_t itemsPerStream, unsigned cores,
+                           const SystemParams &params);
+
+} // namespace quetzal::sim
+
+#endif // QUETZAL_SIM_MULTICORE_HPP

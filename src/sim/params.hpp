@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simulated-system parameters, reproducing Table I of the paper.
+ *
+ * The modeled machine is a Fujitsu A64FX-like core: 2.0 GHz, ARM-SVE-
+ * style 512-bit vector datapath, 64 KB 8-way L1 caches, a shared 8 MB
+ * 16-way L2, and 4-channel HBM2 main memory. Scatter/gather latency
+ * matches the paper's observation that indexed memory instructions cost
+ * at least 19 cycles on the A64FX even on an L1 hit.
+ */
+#ifndef QUETZAL_SIM_PARAMS_HPP
+#define QUETZAL_SIM_PARAMS_HPP
+
+#include <cstdint>
+
+namespace quetzal::sim {
+
+/** One cache level's geometry and timing. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned associativity = 8;
+    unsigned lineBytes = 256;  //!< A64FX uses 256-byte lines
+    unsigned loadToUse = 5;    //!< load-to-use latency in cycles
+};
+
+/** Stride-prefetcher knobs. */
+struct PrefetcherParams
+{
+    bool enabled = true;
+    unsigned tableEntries = 32; //!< PC-indexed stride table size
+    unsigned degree = 2;        //!< lines fetched ahead on a match
+    unsigned trainThreshold = 2;
+};
+
+/** DRAM latency/bandwidth model (4-channel HBM2). */
+struct DramParams
+{
+    unsigned latencyCycles = 110;    //!< average load-to-use from HBM2
+    double peakBytesPerCycle = 128;  //!< 256 GB/s at 2 GHz, whole SoC
+};
+
+/** Core pipeline model parameters (A64FX-like out-of-order core). */
+struct CoreParams
+{
+    unsigned issueWidth = 4;        //!< decode/dispatch per cycle
+    unsigned vectorPipes = 2;       //!< FLA/FLB SIMD pipes
+    unsigned scalarPipes = 2;       //!< EXA/EXB integer pipes
+    unsigned agus = 2;              //!< address-generation units
+    unsigned robEntries = 128;      //!< reorder-buffer capacity
+    unsigned lsqEntries = 40;       //!< load/store queue capacity
+    unsigned vlenBits = 512;        //!< SVE vector length
+
+    unsigned scalarAluLatency = 1;
+    unsigned vectorAluLatency = 4;  //!< SIMD integer op latency
+    unsigned vectorCmpLatency = 4;
+    unsigned predOpLatency = 2;
+    unsigned reduceLatency = 9;     //!< cross-lane reductions are slow
+    unsigned branchLatency = 1;
+
+    /**
+     * Minimum completion latency of a scatter/gather whose elements all
+     * hit in the L1 (paper Section II-G: >= 19 cycles on A64FX).
+     */
+    unsigned gatherMinLatency = 19;
+};
+
+/** QUETZAL accelerator parameters (Section IV / Table "configs"). */
+struct QuetzalParams
+{
+    bool present = false;         //!< core has a QUETZAL instance
+    unsigned readPorts = 8;       //!< QZ_1P/2P/4P/8P
+    std::uint64_t bufferBytes = 8 * 1024; //!< per QBUFFER
+    unsigned banks = 8;           //!< one per 64-bit VPU lane
+
+    /** Vector read latency: 8 / ports + 1 cycles (Section IV-C1). */
+    unsigned
+    readLatency() const
+    {
+        return 8 / readPorts + 1;
+    }
+};
+
+/** Full simulated-system parameter set (Table I defaults). */
+struct SystemParams
+{
+    double clockGhz = 2.0;
+    unsigned cores = 16;
+
+    CacheParams l1d{64 * 1024, 8, 256, 5};
+    CacheParams l2{8u * 1024 * 1024, 16, 256, 37};
+    PrefetcherParams prefetcher{};
+    DramParams dram{};
+    CoreParams core{};
+    QuetzalParams quetzal{};
+
+    /** Baseline system: no QUETZAL hardware. */
+    static SystemParams
+    baseline()
+    {
+        return SystemParams{};
+    }
+
+    /** System with a QUETZAL instance with @p ports read ports. */
+    static SystemParams
+    withQuetzal(unsigned ports = 8)
+    {
+        SystemParams params;
+        params.quetzal.present = true;
+        params.quetzal.readPorts = ports;
+        return params;
+    }
+};
+
+} // namespace quetzal::sim
+
+#endif // QUETZAL_SIM_PARAMS_HPP

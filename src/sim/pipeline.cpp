@@ -1,0 +1,310 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace quetzal::sim {
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::ScalarAlu:
+        return "ScalarAlu";
+      case OpClass::ScalarLoad:
+        return "ScalarLoad";
+      case OpClass::ScalarStore:
+        return "ScalarStore";
+      case OpClass::Branch:
+        return "Branch";
+      case OpClass::VecAlu:
+        return "VecAlu";
+      case OpClass::VecCmp:
+        return "VecCmp";
+      case OpClass::VecPred:
+        return "VecPred";
+      case OpClass::VecReduce:
+        return "VecReduce";
+      case OpClass::VecLoad:
+        return "VecLoad";
+      case OpClass::VecStore:
+        return "VecStore";
+      case OpClass::VecGather:
+        return "VecGather";
+      case OpClass::VecScatter:
+        return "VecScatter";
+      case OpClass::QzConf:
+        return "QzConf";
+      case OpClass::QzEncode:
+        return "QzEncode";
+      case OpClass::QzStore:
+        return "QzStore";
+      case OpClass::QzLoad:
+        return "QzLoad";
+      case OpClass::QzMhm:
+        return "QzMhm";
+      case OpClass::QzMm:
+        return "QzMm";
+      case OpClass::QzCount:
+        return "QzCount";
+      default:
+        return "Unknown";
+    }
+}
+
+Pipeline::Pipeline(const SystemParams &params, MemorySystem &mem)
+    : params_(params), mem_(mem),
+      vecPipes_(params.core.vectorPipes, 0),
+      scalarPipes_(params.core.scalarPipes, 0),
+      aguPipes_(params.core.agus, 0)
+{
+    panic_if_not(params.core.issueWidth > 0, "issue width must be > 0");
+}
+
+Cycle
+Pipeline::frontendAdvance()
+{
+    if (++slotInCycle_ >= params_.core.issueWidth) {
+        slotInCycle_ = 0;
+        attribute(cycle_, cycle_ + 1, StallKind::Frontend);
+        ++cycle_;
+    }
+    return cycle_;
+}
+
+Cycle
+Pipeline::unitFree(std::vector<Cycle> &pool, Cycle t) const
+{
+    Cycle best = ~Cycle{0};
+    for (Cycle free : pool)
+        best = std::min(best, std::max(free, t));
+    return best;
+}
+
+void
+Pipeline::unitOccupy(std::vector<Cycle> &pool, Cycle start, Cycle busy)
+{
+    // Pick the unit that allowed the earliest start.
+    auto it = std::min_element(pool.begin(), pool.end());
+    *it = std::max(*it, start) + busy;
+}
+
+void
+Pipeline::attribute(Cycle from, Cycle to, StallKind kind)
+{
+    if (to > from)
+        stalls_[static_cast<std::size_t>(kind)] += to - from;
+}
+
+Cycle
+Pipeline::resolveIssue(std::initializer_list<Tag> srcs,
+                       std::vector<Cycle> &pool, std::size_t lsqNeed,
+                       bool commitSerialized)
+{
+    const Cycle front = frontendAdvance();
+    Cycle t = front;
+
+    // In-order dispatch: a full ROB stalls the pointer until the
+    // oldest in-flight op retires; the stall is attributed to what
+    // that op was waiting on (memory -> cache access, else compute).
+    while (!rob_.empty() && rob_.front().done <= t)
+        rob_.pop_front();
+    while (rob_.size() + 1 > params_.core.robEntries && !rob_.empty()) {
+        const RobEntry head = rob_.front();
+        rob_.pop_front();
+        if (head.done > t) {
+            attribute(t, head.done,
+                      head.mem ? StallKind::Cache : StallKind::Compute);
+            t = head.done;
+        }
+    }
+    if (lsqNeed > 0) {
+        while (!lsq_.empty() && lsq_.front() <= t)
+            lsq_.pop_front();
+        while (lsq_.size() + lsqNeed > params_.core.lsqEntries &&
+               !lsq_.empty()) {
+            const Cycle head = lsq_.front();
+            lsq_.pop_front();
+            if (head > t) {
+                // A full LSQ means dispatch waits on an outstanding
+                // memory access: that is cache-access time (the
+                // gather/scatter occupancy effect of Section II-G).
+                attribute(t, head, StallKind::Cache);
+                t = head;
+            }
+        }
+    }
+    if (t > cycle_)
+        cycle_ = t;
+
+    // Out-of-order execution start: operands, functional unit, and
+    // commit-time serialization delay only this op (and its
+    // dependents), not the dispatch of younger instructions.
+    Tag dep{};
+    for (const Tag &src : srcs)
+        dep = Tag::join(dep, src);
+    Cycle start = std::max(t, dep.ready);
+    if (commitSerialized)
+        start = std::max(start, maxCompletion_);
+    start = unitFree(pool, start);
+    return start;
+}
+
+void
+Pipeline::finishOp(OpClass cls, Cycle completion, std::size_t lsqNeed,
+                   bool isMem, Cycle lsqCompletion)
+{
+    rob_.push_back(RobEntry{completion, isMem});
+    const Cycle lsqDone =
+        lsqCompletion ? lsqCompletion : completion;
+    for (std::size_t i = 0; i < lsqNeed; ++i)
+        lsq_.push_back(lsqDone);
+    if (completion > maxCompletion_) {
+        maxCompletion_ = completion;
+        maxCompletionFromMem_ = isMem;
+    }
+    ++opCounts_[static_cast<std::size_t>(cls)];
+    ++instructions_;
+}
+
+Tag
+Pipeline::executeOp(OpClass cls, std::initializer_list<Tag> srcs)
+{
+    const CoreParams &core = params_.core;
+    unsigned latency = core.scalarAluLatency;
+    std::vector<Cycle> *pool = &scalarPipes_;
+    switch (cls) {
+      case OpClass::ScalarAlu:
+        break;
+      case OpClass::Branch:
+        latency = core.branchLatency;
+        break;
+      case OpClass::VecAlu:
+        latency = core.vectorAluLatency;
+        pool = &vecPipes_;
+        break;
+      case OpClass::VecCmp:
+        latency = core.vectorCmpLatency;
+        pool = &vecPipes_;
+        break;
+      case OpClass::VecPred:
+        latency = core.predOpLatency;
+        pool = &vecPipes_;
+        break;
+      case OpClass::VecReduce:
+        latency = core.reduceLatency;
+        pool = &vecPipes_;
+        break;
+      default:
+        panic("executeOp: class {} needs a specialized path",
+              opClassName(cls));
+    }
+
+    const Cycle issue = resolveIssue(srcs, *pool, 0, false);
+    unitOccupy(*pool, issue, 1); // fully pipelined
+    const Cycle completion = issue + latency;
+    finishOp(cls, completion, 0, false);
+    return Tag{completion, false};
+}
+
+Tag
+Pipeline::executeMem(OpClass cls, std::uint64_t pc, Addr addr,
+                     unsigned bytes, std::initializer_list<Tag> srcs)
+{
+    panic_if_not(isMemClass(cls), "executeMem: {} is not a memory class",
+                 opClassName(cls));
+    std::vector<Cycle> &pool = aguPipes_;
+    const Cycle issue = resolveIssue(srcs, pool, 1, false);
+    unitOccupy(pool, issue, 1);
+    const bool write = cls == OpClass::ScalarStore ||
+                       cls == OpClass::VecStore;
+    const unsigned latency = mem_.access(pc, addr, bytes, write);
+    // Stores retire once the data sits in the store buffer; the line
+    // fill only occupies the LSQ entry. Loads complete at load-to-use.
+    const Cycle completion = write ? issue + 1 : issue + latency;
+    finishOp(cls, completion, 1, true,
+             write ? issue + latency : 0);
+    return Tag{completion, true};
+}
+
+Tag
+Pipeline::executeIndexed(OpClass cls, std::uint64_t pc,
+                         std::span<const Addr> addrs, unsigned elemBytes,
+                         std::initializer_list<Tag> srcs)
+{
+    panic_if_not(cls == OpClass::VecGather || cls == OpClass::VecScatter,
+                 "executeIndexed: bad class {}", opClassName(cls));
+    const CoreParams &core = params_.core;
+    const std::size_t lsqNeed = std::max<std::size_t>(1, addrs.size());
+
+    const Cycle issue = resolveIssue(srcs, aguPipes_, lsqNeed, false);
+
+    // Indexed accesses split into scalar element requests that flow
+    // down one load pipe at one element per cycle (A64FX gathers are
+    // element-serial); the pipe stays busy for the whole burst,
+    // delaying later memory instructions on it (the pipeline-occupancy
+    // effect the paper highlights), and every element holds an LSQ
+    // entry until the instruction completes.
+    unitOccupy(aguPipes_, issue, addrs.size());
+
+    Cycle worst = issue;
+    const bool write = cls == OpClass::VecScatter;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        const Cycle aguCycle = issue + i;
+        const unsigned latency = mem_.access(pc, addrs[i], elemBytes,
+                                             write);
+        worst = std::max(worst, aguCycle + latency);
+    }
+    Cycle completion = std::max(worst, issue + core.gatherMinLatency);
+    Cycle lsqDone = 0;
+    if (write) {
+        // Scatters retire at address generation; the element writes
+        // drain from the store buffer at memory speed.
+        lsqDone = completion;
+        completion = issue + addrs.size() + 1;
+    }
+    finishOp(cls, completion, lsqNeed, true, lsqDone);
+    return Tag{completion, true};
+}
+
+Tag
+Pipeline::executeQz(OpClass cls, unsigned latency,
+                    std::initializer_list<Tag> srcs, bool commitSerialized)
+{
+    const Cycle issue = resolveIssue(srcs, vecPipes_, 0, false);
+    unitOccupy(vecPipes_, issue, 1);
+    // Commit-time execution (QBUFFER writes, Section IV-E): the op
+    // waits in the issue queue until it is the oldest in flight, but
+    // younger independent instructions keep issuing; only consumers of
+    // the written data (via the returned tag) observe the delay.
+    const Cycle start =
+        commitSerialized ? std::max(issue, maxCompletion_) : issue;
+    const Cycle completion = start + latency;
+    finishOp(cls, completion, 0, false);
+    return Tag{completion, false};
+}
+
+void
+Pipeline::chargeScalarOps(unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i)
+        executeOp(OpClass::ScalarAlu, {});
+}
+
+void
+Pipeline::bubble(unsigned cycles, StallKind kind)
+{
+    attribute(cycle_, cycle_ + cycles, kind);
+    cycle_ += cycles;
+    slotInCycle_ = 0;
+}
+
+Cycle
+Pipeline::totalCycles() const
+{
+    return std::max(cycle_, maxCompletion_);
+}
+
+} // namespace quetzal::sim

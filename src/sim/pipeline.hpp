@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Scoreboard timing model of an A64FX-like out-of-order vector core.
+ *
+ * Algorithms do not run *on* this model; the ISA facade (isa/vectorunit)
+ * calls into it once per dynamic instruction. The model tracks:
+ *
+ *  - frontend throughput (issueWidth instructions/cycle);
+ *  - operand readiness (each produced value carries a ready tag);
+ *  - functional-unit contention (2 vector pipes, 2 scalar pipes, 2 AGUs);
+ *  - ROB and LSQ occupancy with in-order retirement;
+ *  - per-element address generation + cache access for scatter/gather,
+ *    with the A64FX's >= 19-cycle L1-hit floor (Section II-G);
+ *  - commit-time (non-speculative) execution for QBUFFER writes
+ *    (Section IV-E).
+ *
+ * Every cycle the issue pointer advances is attributed to one of four
+ * causes, which directly produces the Fig. 4 execution-time breakdown:
+ * frontend, compute dependency/FU, cache access (waiting on data from a
+ * memory instruction), or structural ROB/LSQ back-pressure.
+ */
+#ifndef QUETZAL_SIM_PIPELINE_HPP
+#define QUETZAL_SIM_PIPELINE_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/memsystem.hpp"
+#include "sim/params.hpp"
+
+namespace quetzal::sim {
+
+/** Simulated cycle count. */
+using Cycle = std::uint64_t;
+
+/** Readiness tag carried by every produced value. */
+struct Tag
+{
+    Cycle ready = 0;  //!< cycle the value becomes available
+    bool mem = false; //!< produced by a memory (cache-visiting) op
+
+    /** Join two dependencies, keeping the later one. */
+    static Tag
+    join(Tag a, Tag b)
+    {
+        if (b.ready > a.ready)
+            return b;
+        return a;
+    }
+};
+
+/** Dynamic instruction classes the scoreboard distinguishes. */
+enum class OpClass : std::uint8_t
+{
+    ScalarAlu,
+    ScalarLoad,
+    ScalarStore,
+    Branch,
+    VecAlu,
+    VecCmp,
+    VecPred,
+    VecReduce,
+    VecLoad,
+    VecStore,
+    VecGather,
+    VecScatter,
+    QzConf,
+    QzEncode,
+    QzStore,
+    QzLoad,
+    QzMhm,
+    QzMm,
+    QzCount,
+    NumClasses,
+};
+
+/** Stall-attribution buckets (Fig. 4 categories). */
+enum class StallKind : std::uint8_t
+{
+    Frontend, //!< issue-bandwidth cycles (useful work proxy)
+    Compute,  //!< ALU dependency chains and FU contention
+    Cache,    //!< waiting for data from the cache hierarchy
+    Struct,   //!< ROB / LSQ structural back-pressure
+    NumKinds,
+};
+
+/** The scoreboard core model. */
+class Pipeline
+{
+  public:
+    Pipeline(const SystemParams &params, MemorySystem &mem);
+
+    /** Fixed-latency non-memory op. @return result tag. */
+    Tag executeOp(OpClass cls, std::initializer_list<Tag> srcs);
+
+    /**
+     * Contiguous memory op covering [addr, addr+bytes).
+     * @param pc static site id for the prefetcher.
+     */
+    Tag executeMem(OpClass cls, std::uint64_t pc, Addr addr,
+                   unsigned bytes, std::initializer_list<Tag> srcs);
+
+    /**
+     * Indexed memory op (gather/scatter): one cache access per element
+     * address, AGU-serialized, one LSQ entry per element.
+     */
+    Tag executeIndexed(OpClass cls, std::uint64_t pc,
+                       std::span<const Addr> addrs, unsigned elemBytes,
+                       std::initializer_list<Tag> srcs);
+
+    /**
+     * QUETZAL accelerator op with accelerator-determined latency
+     * (QBUFFER port model / count-ALU). Bypasses the cache hierarchy.
+     * @param commitSerialized model commit-time execution (QBUFFER
+     *        writes): issue waits for all prior ops to complete.
+     */
+    Tag executeQz(OpClass cls, unsigned latency,
+                  std::initializer_list<Tag> srcs,
+                  bool commitSerialized = false);
+
+    /** Charge @p count trivial scalar ALU ops (loop overhead). */
+    void chargeScalarOps(unsigned count);
+
+    /**
+     * Insert a frontend bubble of @p cycles (e.g. a branch-mispredict
+     * redirect), attributed to @p kind.
+     */
+    void bubble(unsigned cycles, StallKind kind = StallKind::Frontend);
+
+    /** Current issue cycle (monotonic). */
+    Cycle now() const { return cycle_; }
+
+    /**
+     * Total execution cycles so far: issue pointer plus in-flight
+     * drain. Does not mutate state.
+     */
+    Cycle totalCycles() const;
+
+    /** Cycles attributed to @p kind. */
+    Cycle stallCycles(StallKind kind) const
+    {
+        return stalls_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Dynamic instruction count per class. */
+    std::uint64_t opCount(OpClass cls) const
+    {
+        return opCounts_[static_cast<std::size_t>(cls)];
+    }
+
+    /** Total dynamic instructions. */
+    std::uint64_t instructions() const { return instructions_; }
+
+    MemorySystem &mem() { return mem_; }
+    const SystemParams &params() const { return params_; }
+
+  private:
+    /** Advance frontend by one instruction slot. */
+    Cycle frontendAdvance();
+
+    /** Earliest cycle a unit from @p pool is free at or after @p t. */
+    Cycle unitFree(std::vector<Cycle> &pool, Cycle t) const;
+
+    /** Occupy the pool unit chosen by unitFree for @p busy cycles. */
+    void unitOccupy(std::vector<Cycle> &pool, Cycle start, Cycle busy);
+
+    /** One in-flight instruction tracked for in-order retirement. */
+    struct RobEntry
+    {
+        Cycle done;
+        bool mem;
+    };
+
+    /** Record an issue-pointer advance from @p from to @p to. */
+    void attribute(Cycle from, Cycle to, StallKind kind);
+
+    /**
+     * In-order dispatch: claim a ROB slot (and @p lsqNeed LSQ slots),
+     * stalling the dispatch pointer while the queues are full, then
+     * return the out-of-order execution start cycle — the later of
+     * dispatch, operand readiness, functional-unit availability, and
+     * (for commit-serialized ops) all prior completions. Younger
+     * independent instructions are NOT delayed by this op's operand
+     * waits; only queue back-pressure moves the dispatch pointer.
+     */
+    Cycle resolveIssue(std::initializer_list<Tag> srcs,
+                       std::vector<Cycle> &pool, std::size_t lsqNeed,
+                       bool commitSerialized);
+
+    /**
+     * Retire bookkeeping. @p lsqCompletion, when non-zero, lets a
+     * store's LSQ (store-buffer) entry outlive its ROB retirement.
+     */
+    void finishOp(OpClass cls, Cycle completion, std::size_t lsqNeed,
+                  bool isMem, Cycle lsqCompletion = 0);
+
+    SystemParams params_;
+    MemorySystem &mem_;
+
+    Cycle cycle_ = 0;          //!< issue pointer
+    unsigned slotInCycle_ = 0; //!< frontend slots used this cycle
+
+    std::vector<Cycle> vecPipes_;
+    std::vector<Cycle> scalarPipes_;
+    std::vector<Cycle> aguPipes_;
+
+    std::deque<RobEntry> rob_;
+    std::deque<Cycle> lsq_;
+
+    Cycle maxCompletion_ = 0;
+    bool maxCompletionFromMem_ = false;
+
+    std::array<Cycle, static_cast<std::size_t>(StallKind::NumKinds)>
+        stalls_{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(OpClass::NumClasses)>
+        opCounts_{};
+    std::uint64_t instructions_ = 0;
+};
+
+/** True for classes that visit the cache hierarchy. */
+inline bool
+isMemClass(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::ScalarLoad:
+      case OpClass::ScalarStore:
+      case OpClass::VecLoad:
+      case OpClass::VecStore:
+      case OpClass::VecGather:
+      case OpClass::VecScatter:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Human-readable class name (for stat dumps). */
+const char *opClassName(OpClass cls);
+
+} // namespace quetzal::sim
+
+#endif // QUETZAL_SIM_PIPELINE_HPP

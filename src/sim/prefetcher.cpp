@@ -1,0 +1,50 @@
+#include "sim/prefetcher.hpp"
+
+namespace quetzal::sim {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherParams &params,
+                                   Cache &target)
+    : params_(params), target_(target), table_(params.tableEntries),
+      stats_("prefetcher")
+{
+    issued_ = &stats_.stat("issued", "prefetch fills issued");
+}
+
+void
+StridePrefetcher::observe(std::uint64_t pc, Addr addr)
+{
+    if (!params_.enabled || table_.empty())
+        return;
+
+    Entry &entry = table_[pc % table_.size()];
+    if (!entry.valid || entry.pc != pc) {
+        entry = Entry{pc, addr, 0, 0, true};
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(entry.lastAddr);
+    if (stride != 0 && stride == entry.stride) {
+        if (entry.confidence < params_.trainThreshold)
+            ++entry.confidence;
+    } else {
+        entry.stride = stride;
+        entry.confidence = 0;
+    }
+    entry.lastAddr = addr;
+
+    if (entry.confidence >= params_.trainThreshold && entry.stride != 0) {
+        // Fetch `degree` lines ahead along the stride.
+        for (unsigned d = 1; d <= params_.degree; ++d) {
+            const Addr target = addr + static_cast<Addr>(
+                entry.stride * static_cast<std::int64_t>(d));
+            if (!target_.contains(target)) {
+                target_.fill(target);
+                ++*issued_;
+            }
+        }
+    }
+}
+
+} // namespace quetzal::sim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * BiWFA tests: the bidirectional score must equal plain WFA's optimal
+ * score on every input, the recursive alignment must be a valid
+ * optimal transcript, and all timed variants must agree bitwise.
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "algos/biwfa.hpp"
+#include "algos/wfa_engine.hpp"
+#include "common/rng.hpp"
+#include "genomics/readsim.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::algos {
+namespace {
+
+std::int64_t
+refWfaScore(std::string_view p, std::string_view t)
+{
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    return wfaScore(*engine, p, t);
+}
+
+TEST(BiWfaRef, ScoreMatchesWfaOnFixedCases)
+{
+    const std::pair<const char *, const char *> cases[] = {
+        {"ACAG", "AAGT"},   {"ACGT", "ACGT"}, {"A", "T"},
+        {"ACGTACGT", "ACGT"}, {"AAAA", "TTTT"}, {"GATTACA", "GCATGCU"},
+    };
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (const auto &[p, t] : cases) {
+        EXPECT_EQ(biwfaScore(*engine, p, t), refWfaScore(p, t))
+            << p << " vs " << t;
+    }
+}
+
+TEST(BiWfaRef, ScoreMatchesWfaOnRandomPairs)
+{
+    Rng rng(31337);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (int trial = 0; trial < 80; ++trial) {
+        const auto la = 1 + rng.below(80);
+        const auto lb = 1 + rng.below(80);
+        std::string a, b;
+        for (std::size_t i = 0; i < la; ++i)
+            a += "ACGT"[rng.below(4)];
+        for (std::size_t i = 0; i < lb; ++i)
+            b += "ACGT"[rng.below(4)];
+        ASSERT_EQ(biwfaScore(*engine, a, b), refWfaScore(a, b))
+            << a << " / " << b;
+    }
+}
+
+TEST(BiWfaRef, ScoreMatchesOnSimulatedReads)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 600;
+    config.errorRate = 0.06;
+    config.seed = 8;
+    genomics::ReadSimulator sim(config);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (const auto &pair : sim.generatePairs(10)) {
+        ASSERT_EQ(biwfaScore(*engine, pair.pattern, pair.text),
+                  refWfaScore(pair.pattern, pair.text));
+    }
+}
+
+TEST(BiWfaRef, BreakpointSplitsTheProblem)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 400;
+    config.errorRate = 0.05;
+    genomics::ReadSimulator sim(config);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (const auto &pair : sim.generatePairs(6)) {
+        Breakpoint bp;
+        const std::int64_t score =
+            biwfaScore(*engine, pair.pattern, pair.text,
+                       genomics::ElementSize::Bits2, &bp);
+        ASSERT_GE(bp.i, 0);
+        ASSERT_LE(bp.i, static_cast<std::int64_t>(pair.pattern.size()));
+        ASSERT_GE(bp.j, 0);
+        ASSERT_LE(bp.j, static_cast<std::int64_t>(pair.text.size()));
+        EXPECT_EQ(bp.scoreF + bp.scoreR, score);
+    }
+}
+
+TEST(BiWfaRef, AlignmentIsOptimalAndValid)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 2500; // forces at least one recursion level
+    config.errorRate = 0.04;
+    config.seed = 5;
+    genomics::ReadSimulator sim(config);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (const auto &pair : sim.generatePairs(3)) {
+        const AlignResult got =
+            biwfaAlign(*engine, pair.pattern, pair.text);
+        const std::int64_t want =
+            refWfaScore(pair.pattern, pair.text);
+        EXPECT_EQ(got.score, want);
+        EXPECT_EQ(got.cigar.edits(), want);
+        EXPECT_TRUE(validateCigar(pair.pattern, pair.text, got.cigar));
+    }
+}
+
+TEST(BiWfaRef, EmptyAndTinyInputs)
+{
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    EXPECT_EQ(biwfaScore(*engine, "", ""), 0);
+    EXPECT_EQ(biwfaScore(*engine, "", "ACG"), 3);
+    EXPECT_EQ(biwfaScore(*engine, "ACG", ""), 3);
+    EXPECT_EQ(biwfaScore(*engine, "A", "A"), 0);
+    const AlignResult r = biwfaAlign(*engine, "ACGT", "ACGT");
+    EXPECT_EQ(r.score, 0);
+    EXPECT_EQ(r.cigar.ops, "MMMM");
+}
+
+class BiWfaVariants : public ::testing::TestWithParam<Variant>
+{
+};
+
+TEST_P(BiWfaVariants, MatchesReferenceScoreAndValidCigar)
+{
+    const Variant variant = GetParam();
+    sim::SimContext ctx(needsQuetzal(variant)
+                            ? sim::SystemParams::withQuetzal()
+                            : sim::SystemParams::baseline());
+    isa::VectorUnit vpu(ctx.pipeline());
+    std::optional<accel::QzUnit> qz;
+    if (needsQuetzal(variant))
+        qz.emplace(vpu, ctx.params().quetzal);
+    auto engine = makeWfaEngine(variant, &vpu, qz ? &*qz : nullptr);
+
+    genomics::ReadSimConfig config;
+    config.readLength = 1500; // above the BiWFA leaf size
+    config.errorRate = 0.05;
+    config.seed = 21;
+    genomics::ReadSimulator sim(config);
+    for (const auto &pair : sim.generatePairs(3)) {
+        const AlignResult got =
+            biwfaAlign(*engine, pair.pattern, pair.text);
+        const std::int64_t want =
+            refWfaScore(pair.pattern, pair.text);
+        ASSERT_EQ(got.score, want);
+        ASSERT_TRUE(validateCigar(pair.pattern, pair.text, got.cigar));
+        ASSERT_EQ(got.cigar.edits(), want);
+    }
+    EXPECT_GT(ctx.pipeline().instructions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, BiWfaVariants,
+                         ::testing::Values(Variant::Base, Variant::Vec,
+                                           Variant::Qz, Variant::QzC),
+                         [](const auto &info) {
+                             std::string name(variantName(info.param));
+                             for (auto &c : name)
+                                 if (c == '+')
+                                     c = 'C';
+                             return name;
+                         });
+
+} // namespace
+} // namespace quetzal::algos

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for the genomics substrate: alphabets, 2-bit/8-bit
+ * encodings, FASTA/FASTQ I/O, the read simulator, the protein family
+ * generator, and the Table II dataset catalog.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/bitutil.hpp"
+#include "genomics/alphabet.hpp"
+#include "genomics/datasets.hpp"
+#include "genomics/encoding.hpp"
+#include "genomics/fasta.hpp"
+#include "genomics/protein.hpp"
+#include "genomics/readsim.hpp"
+
+namespace quetzal::genomics {
+namespace {
+
+TEST(Alphabet, LettersAndValidity)
+{
+    EXPECT_EQ(letters(AlphabetKind::Dna), "ACGT");
+    EXPECT_EQ(letters(AlphabetKind::Rna), "ACGU");
+    EXPECT_EQ(letters(AlphabetKind::Protein).size(), 20u);
+    EXPECT_TRUE(isValid(AlphabetKind::Dna, 'G'));
+    EXPECT_FALSE(isValid(AlphabetKind::Dna, 'U'));
+    EXPECT_TRUE(isValid(AlphabetKind::Rna, 'U'));
+    EXPECT_TRUE(isValid(AlphabetKind::Dna, std::string_view("ACGT")));
+    EXPECT_FALSE(isValid(AlphabetKind::Dna, std::string_view("ACGX")));
+}
+
+TEST(Alphabet, ComplementAndReverseComplement)
+{
+    EXPECT_EQ(complement('A'), 'T');
+    EXPECT_EQ(complement('G'), 'C');
+    EXPECT_EQ(complement('N'), 'N');
+    EXPECT_THROW(complement('Z'), FatalError);
+    EXPECT_EQ(reverseComplement("ACGT"), "ACGT");
+    EXPECT_EQ(reverseComplement("AACG"), "CGTT");
+}
+
+TEST(Encoding, TwoBitCodesMatchAsciiBits12)
+{
+    // The hardware extracts ASCII bits 1..2 (paper Fig. 9a).
+    EXPECT_EQ(encodeBase2('A'), 0);
+    EXPECT_EQ(encodeBase2('C'), 1);
+    EXPECT_EQ(encodeBase2('T'), 2);
+    EXPECT_EQ(encodeBase2('G'), 3);
+    EXPECT_EQ(encodeBase2('U'), 2); // U shares T's slot
+}
+
+TEST(Encoding, DecodeInvertsEncodeOverDna)
+{
+    for (char base : {'A', 'C', 'G', 'T'})
+        EXPECT_EQ(decodeBase2Dna(encodeBase2(base)), base);
+    for (char base : {'A', 'C', 'G', 'U'})
+        EXPECT_EQ(decodeBase2Rna(encodeBase2(base)), base);
+}
+
+TEST(Encoding, Pack2bitRoundTrips)
+{
+    const std::string seq = "ACGTACGTTTGGCCAAACGTACGTTTGGCCAAACG";
+    const auto words = pack2bit(seq);
+    EXPECT_EQ(words.size(), divCeil(seq.size() * 2, 64));
+    EXPECT_EQ(unpack2bitDna(words, seq.size()), seq);
+}
+
+TEST(Encoding, Pack8bitRoundTrips)
+{
+    const std::string seq = "MKVLAARrandomPROTEIN";
+    const auto words = pack8bit(seq);
+    EXPECT_EQ(unpack8bit(words, seq.size()), seq);
+}
+
+TEST(Encoding, ExtractElementMatchesPacking)
+{
+    const std::string seq = "ACGTTGCA";
+    const auto words = pack2bit(seq);
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        EXPECT_EQ(extractElement(words, i, ElementSize::Bits2),
+                  encodeBase2(seq[i]));
+    const auto words8 = pack8bit(seq);
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        EXPECT_EQ(extractElement(words8, i, ElementSize::Bits8),
+                  static_cast<std::uint64_t>(seq[i]));
+}
+
+TEST(Fasta, ParsesMultiRecordMultiLine)
+{
+    std::istringstream in(">r1 描述 desc\nACGT\nacgt\n;comment\n>r2\nTTTT\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].id, "r1");
+    EXPECT_EQ(records[0].bases, "ACGTACGT");
+    EXPECT_EQ(records[1].bases, "TTTT");
+}
+
+TEST(Fasta, RoundTripsThroughWriter)
+{
+    std::vector<Sequence> records(2);
+    records[0].id = "a";
+    records[0].bases = std::string(130, 'A');
+    records[1].id = "b";
+    records[1].bases = "ACGT";
+    std::ostringstream out;
+    writeFasta(out, records, 60);
+    std::istringstream in(out.str());
+    const auto parsed = readFasta(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].bases, records[0].bases);
+    EXPECT_EQ(parsed[1].bases, records[1].bases);
+}
+
+TEST(Fasta, RejectsGarbage)
+{
+    std::istringstream noHeader("ACGT\n");
+    EXPECT_THROW(readFasta(noHeader), FatalError);
+    std::istringstream emptyRecord(">x\n>y\nACGT\n");
+    EXPECT_THROW(readFasta(emptyRecord), FatalError);
+}
+
+TEST(Fastq, ParsesAndValidates)
+{
+    std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nTT\n+r2\nII\n");
+    const auto records = readFastq(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].seq.bases, "ACGT");
+    EXPECT_EQ(records[0].quality, "IIII");
+
+    std::istringstream bad("@r1\nACGT\n+\nII\n");
+    EXPECT_THROW(readFastq(bad), FatalError);
+}
+
+TEST(Fastq, WriterRoundTrips)
+{
+    std::vector<FastqRecord> records(1);
+    records[0].seq.id = "q";
+    records[0].seq.bases = "ACGT";
+    records[0].quality = "!!!!";
+    std::ostringstream out;
+    writeFastq(out, records);
+    std::istringstream in(out.str());
+    const auto parsed = readFastq(in);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].quality, "!!!!");
+}
+
+TEST(PairFile, RoundTrips)
+{
+    std::vector<SequencePair> pairs(2);
+    pairs[0].pattern = "ACGT";
+    pairs[0].text = "ACGA";
+    pairs[1].pattern = "TT";
+    pairs[1].text = "TTT";
+    std::ostringstream out;
+    writePairFile(out, pairs);
+    std::istringstream in(out.str());
+    const auto parsed = readPairFile(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].pattern, "ACGT");
+    EXPECT_EQ(parsed[1].text, "TTT");
+}
+
+TEST(ReadSim, DeterministicForSameSeed)
+{
+    ReadSimConfig config;
+    config.readLength = 200;
+    config.seed = 99;
+    ReadSimulator a(config), b(config);
+    const auto pa = a.generatePairs(5);
+    const auto pb = b.generatePairs(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(pa[i].pattern, pb[i].pattern);
+        EXPECT_EQ(pa[i].text, pb[i].text);
+        EXPECT_EQ(pa[i].trueEdits, pb[i].trueEdits);
+    }
+}
+
+TEST(ReadSim, ErrorRateRoughlyHonored)
+{
+    ReadSimConfig config;
+    config.readLength = 10000;
+    config.errorRate = 0.05;
+    config.seed = 5;
+    ReadSimulator sim(config);
+    const auto pairs = sim.generatePairs(4);
+    for (const auto &pair : pairs) {
+        EXPECT_NEAR(static_cast<double>(pair.trueEdits) / 10000.0, 0.05,
+                    0.015);
+        EXPECT_TRUE(isValid(AlphabetKind::Dna, pair.pattern));
+    }
+}
+
+TEST(ReadSim, ZeroErrorRateGivesIdenticalPair)
+{
+    ReadSimConfig config;
+    config.readLength = 500;
+    config.errorRate = 0.0;
+    ReadSimulator sim(config);
+    const auto pairs = sim.generatePairs(2);
+    for (const auto &pair : pairs) {
+        EXPECT_EQ(pair.pattern, pair.text);
+        EXPECT_EQ(pair.trueEdits, 0);
+    }
+}
+
+TEST(ReadSim, RejectsBadConfig)
+{
+    ReadSimConfig config;
+    config.readLength = 0;
+    EXPECT_THROW(ReadSimulator{config}, FatalError);
+    config.readLength = 10;
+    config.errorRate = 1.5;
+    EXPECT_THROW(ReadSimulator{config}, FatalError);
+}
+
+TEST(Protein, FamiliesHaveRequestedShape)
+{
+    ProteinFamilyConfig config;
+    config.familyCount = 3;
+    config.membersPerFamily = 4;
+    config.ancestorLength = 120;
+    const auto families = generateProteinFamilies(config);
+    ASSERT_EQ(families.size(), 3u);
+    for (const auto &family : families) {
+        ASSERT_EQ(family.members.size(), 4u);
+        for (const auto &member : family.members) {
+            EXPECT_TRUE(isValid(AlphabetKind::Protein, member.bases));
+            EXPECT_GT(member.length(), 60u);
+        }
+        // All unordered pairs: 4 choose 2 = 6.
+        EXPECT_EQ(family.allPairs().size(), 6u);
+    }
+}
+
+TEST(Protein, WorkloadFlattensAllFamilies)
+{
+    ProteinFamilyConfig config;
+    config.familyCount = 2;
+    config.membersPerFamily = 3;
+    const auto workload = proteinPairWorkload(config);
+    EXPECT_EQ(workload.size(), 2u * 3u);
+    for (const auto &pair : workload)
+        EXPECT_EQ(pair.alphabet, AlphabetKind::Protein);
+}
+
+TEST(Datasets, CatalogMatchesTableII)
+{
+    const auto &catalog = datasetCatalog();
+    ASSERT_EQ(catalog.size(), 4u);
+    EXPECT_EQ(catalog[0].name, "100bp_1");
+    EXPECT_EQ(catalog[0].readLength, 100u);
+    EXPECT_EQ(catalog[1].name, "250bp_1");
+    EXPECT_EQ(catalog[2].name, "10Kbp");
+    EXPECT_EQ(catalog[2].readLength, 10000u);
+    EXPECT_EQ(catalog[3].name, "30Kbp");
+    EXPECT_EQ(catalog[3].readLength, 30000u);
+    EXPECT_EQ(shortReadNames().size(), 2u);
+    EXPECT_EQ(longReadNames().size(), 2u);
+}
+
+TEST(Datasets, MakeDatasetScalesAndSeedsDeterministically)
+{
+    const auto small = makeDataset("100bp_1", 0.01);
+    EXPECT_EQ(small.size(),
+              std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         datasetSpec("100bp_1").defaultPairs * 0.01)));
+    EXPECT_EQ(small.readLength, 100u);
+    const auto again = makeDataset("100bp_1", 0.01);
+    EXPECT_EQ(small.pairs[3].pattern, again.pairs[3].pattern);
+    EXPECT_THROW(makeDataset("nope"), FatalError);
+    EXPECT_THROW(makeDataset("100bp_1", 0.0), FatalError);
+}
+
+} // namespace
+} // namespace quetzal::genomics

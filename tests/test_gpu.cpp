@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GPU analytic-model tests: the occupancy cliff that drives the
+ * Fig. 15a crossover must be present and monotone.
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "gpu/gpu_model.hpp"
+
+namespace quetzal::gpu {
+namespace {
+
+TEST(GpuModel, OccupancyFullForShortReads)
+{
+    GpuDeviceParams device;
+    const auto wfa = wfaGpuModel();
+    EXPECT_DOUBLE_EQ(gpuOccupancy(device, wfa, 100, 0.03),
+                     device.maxResidentPerSm);
+}
+
+TEST(GpuModel, OccupancyCollapsesForLongReads)
+{
+    GpuDeviceParams device;
+    const auto wfa = wfaGpuModel();
+    const double occShort = gpuOccupancy(device, wfa, 250, 0.03);
+    const double occLong = gpuOccupancy(device, wfa, 30000, 0.05);
+    EXPECT_GT(occShort, occLong);
+    EXPECT_DOUBLE_EQ(occLong, 1.0); // floor: one worker per SM
+}
+
+TEST(GpuModel, ThroughputMonotoneDecreasingInLength)
+{
+    GpuDeviceParams device;
+    for (const auto &tool : {wfaGpuModel(), gasal2Model()}) {
+        double prev = 1e18;
+        for (std::size_t len : {100u, 250u, 10000u, 30000u}) {
+            const double t =
+                gpuThroughput(device, tool, len, 0.04);
+            EXPECT_LT(t, prev) << tool.name << " at " << len;
+            prev = t;
+        }
+    }
+}
+
+TEST(GpuModel, SpillPenaltyKicksInPastOnChipCapacity)
+{
+    GpuDeviceParams device;
+    const auto wfa = wfaGpuModel();
+    // At 30 kbp / 5% the wavefront state alone is ~9 MB >> 128 KB.
+    const double t30 = gpuThroughput(device, wfa, 30000, 0.05);
+    const double t10 = gpuThroughput(device, wfa, 10000, 0.05);
+    EXPECT_GT(t10 / t30, 4.0);
+}
+
+TEST(GpuModel, RejectsZeroLength)
+{
+    GpuDeviceParams device;
+    EXPECT_THROW(gpuThroughput(device, wfaGpuModel(), 0, 0.01),
+                 FatalError);
+}
+
+TEST(GpuModel, AreaClaimMatchesPaper)
+{
+    // Section VII-D: the A40 consumes >10x more area than QUETZAL's
+    // host core + accelerator (2.89 mm^2, Table IV).
+    GpuDeviceParams device;
+    EXPECT_GT(device.areaMm2 / (16 * 2.89), 10.0);
+}
+
+} // namespace
+} // namespace quetzal::gpu

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Unit tests for the vector ISA facade: VReg/Pred views, functional
+ * semantics of every operation, and the timing side effects the
+ * scoreboard should observe.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/scalarunit.hpp"
+#include "isa/vectorunit.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::isa {
+namespace {
+
+class IsaTest : public ::testing::Test
+{
+  protected:
+    sim::SimContext ctx;
+    VectorUnit vpu{ctx.pipeline()};
+};
+
+TEST(VRegViews, ElementAccessorsOverlayCorrectly)
+{
+    VReg r;
+    r.setU32(0, 0x11223344);
+    r.setU32(1, 0x55667788);
+    EXPECT_EQ(r.u64(0), 0x5566778811223344ull);
+    r.setU8(0, 0xAB);
+    EXPECT_EQ(r.u32(0), 0x112233ABu);
+    EXPECT_EQ(r.u8(3), 0x11);
+    r.setU64(7, ~0ull);
+    EXPECT_EQ(r.u32(15), 0xFFFFFFFFu);
+    EXPECT_THROW(r.u32(16), PanicError);
+    EXPECT_THROW(r.u64(8), PanicError);
+}
+
+TEST(PredViews, SetAndCount)
+{
+    Pred p;
+    EXPECT_TRUE(p.none());
+    p.set(3, true);
+    p.set(10, true);
+    EXPECT_TRUE(p.active(3));
+    EXPECT_FALSE(p.active(4));
+    EXPECT_EQ(p.count(), 2u);
+    p.set(3, false);
+    EXPECT_EQ(p.count(), 1u);
+    EXPECT_THROW(p.set(64, true), PanicError);
+}
+
+TEST_F(IsaTest, DupAndIndex)
+{
+    const VReg d = vpu.dup32(-7);
+    for (unsigned i = 0; i < kLanes32; ++i)
+        EXPECT_EQ(d.i32(i), -7);
+    const VReg ix = vpu.index32(5, 3);
+    for (unsigned i = 0; i < kLanes32; ++i)
+        EXPECT_EQ(ix.i32(i), 5 + 3 * static_cast<int>(i));
+}
+
+TEST_F(IsaTest, LoadStoreRoundTrip)
+{
+    std::int32_t src[16], dst[16] = {};
+    for (int i = 0; i < 16; ++i)
+        src[i] = i * i - 5;
+    const VReg v = vpu.load(1, src, 64);
+    vpu.store(2, dst, v, 64);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST_F(IsaTest, PartialLoadLeavesRestZero)
+{
+    std::int32_t src[4] = {1, 2, 3, 4};
+    const VReg v = vpu.load(1, src, 16);
+    EXPECT_EQ(v.i32(3), 4);
+    EXPECT_EQ(v.i32(4), 0);
+}
+
+TEST_F(IsaTest, Load8to32Widens)
+{
+    const char buf[8] = {'A', 'C', 'G', 'T', 'z', 0, 1, 127};
+    const VReg v = vpu.load8to32(1, buf, 8);
+    EXPECT_EQ(v.u32(0), static_cast<std::uint32_t>('A'));
+    EXPECT_EQ(v.u32(4), static_cast<std::uint32_t>('z'));
+    EXPECT_EQ(v.u32(7), 127u);
+}
+
+TEST_F(IsaTest, GatherRespectsPredicateAndIndices)
+{
+    const char data[32] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ01234";
+    VReg idx;
+    for (unsigned i = 0; i < 16; ++i)
+        idx.setU32(i, 2 * i);
+    Pred p = vpu.pTrue(16);
+    p.set(5, false);
+    const VReg got = vpu.gather8(1, data, idx, p, 16);
+    EXPECT_EQ(got.u32(0), static_cast<std::uint32_t>('A'));
+    EXPECT_EQ(got.u32(1), static_cast<std::uint32_t>('C'));
+    EXPECT_EQ(got.u32(5), 0u); // inactive lane untouched
+    EXPECT_EQ(got.u32(15), static_cast<std::uint32_t>('4'));
+}
+
+TEST_F(IsaTest, Gather32Scatter32RoundTrip)
+{
+    std::int32_t table[64];
+    for (int i = 0; i < 64; ++i)
+        table[i] = 1000 + i;
+    VReg idx;
+    for (unsigned i = 0; i < 16; ++i)
+        idx.setU32(i, 63 - 4 * i);
+    const Pred p = vpu.pTrue(16);
+    const VReg got = vpu.gather32(1, table, idx, p, 16);
+    EXPECT_EQ(got.i32(0), 1063);
+    EXPECT_EQ(got.i32(15), 1003);
+    const VReg updated = vpu.add32i(got, 1);
+    vpu.scatter32(2, table, idx, updated, p, 16);
+    EXPECT_EQ(table[63], 1064);
+    EXPECT_EQ(table[3], 1004);
+}
+
+TEST_F(IsaTest, Gather64Scatter64RoundTrip)
+{
+    std::uint64_t table[16];
+    for (int i = 0; i < 16; ++i)
+        table[i] = 100 + i;
+    VReg idx;
+    for (unsigned l = 0; l < 8; ++l)
+        idx.setU64(l, 15 - l);
+    const Pred p = vpu.pTrue(8);
+    const VReg got = vpu.gather64(1, table, idx, p, 8);
+    EXPECT_EQ(got.u64(0), 115u);
+    vpu.scatter64(2, table, idx, vpu.add64i(got, 5), p, 8);
+    EXPECT_EQ(table[15], 120u);
+}
+
+TEST_F(IsaTest, Arithmetic32)
+{
+    const VReg a = vpu.index32(0, 1);
+    const VReg b = vpu.dup32(10);
+    EXPECT_EQ(vpu.add32(a, b).i32(3), 13);
+    EXPECT_EQ(vpu.sub32(b, a).i32(4), 6);
+    EXPECT_EQ(vpu.max32(a, b).i32(12), 12);
+    EXPECT_EQ(vpu.min32(a, b).i32(12), 10);
+    EXPECT_EQ(vpu.add32i(a, -2).i32(1), -1);
+}
+
+TEST_F(IsaTest, PredicatedOps32)
+{
+    const VReg a = vpu.dup32(5);
+    Pred p = vpu.pTrue(16);
+    p.set(2, false);
+    const VReg r = vpu.addUnderPred32(a, 3, p);
+    EXPECT_EQ(r.i32(1), 8);
+    EXPECT_EQ(r.i32(2), 5);
+    const VReg s = vpu.sel32(p, vpu.dup32(1), vpu.dup32(0));
+    EXPECT_EQ(s.i32(1), 1);
+    EXPECT_EQ(s.i32(2), 0);
+}
+
+TEST_F(IsaTest, Compare32ProducesGoverningPredicatedResult)
+{
+    const VReg a = vpu.index32(0, 1);
+    const VReg b = vpu.dup32(8);
+    Pred gov = vpu.pTrue(16);
+    gov.set(8, false);
+    const Pred eq = vpu.cmpeq32(a, b, gov, 16);
+    EXPECT_TRUE(eq.none()); // lane 8 matches but is governed off
+    const Pred lt = vpu.cmplt32(a, b, gov, 16);
+    EXPECT_EQ(lt.count(), 8u);
+    const Pred gt = vpu.cmpgt32(a, b, gov, 16);
+    EXPECT_EQ(gt.count(), 7u);
+    const Pred ne = vpu.cmpne32(a, b, gov, 16);
+    EXPECT_EQ(ne.count(), 15u);
+}
+
+TEST_F(IsaTest, Arithmetic64AndCompare64)
+{
+    const VReg a = vpu.widenLo32to64(vpu.index32(-2, 1));
+    EXPECT_EQ(a.i64(0), -2);
+    EXPECT_EQ(a.i64(7), 5);
+    const VReg b = vpu.dup64(3);
+    EXPECT_EQ(vpu.sub64(b, a).i64(0), 5);
+    EXPECT_EQ(vpu.min64(a, b).i64(7), 3);
+    EXPECT_EQ(vpu.max64(a, b).i64(0), 3);
+    const Pred p = vpu.pTrue(8);
+    EXPECT_EQ(vpu.cmplt64(a, b, p, 8).count(), 5u);
+    EXPECT_EQ(vpu.cmpeq64(a, b, p, 8).count(), 1u);
+    const VReg nar = vpu.narrow64to32(a);
+    EXPECT_EQ(nar.i32(0), -2);
+    EXPECT_EQ(nar.i32(7), 5);
+}
+
+TEST_F(IsaTest, PredicateCombinators)
+{
+    const Pred a = vpu.whilelt(0, 10, 16);
+    EXPECT_EQ(a.count(), 10u);
+    const Pred b = vpu.whilelt(4, 10, 16);
+    EXPECT_EQ(b.count(), 6u);
+    EXPECT_EQ(vpu.pAnd(a, b).count(), 6u);
+    EXPECT_EQ(vpu.pOr(a, b).count(), 10u);
+    EXPECT_EQ(vpu.pBic(a, b).count(), 4u);
+}
+
+TEST_F(IsaTest, AnyActiveChargesExitBubble)
+{
+    Pred empty;
+    empty.tag = sim::Tag{};
+    const auto before =
+        ctx.pipeline().stallCycles(sim::StallKind::Frontend);
+    EXPECT_FALSE(vpu.anyActive(empty));
+    EXPECT_GT(ctx.pipeline().stallCycles(sim::StallKind::Frontend),
+              before);
+    Pred some = vpu.pTrue(4);
+    EXPECT_TRUE(vpu.anyActive(some));
+}
+
+TEST_F(IsaTest, Reductions)
+{
+    VReg v = vpu.index32(1, 2); // 1, 3, 5, ...
+    const Pred p = vpu.whilelt(0, 5, 16);
+    EXPECT_EQ(vpu.reduceMax32(v, p, 16), 9);
+    EXPECT_EQ(vpu.reduceMin32(v, p, 16), 1);
+    EXPECT_EQ(vpu.reduceAdd32(v, p, 16), 25);
+    const VReg w = vpu.widenLo32to64(v);
+    EXPECT_EQ(vpu.reduceMax64(w, vpu.pTrue(8), 8), 15);
+}
+
+TEST_F(IsaTest, Bitwise64)
+{
+    const VReg a = vpu.dup64(0xF0F0);
+    const VReg b = vpu.dup64(0x0FF0);
+    EXPECT_EQ(vpu.and64(a, b).u64(0), 0x00F0u);
+    EXPECT_EQ(vpu.or64(a, b).u64(0), 0xFFF0u);
+    EXPECT_EQ(vpu.xor64(a, b).u64(0), 0xFF00u);
+    EXPECT_EQ(vpu.xnor64(a, b).u64(0), ~std::uint64_t{0xFF00});
+    EXPECT_EQ(vpu.shl64i(a, 4).u64(0), 0xF0F00u);
+    EXPECT_EQ(vpu.shr64i(a, 4).u64(0), 0xF0Fu);
+}
+
+TEST_F(IsaTest, WidenHiAndPackRoundTrip)
+{
+    const VReg v = vpu.index32(-8, 1); // -8..7
+    const VReg lo = vpu.widenLo32to64(v);
+    const VReg hi = vpu.widenHi32to64(v);
+    EXPECT_EQ(lo.i64(0), -8);
+    EXPECT_EQ(hi.i64(0), 0);
+    EXPECT_EQ(hi.i64(7), 7);
+    const VReg packed = vpu.pack64to32(lo, hi);
+    for (unsigned i = 0; i < kLanes32; ++i)
+        EXPECT_EQ(packed.i32(i), v.i32(i));
+}
+
+TEST_F(IsaTest, PredicateUnpackHalves)
+{
+    Pred p = vpu.whilelt(0, 11, 16);
+    const Pred lo = vpu.punpkLo(p);
+    const Pred hi = vpu.punpkHi(p);
+    EXPECT_EQ(lo.count(), 8u);
+    EXPECT_EQ(hi.count(), 3u);
+    EXPECT_TRUE(hi.active(2));
+    EXPECT_FALSE(hi.active(3));
+}
+
+TEST_F(IsaTest, GatherU32ReadsUnalignedWords)
+{
+    const char data[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdef";
+    VReg idx;
+    for (unsigned i = 0; i < 16; ++i)
+        idx.setI32(i, static_cast<std::int32_t>(i));
+    const VReg got = vpu.gatherU32(1, data, idx, vpu.pTrue(16), 16);
+    // Word at byte offset 1 is "BCDE" little-endian.
+    EXPECT_EQ(got.u32(1), 0x45444342u);
+}
+
+TEST_F(IsaTest, MatchBytesCountsPrefix)
+{
+    VReg a = vpu.dup32(0);
+    VReg b = vpu.dup32(0);
+    a.setU32(0, 0x41424344);
+    b.setU32(0, 0x41FF4344); // bytes 0,1 match; byte 2 differs
+    a.setU32(1, 0x11111111);
+    b.setU32(1, 0x11111111);
+    const VReg mb = vpu.matchBytes32(a, b);
+    EXPECT_EQ(mb.u32(0), 2u);
+    EXPECT_EQ(mb.u32(1), 4u);
+    const VReg mr = vpu.matchBytes32Rev(a, b);
+    EXPECT_EQ(mr.u32(0), 1u); // only the top byte matches
+}
+
+TEST_F(IsaTest, Ctz64AndClz64)
+{
+    const VReg v = vpu.dup64(0x0000000000F0'0000ull);
+    EXPECT_EQ(vpu.ctz64(v).u64(0), 20u);
+    EXPECT_EQ(vpu.clz64(v).u64(0), 40u);
+    const VReg z = vpu.dup64(0);
+    EXPECT_EQ(vpu.ctz64(z).u64(0), 64u);
+    EXPECT_EQ(vpu.clz64(z).u64(0), 64u);
+}
+
+TEST_F(IsaTest, PredicatedAdd64Vector)
+{
+    const VReg a = vpu.dup64(10);
+    const VReg b = vpu.widenLo32to64(vpu.index32(0, 1));
+    Pred p = vpu.pTrue(8);
+    p.set(2, false);
+    const VReg r = vpu.addvUnderPred64(a, b, p);
+    EXPECT_EQ(r.u64(1), 11u);
+    EXPECT_EQ(r.u64(2), 10u);
+    const VReg r32 = vpu.addvUnderPred32(vpu.dup32(5),
+                                         vpu.index32(0, 1), p);
+    EXPECT_EQ(r32.i32(1), 6);
+    EXPECT_EQ(r32.i32(2), 5);
+}
+
+TEST_F(IsaTest, TimingFlowsThroughTags)
+{
+    // A value gated by a DRAM-latency load is not ready before it.
+    static std::int32_t coldData[16] = {};
+    const VReg slow = vpu.load(1, coldData, 64); // cold address
+    const VReg sum = vpu.add32(slow, slow);
+    EXPECT_GE(sum.tag.ready, slow.tag.ready);
+    EXPECT_TRUE(slow.tag.mem);
+    EXPECT_FALSE(sum.tag.mem);
+}
+
+TEST(BaseUnitTest, LoadsOverlapButAluWaits)
+{
+    sim::SimContext ctx;
+    BaseUnit bu(ctx.pipeline());
+    char buf[2] = {'a', 'b'};
+    bu.loadChar(1, &buf[0]);
+    bu.loadChar(2, &buf[1]);
+    bu.alu();
+    bu.branch();
+    EXPECT_EQ(ctx.pipeline().instructions(), 4u);
+    EXPECT_GT(ctx.pipeline().totalCycles(), 0u);
+}
+
+TEST(BaseUnitTest, BranchMissCostsMoreThanBranch)
+{
+    sim::SimContext a, b;
+    BaseUnit ua(a.pipeline()), ub(b.pipeline());
+    for (int i = 0; i < 20; ++i)
+        ua.branch();
+    for (int i = 0; i < 20; ++i)
+        ub.branchMiss();
+    EXPECT_GT(b.pipeline().totalCycles(), a.pipeline().totalCycles());
+}
+
+} // namespace
+} // namespace quetzal::isa

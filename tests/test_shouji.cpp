@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shouji filter tests: acceptance of alignable pairs, rejection of
+ * divergent pairs, the no-false-reject property against the true edit
+ * distance, and identical verdicts across timed variants.
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "algos/shouji.hpp"
+#include "algos/wfa.hpp"
+#include "algos/wfa_engine.hpp"
+#include "genomics/readsim.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::algos {
+namespace {
+
+TEST(Shouji, AcceptsIdenticalPair)
+{
+    const auto r = shouji(Variant::Ref, "ACGTACGTACGT",
+                          "ACGTACGTACGT", 2);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(r.zeroCount, 0);
+}
+
+TEST(Shouji, RejectsGrosslyDifferentPair)
+{
+    const auto r = shouji(Variant::Ref, std::string(64, 'A'),
+                          std::string(64, 'T'), 4);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_GT(r.zeroCount, 4);
+}
+
+TEST(Shouji, NoFalseRejectsOnAlignablePairs)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 200;
+    config.errorRate = 0.03;
+    config.seed = 12;
+    genomics::ReadSimulator sim(config);
+    auto ref = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (const auto &pair : sim.generatePairs(30)) {
+        const std::int64_t dist =
+            wfaScore(*ref, pair.pattern, pair.text);
+        // Shouji's zero count is a lower bound on the edit distance,
+        // so any pair within E must be accepted at threshold E.
+        const std::int64_t e = std::max<std::int64_t>(dist, 2);
+        const auto r =
+            shouji(Variant::Ref, pair.pattern, pair.text, e);
+        EXPECT_TRUE(r.accepted)
+            << "dist " << dist << " zeros " << r.zeroCount;
+        EXPECT_LE(r.zeroCount, dist + 3); // tight-ish estimate
+    }
+}
+
+TEST(Shouji, FiltersDecoyWorkload)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 150;
+    config.errorRate = 0.03;
+    config.seed = 21;
+    genomics::ReadSimulator sim(config);
+    const auto pairs = sim.generatePairs(12);
+    int rejected = 0;
+    for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+        const auto r = shouji(Variant::Ref, pairs[i].pattern,
+                              pairs[i + 1].text, 7);
+        rejected += r.accepted ? 0 : 1;
+    }
+    EXPECT_GE(rejected, 5); // unrelated 150-mers get caught
+}
+
+TEST(Shouji, RejectsBadArguments)
+{
+    EXPECT_THROW(shouji(Variant::Ref, "", "ACG", 3), FatalError);
+    EXPECT_THROW(shouji(Variant::Ref, "ACG", "ACG", 0), FatalError);
+    EXPECT_THROW(shouji(Variant::Base, "ACG", "ACG", 2), PanicError);
+}
+
+class ShoujiVariants : public ::testing::TestWithParam<Variant>
+{
+};
+
+TEST_P(ShoujiVariants, VerdictsMatchReference)
+{
+    const Variant variant = GetParam();
+    sim::SimContext ctx(needsQuetzal(variant)
+                            ? sim::SystemParams::withQuetzal()
+                            : sim::SystemParams::baseline());
+    isa::VectorUnit vpu(ctx.pipeline());
+    std::optional<accel::QzUnit> qz;
+    if (needsQuetzal(variant))
+        qz.emplace(vpu, ctx.params().quetzal);
+
+    genomics::ReadSimConfig config;
+    config.readLength = 120;
+    config.errorRate = 0.05;
+    config.seed = 33;
+    genomics::ReadSimulator sim(config);
+    for (const auto &pair : sim.generatePairs(6)) {
+        const auto got = shouji(variant, pair.pattern, pair.text, 9,
+                                &vpu, qz ? &*qz : nullptr);
+        const auto want =
+            shouji(Variant::Ref, pair.pattern, pair.text, 9);
+        ASSERT_EQ(got.accepted, want.accepted);
+        ASSERT_EQ(got.zeroCount, want.zeroCount);
+    }
+    EXPECT_GT(ctx.pipeline().instructions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ShoujiVariants,
+                         ::testing::Values(Variant::Base, Variant::Vec,
+                                           Variant::QzC),
+                         [](const auto &info) {
+                             std::string name(variantName(info.param));
+                             for (auto &c : name)
+                                 if (c == '+')
+                                     c = 'C';
+                             return name;
+                         });
+
+TEST(ShoujiTiming, QuetzalBeatsBase)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 250;
+    config.errorRate = 0.04;
+    genomics::ReadSimulator rs(config);
+    const auto pairs = rs.generatePairs(4);
+
+    auto measure = [&](Variant v) {
+        sim::SimContext ctx(needsQuetzal(v)
+                                ? sim::SystemParams::withQuetzal()
+                                : sim::SystemParams::baseline());
+        isa::VectorUnit vpu(ctx.pipeline());
+        std::optional<accel::QzUnit> qz;
+        if (needsQuetzal(v))
+            qz.emplace(vpu, ctx.params().quetzal);
+        for (const auto &pair : pairs)
+            shouji(v, pair.pattern, pair.text, 12, &vpu,
+                   qz ? &*qz : nullptr);
+        return ctx.pipeline().totalCycles();
+    };
+
+    EXPECT_LT(measure(Variant::QzC), measure(Variant::Base));
+}
+
+} // namespace
+} // namespace quetzal::algos

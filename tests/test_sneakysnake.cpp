@@ -1,0 +1,225 @@
+/**
+ * @file
+ * SneakySnake tests: the lower-bound filter property (no false
+ * rejections of pairs within the threshold), segmentation behaviour on
+ * long reads, and bit-identical results across timed variants.
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "algos/sneakysnake.hpp"
+#include "algos/wfa.hpp"
+#include "algos/wfa_engine.hpp"
+#include "common/rng.hpp"
+#include "genomics/readsim.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::algos {
+namespace {
+
+SsResult
+refSs(std::string_view p, std::string_view t, std::int64_t threshold,
+      std::size_t segment = 1000)
+{
+    auto engine = makeSsEngine(Variant::Ref, nullptr, nullptr);
+    SsConfig config;
+    config.editThreshold = threshold;
+    config.segmentLength = segment;
+    return sneakySnake(*engine, p, t, config);
+}
+
+TEST(SsRef, AcceptsIdenticalPair)
+{
+    const SsResult r = refSs("ACGTACGT", "ACGTACGT", 2);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(r.editBound, 0);
+}
+
+TEST(SsRef, RejectsGrosslyDifferentPair)
+{
+    const SsResult r = refSs(std::string(64, 'A'), std::string(64, 'T'),
+                             4);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_GT(r.editBound, 4);
+}
+
+TEST(SsRef, PaperExamplePair)
+{
+    // <ACAG, AAGT> has edit distance 3 (Fig. 1); with E=3 SS must
+    // accept (its bound is a lower bound on the distance).
+    const SsResult r = refSs("ACAG", "AAGT", 3);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_LE(r.editBound, 3);
+}
+
+TEST(SsRef, BoundNeverExceedsEditDistance)
+{
+    // SS's estimate is a lower bound on the true edit distance
+    // whenever the distance is within the diagonal window.
+    Rng rng(99);
+    auto ref = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::string t;
+        const auto len = 40 + rng.below(60);
+        for (std::size_t i = 0; i < len; ++i)
+            t += "ACGT"[rng.below(4)];
+        // Mutate lightly so the distance stays small.
+        std::string p = t;
+        for (int e = 0; e < 3; ++e)
+            p[rng.below(p.size())] = "ACGT"[rng.below(4)];
+        const std::int64_t dist = wfaScore(*ref, p, t);
+        const std::int64_t threshold = std::max<std::int64_t>(dist, 1);
+        const SsResult r = refSs(p, t, threshold);
+        ASSERT_LE(r.editBound, dist) << p << " / " << t;
+        ASSERT_TRUE(r.accepted);
+    }
+}
+
+TEST(SsRef, NoFalseRejectionsOnSimulatedReads)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 250;
+    config.errorRate = 0.03;
+    config.seed = 10;
+    genomics::ReadSimulator sim(config);
+    const std::int64_t threshold = defaultSsThreshold(250, 0.03);
+    for (const auto &pair : sim.generatePairs(50)) {
+        if (pair.trueEdits <= threshold) {
+            const SsResult r = refSs(pair.pattern, pair.text, threshold);
+            EXPECT_TRUE(r.accepted)
+                << "true edits " << pair.trueEdits << " <= E "
+                << threshold;
+        }
+    }
+}
+
+TEST(SsRef, SegmentedLongReadsStillAccept)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 6000;
+    config.errorRate = 0.03;
+    config.seed = 4;
+    genomics::ReadSimulator sim(config);
+    const std::int64_t threshold = defaultSsThreshold(6000, 0.03);
+    for (const auto &pair : sim.generatePairs(4)) {
+        const SsResult r =
+            refSs(pair.pattern, pair.text, threshold, 1000);
+        EXPECT_TRUE(r.accepted);
+    }
+}
+
+TEST(SsRef, DecoyPairsAreRejected)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 250;
+    config.errorRate = 0.03;
+    config.seed = 3;
+    genomics::ReadSimulator sim(config);
+    const auto pairs = sim.generatePairs(10);
+    const std::int64_t threshold = defaultSsThreshold(250, 0.03);
+    int rejected = 0;
+    for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+        // Unrelated pattern/text: random 250-mers differ hugely.
+        const SsResult r =
+            refSs(pairs[i].pattern, pairs[i + 1].text, threshold);
+        rejected += r.accepted ? 0 : 1;
+    }
+    EXPECT_GE(rejected, 4);
+}
+
+TEST(SsRef, ThresholdDerivation)
+{
+    EXPECT_EQ(defaultSsThreshold(100, 0.03), 5);
+    EXPECT_EQ(defaultSsThreshold(10000, 0.05), 750);
+    EXPECT_EQ(defaultSsThreshold(10, 0.0), 2);
+}
+
+TEST(SsRef, MissingThresholdIsFatal)
+{
+    auto engine = makeSsEngine(Variant::Ref, nullptr, nullptr);
+    SsConfig config; // editThreshold = 0
+    EXPECT_THROW(sneakySnake(*engine, "ACGT", "ACGT", config),
+                 FatalError);
+}
+
+// ====================================================================
+// Timed variants agree bitwise with the reference.
+// ====================================================================
+
+class SsVariants : public ::testing::TestWithParam<Variant>
+{
+};
+
+TEST_P(SsVariants, BitIdenticalToReference)
+{
+    const Variant variant = GetParam();
+    sim::SimContext ctx(needsQuetzal(variant)
+                            ? sim::SystemParams::withQuetzal()
+                            : sim::SystemParams::baseline());
+    isa::VectorUnit vpu(ctx.pipeline());
+    std::optional<accel::QzUnit> qz;
+    if (needsQuetzal(variant))
+        qz.emplace(vpu, ctx.params().quetzal);
+    auto engine = makeSsEngine(variant, &vpu, qz ? &*qz : nullptr);
+    auto ref = makeSsEngine(Variant::Ref, nullptr, nullptr);
+
+    genomics::ReadSimConfig config;
+    config.readLength = 300;
+    config.errorRate = 0.04;
+    config.seed = 42;
+    genomics::ReadSimulator sim(config);
+    SsConfig ssConfig;
+    ssConfig.editThreshold = defaultSsThreshold(300, 0.04);
+    for (const auto &pair : sim.generatePairs(8)) {
+        const SsResult got =
+            sneakySnake(*engine, pair.pattern, pair.text, ssConfig);
+        const SsResult want =
+            sneakySnake(*ref, pair.pattern, pair.text, ssConfig);
+        ASSERT_EQ(got.accepted, want.accepted);
+        ASSERT_EQ(got.editBound, want.editBound);
+    }
+    EXPECT_GT(ctx.pipeline().instructions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SsVariants,
+                         ::testing::Values(Variant::Base, Variant::Vec,
+                                           Variant::Qz, Variant::QzC),
+                         [](const auto &info) {
+                             std::string name(variantName(info.param));
+                             for (auto &c : name)
+                                 if (c == '+')
+                                     c = 'C';
+                             return name;
+                         });
+
+TEST(SsTiming, CountHardwareBeatsVec)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 1000;
+    config.errorRate = 0.04;
+    genomics::ReadSimulator rs(config);
+    const auto pairs = rs.generatePairs(3);
+    SsConfig ssConfig;
+    ssConfig.editThreshold = defaultSsThreshold(1000, 0.04);
+
+    auto measure = [&](Variant v) {
+        sim::SimContext ctx(needsQuetzal(v)
+                                ? sim::SystemParams::withQuetzal()
+                                : sim::SystemParams::baseline());
+        isa::VectorUnit vpu(ctx.pipeline());
+        std::optional<accel::QzUnit> qz;
+        if (needsQuetzal(v))
+            qz.emplace(vpu, ctx.params().quetzal);
+        auto engine = makeSsEngine(v, &vpu, qz ? &*qz : nullptr);
+        for (const auto &pair : pairs)
+            sneakySnake(*engine, pair.pattern, pair.text, ssConfig);
+        return ctx.pipeline().totalCycles();
+    };
+
+    EXPECT_LT(measure(Variant::QzC), measure(Variant::Vec));
+}
+
+} // namespace
+} // namespace quetzal::algos

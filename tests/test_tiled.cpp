@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tiled (windowed) alignment tests — the Section VI software path for
+ * ultra-long reads: transcripts must stay valid, error-free pairs must
+ * tile to score 0, the score must never beat the true optimum, and the
+ * seam overhead must stay small on indel-balanced data.
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "algos/biwfa.hpp"
+#include "algos/tiled.hpp"
+#include "algos/wfa_engine.hpp"
+#include "genomics/readsim.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::algos {
+namespace {
+
+genomics::SequencePair
+makePair(std::size_t length, double errorRate, std::uint64_t seed)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = length;
+    config.errorRate = errorRate;
+    config.seed = seed;
+    genomics::ReadSimulator sim(config);
+    return sim.generatePairs(1).front();
+}
+
+TEST(Tiled, WindowCount)
+{
+    TiledConfig config;
+    config.windowBases = 1000;
+    EXPECT_EQ(tiledWindowCount(1, config), 1u);
+    EXPECT_EQ(tiledWindowCount(1000, config), 1u);
+    EXPECT_EQ(tiledWindowCount(1001, config), 2u);
+    EXPECT_EQ(tiledWindowCount(5500, config), 6u);
+}
+
+TEST(Tiled, SingleWindowEqualsPlainWfa)
+{
+    const auto pair = makePair(800, 0.04, 1);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    const auto tiled = tiledAlign(*engine, pair.pattern, pair.text);
+    const auto plain = wfaAlign(*engine, pair.pattern, pair.text);
+    EXPECT_EQ(tiled.score, plain.score);
+    EXPECT_EQ(tiled.cigar.ops, plain.cigar.ops);
+}
+
+TEST(Tiled, ErrorFreePairTilesToZero)
+{
+    const auto pair = makePair(20000, 0.0, 2);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    TiledConfig config;
+    config.windowBases = 3000;
+    const auto tiled =
+        tiledAlign(*engine, pair.pattern, pair.text, config);
+    EXPECT_EQ(tiled.score, 0);
+    EXPECT_TRUE(validateCigar(pair.pattern, pair.text, tiled.cigar));
+}
+
+TEST(Tiled, ValidAndNearOptimalOnLongReads)
+{
+    const auto pair = makePair(40000, 0.01, 3);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    TiledConfig config;
+    config.windowBases = 8000;
+    const auto tiled =
+        tiledAlign(*engine, pair.pattern, pair.text, config);
+    ASSERT_TRUE(validateCigar(pair.pattern, pair.text, tiled.cigar));
+    EXPECT_EQ(tiled.cigar.edits(), tiled.score);
+
+    const std::int64_t optimal =
+        biwfaScore(*engine, pair.pattern, pair.text);
+    EXPECT_GE(tiled.score, optimal);
+    // Seam overhead on indel-balanced data stays small.
+    EXPECT_LE(tiled.score, optimal + optimal / 2 + 64);
+}
+
+TEST(Tiled, RejectsOversizedWindows)
+{
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    TiledConfig config;
+    config.windowBases = 40000;
+    EXPECT_THROW(tiledAlign(*engine, "ACGT", "ACGT", config),
+                 FatalError);
+    config.windowBases = 16000; // too big for the 8-bit encoding
+    EXPECT_THROW(tiledAlign(*engine, "ACGT", "ACGT", config,
+                            genomics::ElementSize::Bits8),
+                 FatalError);
+}
+
+TEST(Tiled, QuetzalEngineHandlesUltraLongReads)
+{
+    // A 100 kbp ONT-class read: far beyond the QBUFFER capacity, so
+    // only the windowed path can run it on the accelerator.
+    const auto pair = makePair(100000, 0.005, 4);
+    sim::SimContext ctx(sim::SystemParams::withQuetzal());
+    isa::VectorUnit vpu(ctx.pipeline());
+    accel::QzUnit qz(vpu, ctx.params().quetzal);
+    auto engine = makeWfaEngine(Variant::QzC, &vpu, &qz);
+
+    TiledConfig config;
+    config.windowBases = 30000;
+    const auto tiled =
+        tiledAlign(*engine, pair.pattern, pair.text, config);
+    ASSERT_TRUE(validateCigar(pair.pattern, pair.text, tiled.cigar));
+
+    auto ref = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    const auto want =
+        tiledAlign(*ref, pair.pattern, pair.text, config);
+    EXPECT_EQ(tiled.score, want.score);
+    EXPECT_EQ(tiled.cigar.ops, want.cigar.ops);
+    EXPECT_GT(ctx.pipeline().totalCycles(), 0u);
+}
+
+TEST(Tiled, DriftRandomWalkStaysAligned)
+{
+    // Indel-heavy pair: tiling must still produce a valid transcript.
+    genomics::ReadSimConfig config;
+    config.readLength = 30000;
+    config.errorRate = 0.04;
+    config.substitutionFrac = 0.2; // 40% insertions, 40% deletions
+    config.insertionFrac = 0.4;
+    config.seed = 9;
+    genomics::ReadSimulator sim(config);
+    const auto pair = sim.generatePairs(1).front();
+
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    TiledConfig tcfg;
+    tcfg.windowBases = 5000;
+    const auto tiled =
+        tiledAlign(*engine, pair.pattern, pair.text, tcfg);
+    EXPECT_TRUE(validateCigar(pair.pattern, pair.text, tiled.cigar));
+}
+
+} // namespace
+} // namespace quetzal::algos

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the shared data structures of the algorithm layer:
+ * Wave (padded wavefront rows) and the CIGAR utilities.
+ */
+#include <gtest/gtest.h>
+
+#include "algos/cigar.hpp"
+#include "algos/sam.hpp"
+#include "algos/wavefront.hpp"
+
+namespace quetzal::algos {
+namespace {
+
+TEST(Wave, InitializesToSentinels)
+{
+    Wave wave(-3, 3);
+    EXPECT_EQ(wave.lo(), -3);
+    EXPECT_EQ(wave.hi(), 3);
+    for (int k = -3; k <= 3; ++k)
+        EXPECT_EQ(wave.at(k), kOffNone);
+    // The padding is sentinel too (vector kernels rely on it).
+    EXPECT_EQ(wave.at(-3 - Wave::kPad + 1), kOffNone);
+    EXPECT_EQ(wave.at(3 + Wave::kPad - 1), kOffNone);
+}
+
+TEST(Wave, SetAndReadBack)
+{
+    Wave wave(-2, 2);
+    wave.set(0, 42);
+    wave.set(-2, 7);
+    EXPECT_EQ(wave.at(0), 42);
+    EXPECT_EQ(wave.at(-2), 7);
+    EXPECT_TRUE(wave.contains(0));
+    EXPECT_FALSE(wave.contains(3));
+}
+
+TEST(Wave, PointerArithmeticMatchesAt)
+{
+    Wave wave(-5, 5);
+    wave.set(-5, 1);
+    wave.set(5, 11);
+    EXPECT_EQ(*wave.ptr(-5), 1);
+    EXPECT_EQ(*wave.ptr(5), 11);
+    EXPECT_EQ(wave.ptr(5) - wave.ptr(-5), 10);
+}
+
+TEST(Wave, ResetReconfiguresRange)
+{
+    Wave wave(0, 0);
+    wave.set(0, 9);
+    wave.reset(-10, 10);
+    EXPECT_EQ(wave.lo(), -10);
+    EXPECT_EQ(wave.at(0), kOffNone);
+}
+
+TEST(Wave, AccessBeyondPaddingPanics)
+{
+    Wave wave(0, 0);
+    EXPECT_THROW(wave.at(Wave::kPad + 1), PanicError);
+    EXPECT_THROW(wave.reset(3, 1), PanicError);
+}
+
+TEST(Cigar, EditsCountNonMatches)
+{
+    Cigar cigar;
+    cigar.ops = "MMMXMMIMD";
+    EXPECT_EQ(cigar.edits(), 3);
+}
+
+TEST(Cigar, RleCompresses)
+{
+    Cigar cigar;
+    cigar.ops = "MMMMXXIM";
+    EXPECT_EQ(cigar.rle(), "4M2X1I1M");
+    Cigar empty;
+    EXPECT_EQ(empty.rle(), "");
+}
+
+TEST(Cigar, AppendRuns)
+{
+    Cigar cigar;
+    cigar.append('M', 3);
+    cigar.append('X');
+    EXPECT_EQ(cigar.ops, "MMMX");
+}
+
+TEST(ValidateCigar, AcceptsExactTranscripts)
+{
+    Cigar cigar;
+    cigar.ops = "MMXMI";
+    //            pattern ACGA vs text ACTAG
+    EXPECT_TRUE(validateCigar("ACGA", "ACTAG", cigar));
+}
+
+TEST(ValidateCigar, RejectsWrongColumns)
+{
+    Cigar m;
+    m.ops = "MM";
+    EXPECT_FALSE(validateCigar("AC", "AT", m)); // X claimed as M
+    Cigar x;
+    x.ops = "XX";
+    EXPECT_FALSE(validateCigar("AC", "AC", x)); // M claimed as X
+    Cigar shortOps;
+    shortOps.ops = "M";
+    EXPECT_FALSE(validateCigar("AC", "AC", shortOps)); // leftovers
+    Cigar overrun;
+    overrun.ops = "MMM";
+    EXPECT_FALSE(validateCigar("AC", "AC", overrun));
+    Cigar bogus;
+    bogus.ops = "MZ";
+    EXPECT_FALSE(validateCigar("AC", "AC", bogus));
+}
+
+TEST(ValidateCigar, HandlesIndelOnlyTranscripts)
+{
+    Cigar ins;
+    ins.ops = "III";
+    EXPECT_TRUE(validateCigar("", "ACG", ins));
+    Cigar del;
+    del.ops = "DD";
+    EXPECT_TRUE(validateCigar("AC", "", del));
+}
+
+TEST(Sam, CigarConversionFoldsAndExtends)
+{
+    Cigar cigar;
+    cigar.ops = "MMMXMIDD";
+    // Internal I consumes reference -> SAM 'D'; internal D -> SAM 'I'.
+    EXPECT_EQ(toSamCigar(cigar, /*extended=*/true), "3=1X1=1D2I");
+    EXPECT_EQ(toSamCigar(cigar, /*extended=*/false), "5M1D2I");
+    EXPECT_EQ(toSamCigar(Cigar{}, true), "*");
+}
+
+TEST(Sam, HeaderAndRecordFormat)
+{
+    std::ostringstream out;
+    writeSamHeader(out, "chr1", 1000);
+    SamRecord record;
+    record.qname = "read7";
+    record.rname = "chr1";
+    record.pos = 42;
+    record.cigar = "10=";
+    record.seq = "ACGTACGTAC";
+    writeSamRecord(out, record);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("@SQ\tSN:chr1\tLN:1000"), std::string::npos);
+    EXPECT_NE(text.find("read7\t0\tchr1\t42\t60\t10=\t*\t0\t0\t"
+                        "ACGTACGTAC\t*"),
+              std::string::npos);
+    SamRecord anonymous;
+    EXPECT_THROW(writeSamRecord(out, anonymous), FatalError);
+}
+
+} // namespace
+} // namespace quetzal::algos

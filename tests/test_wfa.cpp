@@ -1,0 +1,311 @@
+/**
+ * @file
+ * WFA tests: reference correctness against brute-force edit distance,
+ * traceback validity, and bit-identical results across every timed
+ * variant (the paper validates each QUETZAL implementation by bitwise
+ * output comparison, Section V-B).
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "algos/wfa.hpp"
+#include "algos/wfa_engine.hpp"
+#include "common/rng.hpp"
+#include "genomics/readsim.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::algos {
+namespace {
+
+/** O(mn) reference edit distance for cross-checking. */
+std::int64_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::int64_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = static_cast<std::int64_t>(j);
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = static_cast<std::int64_t>(i);
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::int64_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+AlignResult
+refAlign(std::string_view p, std::string_view t, bool tb = true)
+{
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    return wfaAlign(*engine, p, t, tb);
+}
+
+TEST(WfaRef, MatchesBruteForceOnFixedCases)
+{
+    struct Case
+    {
+        const char *p, *t;
+        std::int64_t score;
+    };
+    const Case cases[] = {
+        {"ACAG", "AAGT", 2}, // the paper's Fig. 1 example pair
+        {"ACGT", "ACGT", 0},
+        {"A", "T", 1},
+        {"ACGT", "AGT", 1},
+        {"AGT", "ACGT", 1},
+        {"AAAA", "TTTT", 4},
+        {"GATTACA", "GCATGCU", 4},
+    };
+    for (const auto &c : cases) {
+        const AlignResult got = refAlign(c.p, c.t);
+        EXPECT_EQ(got.score, c.score) << c.p << " vs " << c.t;
+        EXPECT_EQ(got.score, editDistance(c.p, c.t));
+        EXPECT_TRUE(validateCigar(c.p, c.t, got.cigar));
+        EXPECT_EQ(got.cigar.edits(), got.score);
+    }
+}
+
+TEST(WfaRef, EmptySides)
+{
+    EXPECT_EQ(refAlign("", "").score, 0);
+    const AlignResult ins = refAlign("", "ACG");
+    EXPECT_EQ(ins.score, 3);
+    EXPECT_EQ(ins.cigar.ops, "III");
+    const AlignResult del = refAlign("ACG", "");
+    EXPECT_EQ(del.score, 3);
+    EXPECT_EQ(del.cigar.ops, "DDD");
+}
+
+TEST(WfaRef, RandomPairsMatchBruteForce)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 60; ++trial) {
+        const auto la = 1 + rng.below(60);
+        const auto lb = 1 + rng.below(60);
+        std::string a, b;
+        for (std::size_t i = 0; i < la; ++i)
+            a += "ACGT"[rng.below(4)];
+        for (std::size_t i = 0; i < lb; ++i)
+            b += "ACGT"[rng.below(4)];
+        const AlignResult got = refAlign(a, b);
+        ASSERT_EQ(got.score, editDistance(a, b)) << a << " / " << b;
+        ASSERT_TRUE(validateCigar(a, b, got.cigar));
+        ASSERT_EQ(got.cigar.edits(), got.score);
+    }
+}
+
+TEST(WfaRef, ScoreNeverExceedsInjectedEdits)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 300;
+    config.errorRate = 0.05;
+    config.seed = 77;
+    genomics::ReadSimulator sim(config);
+    for (const auto &pair : sim.generatePairs(20)) {
+        const std::int64_t score =
+            refAlign(pair.pattern, pair.text, false).score;
+        EXPECT_LE(score, pair.trueEdits);
+    }
+}
+
+TEST(WfaRef, ScoreOnlyAgreesWithAlign)
+{
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    genomics::ReadSimConfig config;
+    config.readLength = 150;
+    config.errorRate = 0.08;
+    genomics::ReadSimulator sim(config);
+    for (const auto &pair : sim.generatePairs(10)) {
+        const auto full = wfaAlign(*engine, pair.pattern, pair.text);
+        const auto scoreOnly =
+            wfaScore(*engine, pair.pattern, pair.text);
+        EXPECT_EQ(full.score, scoreOnly);
+    }
+}
+
+TEST(WfaRef, CellCountQuadraticInScore)
+{
+    EXPECT_EQ(wfaCellCount(0), 1u);
+    EXPECT_EQ(wfaCellCount(3), 16u);
+}
+
+// ====================================================================
+// Timed variants: parameterized over Variant and dataset shape.
+// ====================================================================
+
+struct TimedCase
+{
+    Variant variant;
+    std::size_t readLength;
+    double errorRate;
+};
+
+class WfaVariants : public ::testing::TestWithParam<TimedCase>
+{
+};
+
+TEST_P(WfaVariants, BitIdenticalToReference)
+{
+    const TimedCase tc = GetParam();
+    sim::SimContext ctx(needsQuetzal(tc.variant)
+                            ? sim::SystemParams::withQuetzal()
+                            : sim::SystemParams::baseline());
+    isa::VectorUnit vpu(ctx.pipeline());
+    std::optional<accel::QzUnit> qz;
+    if (needsQuetzal(tc.variant))
+        qz.emplace(vpu, ctx.params().quetzal);
+
+    auto engine = makeWfaEngine(tc.variant, &vpu, qz ? &*qz : nullptr);
+    auto ref = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+
+    genomics::ReadSimConfig config;
+    config.readLength = tc.readLength;
+    config.errorRate = tc.errorRate;
+    config.seed = 11 + tc.readLength;
+    genomics::ReadSimulator sim(config);
+    for (const auto &pair : sim.generatePairs(6)) {
+        const AlignResult got =
+            wfaAlign(*engine, pair.pattern, pair.text);
+        const AlignResult want =
+            wfaAlign(*ref, pair.pattern, pair.text);
+        ASSERT_EQ(got.score, want.score);
+        ASSERT_EQ(got.cigar.ops, want.cigar.ops);
+        ASSERT_TRUE(validateCigar(pair.pattern, pair.text, got.cigar));
+    }
+    EXPECT_GT(ctx.pipeline().totalCycles(), 0u);
+    EXPECT_GT(ctx.pipeline().instructions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, WfaVariants,
+    ::testing::Values(TimedCase{Variant::Base, 120, 0.05},
+                      TimedCase{Variant::Vec, 120, 0.05},
+                      TimedCase{Variant::Qz, 120, 0.05},
+                      TimedCase{Variant::QzC, 120, 0.05},
+                      TimedCase{Variant::Base, 400, 0.03},
+                      TimedCase{Variant::Vec, 400, 0.03},
+                      TimedCase{Variant::Qz, 400, 0.03},
+                      TimedCase{Variant::QzC, 400, 0.03}),
+    [](const auto &info) {
+        std::string name(variantName(info.param.variant));
+        for (auto &c : name)
+            if (c == '+')
+                c = 'C';
+        return name + "_len" + std::to_string(info.param.readLength);
+    });
+
+TEST(WfaVariantsProtein, EightBitEncodingWorks)
+{
+    sim::SimContext ctx(sim::SystemParams::withQuetzal());
+    isa::VectorUnit vpu(ctx.pipeline());
+    accel::QzUnit qz(vpu, ctx.params().quetzal);
+    auto engine = makeWfaEngine(Variant::QzC, &vpu, &qz);
+    auto ref = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+
+    genomics::ReadSimConfig config;
+    config.readLength = 200;
+    config.errorRate = 0.1;
+    config.alphabet = genomics::AlphabetKind::Protein;
+    genomics::ReadSimulator sim(config);
+    for (const auto &pair : sim.generatePairs(4)) {
+        const AlignResult got =
+            wfaAlign(*engine, pair.pattern, pair.text, true,
+                     genomics::ElementSize::Bits8);
+        const AlignResult want =
+            wfaAlign(*ref, pair.pattern, pair.text);
+        ASSERT_EQ(got.score, want.score);
+        ASSERT_EQ(got.cigar.ops, want.cigar.ops);
+    }
+}
+
+TEST(WfaHeuristicMode, GenerousLagStaysOptimal)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 300;
+    config.errorRate = 0.06;
+    config.seed = 5;
+    genomics::ReadSimulator sim(config);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    WfaHeuristic heuristic;
+    heuristic.maxLag = 100; // generous: never prunes the true path
+    for (const auto &pair : sim.generatePairs(8)) {
+        const auto exact = wfaAlign(*engine, pair.pattern, pair.text);
+        const auto pruned =
+            wfaAlign(*engine, pair.pattern, pair.text, true,
+                     genomics::ElementSize::Bits2, heuristic);
+        ASSERT_EQ(pruned.score, exact.score);
+        ASSERT_TRUE(validateCigar(pair.pattern, pair.text,
+                                  pruned.cigar));
+    }
+}
+
+TEST(WfaHeuristicMode, TightLagPrunesWorkAtBoundedCost)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 800;
+    config.errorRate = 0.08;
+    config.seed = 6;
+    genomics::ReadSimulator sim(config);
+    const auto pair = sim.generatePairs(1).front();
+
+    sim::SimContext exactCtx, prunedCtx;
+    isa::VectorUnit exactVpu(exactCtx.pipeline());
+    isa::VectorUnit prunedVpu(prunedCtx.pipeline());
+    auto exactEngine = makeWfaEngine(Variant::Vec, &exactVpu, nullptr);
+    auto prunedEngine = makeWfaEngine(Variant::Vec, &prunedVpu, nullptr);
+
+    const auto exact =
+        wfaAlign(*exactEngine, pair.pattern, pair.text);
+    WfaHeuristic heuristic;
+    heuristic.maxLag = 30;
+    const auto pruned =
+        wfaAlign(*prunedEngine, pair.pattern, pair.text, true,
+                 genomics::ElementSize::Bits2, heuristic);
+
+    // Heuristic results are still valid alignments, never better
+    // than optimal, and cost fewer simulated cycles.
+    EXPECT_GE(pruned.score, exact.score);
+    EXPECT_LE(pruned.score, exact.score + exact.score / 2);
+    EXPECT_TRUE(validateCigar(pair.pattern, pair.text, pruned.cigar));
+    EXPECT_LT(prunedCtx.pipeline().totalCycles(),
+              exactCtx.pipeline().totalCycles());
+}
+
+TEST(WfaTiming, QuetzalVariantsReduceMemoryRequests)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 500;
+    config.errorRate = 0.05;
+    genomics::ReadSimulator rs(config);
+    const auto pairs = rs.generatePairs(3);
+
+    auto measure = [&](Variant v) {
+        sim::SimContext ctx(needsQuetzal(v)
+                                ? sim::SystemParams::withQuetzal()
+                                : sim::SystemParams::baseline());
+        isa::VectorUnit vpu(ctx.pipeline());
+        std::optional<accel::QzUnit> qz;
+        if (needsQuetzal(v))
+            qz.emplace(vpu, ctx.params().quetzal);
+        auto engine = makeWfaEngine(v, &vpu, qz ? &*qz : nullptr);
+        for (const auto &pair : pairs)
+            wfaAlign(*engine, pair.pattern, pair.text);
+        return std::pair{ctx.pipeline().totalCycles(),
+                         ctx.mem().totalRequests()};
+    };
+
+    const auto [vecCycles, vecReqs] = measure(Variant::Vec);
+    const auto [qzcCycles, qzcReqs] = measure(Variant::QzC);
+    // QUETZAL+C must beat VEC in cycles and issue fewer memory
+    // requests (Fig. 13a / Fig. 14a shapes).
+    EXPECT_LT(qzcCycles, vecCycles);
+    EXPECT_LT(qzcReqs, vecReqs);
+}
+
+} // namespace
+} // namespace quetzal::algos

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Gap-affine WFA tests: agreement with a brute-force affine DP,
+ * degeneration to edit distance under unit penalties, CIGAR/penalty
+ * consistency, and bit-identical variants.
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "algos/wfa_affine.hpp"
+#include "algos/wfa_engine.hpp"
+#include "common/rng.hpp"
+#include "genomics/readsim.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+namespace quetzal::algos {
+namespace {
+
+/** O(mn) gap-affine DP (Gotoh) for cross-checking scores. */
+std::int64_t
+affineBruteForce(std::string_view a, std::string_view b,
+                 const AffinePenalties &pen)
+{
+    const std::int64_t inf = 1 << 28;
+    const std::size_t rows = a.size() + 1, cols = b.size() + 1;
+    std::vector<std::int64_t> h(rows * cols, inf), e(rows * cols, inf),
+        f(rows * cols, inf);
+    auto idx = [cols](std::size_t i, std::size_t j) {
+        return i * cols + j;
+    };
+    h[0] = 0;
+    for (std::size_t j = 1; j < cols; ++j) {
+        e[idx(0, j)] =
+            pen.gapOpen + pen.gapExtend * static_cast<std::int64_t>(j);
+        h[idx(0, j)] = e[idx(0, j)];
+    }
+    for (std::size_t i = 1; i < rows; ++i) {
+        f[idx(i, 0)] =
+            pen.gapOpen + pen.gapExtend * static_cast<std::int64_t>(i);
+        h[idx(i, 0)] = f[idx(i, 0)];
+    }
+    for (std::size_t i = 1; i < rows; ++i) {
+        for (std::size_t j = 1; j < cols; ++j) {
+            e[idx(i, j)] = std::min(
+                h[idx(i, j - 1)] + pen.gapOpen + pen.gapExtend,
+                e[idx(i, j - 1)] + pen.gapExtend);
+            f[idx(i, j)] = std::min(
+                h[idx(i - 1, j)] + pen.gapOpen + pen.gapExtend,
+                f[idx(i - 1, j)] + pen.gapExtend);
+            const std::int64_t sub =
+                h[idx(i - 1, j - 1)] +
+                (a[i - 1] == b[j - 1] ? 0 : pen.mismatch);
+            h[idx(i, j)] =
+                std::min(sub, std::min(e[idx(i, j)], f[idx(i, j)]));
+        }
+    }
+    return h[idx(rows - 1, cols - 1)];
+}
+
+AffineResult
+refAlign(std::string_view p, std::string_view t,
+         const AffinePenalties &pen = AffinePenalties{})
+{
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    return affineWfaAlign(*engine, p, t, pen);
+}
+
+TEST(AffineWfa, FixedCases)
+{
+    const AffinePenalties pen{4, 6, 2};
+    // Identical strings: score 0.
+    EXPECT_EQ(refAlign("ACGTACGT", "ACGTACGT", pen).score, 0);
+    // One mismatch: x = 4 (cheaper than two gaps: 2*(6+2)=16).
+    EXPECT_EQ(refAlign("ACGTACGT", "ACGAACGT", pen).score, 4);
+    // One deletion: o + e = 8.
+    EXPECT_EQ(refAlign("ACGTACGT", "ACGACGT", pen).score, 8);
+    // A 3-gap: o + 3e = 12 (affine, not 3*(o+e) = 24).
+    EXPECT_EQ(refAlign("ACGTTTACGT", "ACGACGT", pen).score, 12);
+}
+
+TEST(AffineWfa, MatchesBruteForceOnRandomPairs)
+{
+    Rng rng(777);
+    const AffinePenalties pen{4, 6, 2};
+    for (int trial = 0; trial < 40; ++trial) {
+        std::string a, b;
+        const auto la = 1 + rng.below(40), lb = 1 + rng.below(40);
+        for (std::size_t i = 0; i < la; ++i)
+            a += "ACGT"[rng.below(4)];
+        for (std::size_t i = 0; i < lb; ++i)
+            b += "ACGT"[rng.below(4)];
+        const auto got = refAlign(a, b, pen);
+        ASSERT_EQ(got.score, affineBruteForce(a, b, pen))
+            << a << " / " << b;
+        ASSERT_TRUE(validateCigar(a, b, got.cigar));
+        ASSERT_EQ(affinePenaltyOf(got.cigar, pen), got.score);
+    }
+}
+
+TEST(AffineWfa, UnitPenaltiesDegenerateToEditDistance)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 200;
+    config.errorRate = 0.06;
+    config.seed = 4;
+    genomics::ReadSimulator sim(config);
+    auto engine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+    for (const auto &pair : sim.generatePairs(8)) {
+        const auto affine =
+            affineWfaAlign(*engine, pair.pattern, pair.text,
+                           AffinePenalties::edit());
+        const auto edit = wfaAlign(*engine, pair.pattern, pair.text);
+        ASSERT_EQ(affine.score, edit.score);
+        ASSERT_TRUE(
+            validateCigar(pair.pattern, pair.text, affine.cigar));
+    }
+}
+
+TEST(AffineWfa, EmptyAndDegenerateInputs)
+{
+    const AffinePenalties pen{4, 6, 2};
+    EXPECT_EQ(refAlign("", "", pen).score, 0);
+    const auto ins = refAlign("", "ACG", pen);
+    EXPECT_EQ(ins.score, 6 + 3 * 2);
+    EXPECT_EQ(ins.cigar.ops, "III");
+    EXPECT_THROW(refAlign("A", "A", AffinePenalties{0, 1, 1}),
+                 FatalError);
+}
+
+TEST(AffineWfa, PenaltyAccountingHelper)
+{
+    const AffinePenalties pen{4, 6, 2};
+    Cigar cigar;
+    cigar.ops = "MMXMMIIMDM";
+    // 1 mismatch (4) + a 2-gap I (6+4) + a 1-gap D (6+2) = 22.
+    EXPECT_EQ(affinePenaltyOf(cigar, pen), 22);
+}
+
+class AffineVariants : public ::testing::TestWithParam<Variant>
+{
+};
+
+TEST_P(AffineVariants, BitIdenticalToReference)
+{
+    const Variant variant = GetParam();
+    sim::SimContext ctx(needsQuetzal(variant)
+                            ? sim::SystemParams::withQuetzal()
+                            : sim::SystemParams::baseline());
+    isa::VectorUnit vpu(ctx.pipeline());
+    std::optional<accel::QzUnit> qz;
+    if (needsQuetzal(variant))
+        qz.emplace(vpu, ctx.params().quetzal);
+    auto engine = makeWfaEngine(variant, &vpu, qz ? &*qz : nullptr);
+    auto ref = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+
+    genomics::ReadSimConfig config;
+    config.readLength = 250;
+    config.errorRate = 0.05;
+    config.seed = 31;
+    genomics::ReadSimulator sim(config);
+    const AffinePenalties pen{4, 6, 2};
+    for (const auto &pair : sim.generatePairs(4)) {
+        const auto got =
+            affineWfaAlign(*engine, pair.pattern, pair.text, pen);
+        const auto want =
+            affineWfaAlign(*ref, pair.pattern, pair.text, pen);
+        ASSERT_EQ(got.score, want.score);
+        ASSERT_EQ(got.cigar.ops, want.cigar.ops);
+        ASSERT_TRUE(validateCigar(pair.pattern, pair.text, got.cigar));
+    }
+    EXPECT_GT(ctx.pipeline().instructions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, AffineVariants,
+                         ::testing::Values(Variant::Base, Variant::Vec,
+                                           Variant::Qz, Variant::QzC),
+                         [](const auto &info) {
+                             std::string name(variantName(info.param));
+                             for (auto &c : name)
+                                 if (c == '+')
+                                     c = 'C';
+                             return name;
+                         });
+
+TEST(AffineWfaTiming, QuetzalAcceleratesAffineToo)
+{
+    genomics::ReadSimConfig config;
+    config.readLength = 500;
+    config.errorRate = 0.04;
+    genomics::ReadSimulator rs(config);
+    const auto pairs = rs.generatePairs(3);
+    const AffinePenalties pen{4, 6, 2};
+
+    auto measure = [&](Variant v) {
+        sim::SimContext ctx(needsQuetzal(v)
+                                ? sim::SystemParams::withQuetzal()
+                                : sim::SystemParams::baseline());
+        isa::VectorUnit vpu(ctx.pipeline());
+        std::optional<accel::QzUnit> qz;
+        if (needsQuetzal(v))
+            qz.emplace(vpu, ctx.params().quetzal);
+        auto engine = makeWfaEngine(v, &vpu, qz ? &*qz : nullptr);
+        for (const auto &pair : pairs)
+            affineWfaAlign(*engine, pair.pattern, pair.text, pen);
+        return ctx.pipeline().totalCycles();
+    };
+
+    EXPECT_LT(measure(Variant::QzC), measure(Variant::Vec));
+}
+
+} // namespace
+} // namespace quetzal::algos

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tiny argv helper shared by the command-line tools.
+ */
+#ifndef QUETZAL_TOOLS_CLI_COMMON_HPP
+#define QUETZAL_TOOLS_CLI_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algos/variant.hpp"
+#include "common/logging.hpp"
+
+namespace quetzal::cli {
+
+/** Parsed "--key value" options plus positional arguments. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                const std::string key = arg.substr(2);
+                if (i + 1 < argc && argv[i + 1][0] != '-') {
+                    options_[key] = argv[++i];
+                } else {
+                    options_[key] = "1"; // boolean flag
+                }
+            } else {
+                positional_.push_back(std::move(arg));
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = options_.find(key);
+        return it == options_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        auto it = options_.find(key);
+        return it == options_.end() ? fallback
+                                    : std::atol(it->second.c_str());
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = options_.find(key);
+        return it == options_.end() ? fallback
+                                    : std::atof(it->second.c_str());
+    }
+
+    bool has(const std::string &key) const
+    {
+        return options_.contains(key);
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+/** Parse a variant name ("base", "vec", "qz", "qzc"). */
+inline algos::Variant
+parseVariant(const std::string &name)
+{
+    if (name == "base")
+        return algos::Variant::Base;
+    if (name == "vec")
+        return algos::Variant::Vec;
+    if (name == "qz")
+        return algos::Variant::Qz;
+    if (name == "qzc" || name == "quetzal")
+        return algos::Variant::QzC;
+    fatal("unknown variant '{}' (expected base|vec|qz|qzc)", name);
+}
+
+} // namespace quetzal::cli
+
+#endif // QUETZAL_TOOLS_CLI_COMMON_HPP

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * qz-align: align a pair file on the simulated QUETZAL core.
+ *
+ *   qz-align pairs.txt                          # WFA, QUETZAL+C
+ *   qz-align pairs.txt --algo biwfa --variant vec
+ *   qz-align pairs.txt --algo nw --maxlen 500 --cigar
+ *   qz-align long_pairs.txt --window 30000      # tiled ultra-long
+ */
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "algos/biwfa.hpp"
+#include "algos/wfa_affine.hpp"
+#include "algos/nw.hpp"
+#include "algos/report.hpp"
+#include "algos/sam.hpp"
+#include "algos/swg.hpp"
+#include "algos/tiled.hpp"
+#include "algos/wfa.hpp"
+#include "algos/wfa_engine.hpp"
+#include "cli_common.hpp"
+#include "genomics/fasta.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quetzal;
+    using algos::Variant;
+    try {
+        const cli::Args args(argc, argv);
+        if (args.has("help") || args.positional().empty()) {
+            std::cout
+                << "qz-align PAIRFILE [options]\n"
+                   "  --algo A       wfa|biwfa|affine|nw|sw (default wfa)\n"
+                   "  --variant V    base|vec|qz|qzc (default qzc)\n"
+                   "  --window N     tile ultra-long reads at N bases\n"
+                   "  --maxlen N     truncate pairs to N bases\n"
+                   "  --cigar        print each alignment's CIGAR\n"
+                   "  --protein      use the 8-bit encoding\n"
+                   "  --lag N        adaptive wavefront reduction "
+                   "(WFA heuristic)\n"
+                   "  --sam FILE     write alignments as SAM\n"
+                   "  --json         print an instruction profile as "
+                   "JSON\n";
+            return args.has("help") ? 0 : 2;
+        }
+
+        std::ifstream in(args.positional().front());
+        fatal_if(!in, "cannot open '{}'", args.positional().front());
+        auto pairs = genomics::readPairFile(in);
+        fatal_if(pairs.empty(), "no pairs in '{}'",
+                 args.positional().front());
+
+        const Variant variant =
+            cli::parseVariant(args.get("variant", "qzc"));
+        const std::string algo = args.get("algo", "wfa");
+        const auto maxLen = static_cast<std::size_t>(
+            args.getInt("maxlen", 1 << 30));
+        const auto esize = args.has("protein")
+                               ? genomics::ElementSize::Bits8
+                               : genomics::ElementSize::Bits2;
+
+        sim::SimContext core(algos::needsQuetzal(variant)
+                                 ? sim::SystemParams::withQuetzal()
+                                 : sim::SystemParams::baseline());
+        isa::VectorUnit vpu(core.pipeline());
+        std::optional<accel::QzUnit> qz;
+        if (algos::needsQuetzal(variant))
+            qz.emplace(vpu, core.params().quetzal);
+        auto engine =
+            algos::makeWfaEngine(variant, &vpu, qz ? &*qz : nullptr);
+
+        std::optional<std::ofstream> sam;
+        if (args.has("sam")) {
+            sam.emplace(args.get("sam"));
+            fatal_if(!*sam, "cannot open '{}' for writing",
+                     args.get("sam"));
+            algos::writeSamHeader(*sam, "ref",
+                                     pairs.front().text.size());
+        }
+
+        std::int64_t totalScore = 0;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            std::string_view pattern = pairs[i].pattern;
+            std::string_view text = pairs[i].text;
+            if (pattern.size() > maxLen)
+                pattern = pattern.substr(0, maxLen);
+            if (text.size() > maxLen)
+                text = text.substr(0, maxLen);
+
+            algos::AlignResult result;
+            if (args.has("window")) {
+                algos::TiledConfig config;
+                config.windowBases = static_cast<std::size_t>(
+                    args.getInt("window", 30000));
+                result = algos::tiledAlign(*engine, pattern, text,
+                                           config, esize);
+            } else if (algo == "wfa") {
+                algos::WfaHeuristic heuristic;
+                heuristic.maxLag = static_cast<std::int32_t>(
+                    args.getInt("lag", 0));
+                result = algos::wfaAlign(*engine, pattern, text, true,
+                                         esize, heuristic);
+            } else if (algo == "biwfa") {
+                result = algos::biwfaAlign(*engine, pattern, text, true,
+                                           esize);
+            } else if (algo == "affine") {
+                algos::AffinePenalties pen;
+                pen.mismatch =
+                    static_cast<std::int32_t>(args.getInt("x", 4));
+                pen.gapOpen =
+                    static_cast<std::int32_t>(args.getInt("o", 6));
+                pen.gapExtend =
+                    static_cast<std::int32_t>(args.getInt("e", 2));
+                const auto affine = algos::affineWfaAlign(
+                    *engine, pattern, text, pen, true, esize);
+                result.score = affine.score;
+                result.cigar = affine.cigar;
+            } else if (algo == "nw") {
+                result = algos::nwAlign(variant, pattern, text, &vpu,
+                                        qz ? &*qz : nullptr);
+            } else if (algo == "sw") {
+                const auto swg = algos::swgAlign(
+                    variant, pattern, text, algos::SwgParams{}, &vpu,
+                    qz ? &*qz : nullptr);
+                result.score = swg.score;
+                result.cigar = swg.cigar;
+            } else {
+                fatal("unknown algorithm '{}'", algo);
+            }
+
+            totalScore += result.score;
+            std::cout << "pair " << i << ": score " << result.score;
+            if (args.has("cigar"))
+                std::cout << "  " << result.cigar.rle();
+            std::cout << "\n";
+            if (sam) {
+                algos::SamRecord record;
+                record.qname = "pair_" + std::to_string(i);
+                record.rname = "ref";
+                record.cigar =
+                    algos::toSamCigar(result.cigar, /*extended=*/true);
+                record.seq = std::string(pattern);
+                algos::writeSamRecord(*sam, record);
+            }
+        }
+
+        std::cout << "\naligned " << pairs.size() << " pairs, total "
+                  << (algo == "sw" ? "alignment score " : "edits ")
+                  << totalScore << "\n"
+                  << "simulated cycles: "
+                  << core.pipeline().totalCycles() << " ("
+                  << core.pipeline().instructions()
+                  << " instructions, "
+                  << core.mem().totalRequests()
+                  << " cache requests)\n";
+        if (args.has("json"))
+            std::cout << algos::instructionProfileJson(core.pipeline())
+                      << "\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

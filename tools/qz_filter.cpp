@@ -1,0 +1,107 @@
+/**
+ * @file
+ * qz-filter: SneakySnake pre-alignment filtering of a pair file.
+ *
+ *   qz-filter pairs.txt --threshold 8
+ *   qz-filter pairs.txt --variant vec --accepted kept.txt
+ */
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "algos/shouji.hpp"
+#include "algos/sneakysnake.hpp"
+#include "cli_common.hpp"
+#include "genomics/fasta.hpp"
+#include "quetzal/qzunit.hpp"
+#include "sim/context.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quetzal;
+    using algos::Variant;
+    try {
+        const cli::Args args(argc, argv);
+        if (args.has("help") || args.positional().empty()) {
+            std::cout
+                << "qz-filter PAIRFILE [options]\n"
+                   "  --threshold E   edit threshold (default: 5% of "
+                   "the read length)\n"
+                   "  --variant V     base|vec|qz|qzc (default qzc)\n"
+                   "  --filter F      sneakysnake|shouji (default "
+                   "sneakysnake)\n"
+                   "  --accepted F    write accepted pairs to F\n"
+                   "  --verbose       per-pair verdicts\n";
+            return args.has("help") ? 0 : 2;
+        }
+
+        std::ifstream in(args.positional().front());
+        fatal_if(!in, "cannot open '{}'", args.positional().front());
+        const auto pairs = genomics::readPairFile(in);
+        fatal_if(pairs.empty(), "no pairs in '{}'",
+                 args.positional().front());
+
+        const Variant variant =
+            cli::parseVariant(args.get("variant", "qzc"));
+        sim::SimContext core(algos::needsQuetzal(variant)
+                                 ? sim::SystemParams::withQuetzal()
+                                 : sim::SystemParams::baseline());
+        isa::VectorUnit vpu(core.pipeline());
+        std::optional<accel::QzUnit> qz;
+        if (algos::needsQuetzal(variant))
+            qz.emplace(vpu, core.params().quetzal);
+        auto engine =
+            algos::makeSsEngine(variant, &vpu, qz ? &*qz : nullptr);
+        const bool useShouji = args.get("filter") == "shouji";
+
+        std::vector<genomics::SequencePair> accepted;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            const std::int64_t threshold =
+                args.has("threshold")
+                    ? args.getInt("threshold", 0)
+                    : algos::defaultSsThreshold(
+                          pairs[i].pattern.size(), 0.033);
+            bool ok;
+            std::int64_t bound;
+            if (useShouji) {
+                const auto verdict = algos::shouji(
+                    variant, pairs[i].pattern, pairs[i].text,
+                    threshold, &vpu, qz ? &*qz : nullptr);
+                ok = verdict.accepted;
+                bound = verdict.zeroCount;
+            } else {
+                algos::SsConfig config;
+                config.editThreshold = threshold;
+                const auto verdict = algos::sneakySnake(
+                    *engine, pairs[i].pattern, pairs[i].text, config);
+                ok = verdict.accepted;
+                bound = verdict.editBound;
+            }
+            if (ok)
+                accepted.push_back(pairs[i]);
+            if (args.has("verbose"))
+                std::cout << "pair " << i << ": "
+                          << (ok ? "ACCEPT" : "reject")
+                          << " (edit bound " << bound << ", E "
+                          << threshold << ")\n";
+        }
+
+        std::cout << "accepted " << accepted.size() << " / "
+                  << pairs.size() << " pairs ("
+                  << core.pipeline().totalCycles()
+                  << " simulated cycles)\n";
+        if (args.has("accepted")) {
+            std::ofstream out(args.get("accepted"));
+            fatal_if(!out, "cannot open '{}' for writing",
+                     args.get("accepted"));
+            genomics::writePairFile(out, accepted);
+            std::cout << "wrote accepted pairs to "
+                      << args.get("accepted") << "\n";
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
