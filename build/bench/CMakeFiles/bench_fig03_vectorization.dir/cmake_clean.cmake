@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_vectorization.dir/bench_fig03_vectorization.cpp.o"
+  "CMakeFiles/bench_fig03_vectorization.dir/bench_fig03_vectorization.cpp.o.d"
+  "bench_fig03_vectorization"
+  "bench_fig03_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

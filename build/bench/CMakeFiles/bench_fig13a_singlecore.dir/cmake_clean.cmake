@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13a_singlecore.dir/bench_fig13a_singlecore.cpp.o"
+  "CMakeFiles/bench_fig13a_singlecore.dir/bench_fig13a_singlecore.cpp.o.d"
+  "bench_fig13a_singlecore"
+  "bench_fig13a_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13a_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

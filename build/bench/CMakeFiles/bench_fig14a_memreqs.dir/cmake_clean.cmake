@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14a_memreqs.dir/bench_fig14a_memreqs.cpp.o"
+  "CMakeFiles/bench_fig14a_memreqs.dir/bench_fig14a_memreqs.cpp.o.d"
+  "bench_fig14a_memreqs"
+  "bench_fig14a_memreqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14a_memreqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

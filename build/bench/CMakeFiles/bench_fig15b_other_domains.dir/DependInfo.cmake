@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15b_other_domains.cpp" "bench/CMakeFiles/bench_fig15b_other_domains.dir/bench_fig15b_other_domains.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15b_other_domains.dir/bench_fig15b_other_domains.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/qz_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/qz_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/qz_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/quetzal/CMakeFiles/qz_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qz_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/qz_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qz_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

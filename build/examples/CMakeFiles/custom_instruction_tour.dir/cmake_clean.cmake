@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_instruction_tour.dir/custom_instruction_tour.cpp.o"
+  "CMakeFiles/custom_instruction_tour.dir/custom_instruction_tour.cpp.o.d"
+  "custom_instruction_tour"
+  "custom_instruction_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_instruction_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

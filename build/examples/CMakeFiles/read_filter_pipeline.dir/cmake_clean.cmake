@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_filter_pipeline.dir/read_filter_pipeline.cpp.o"
+  "CMakeFiles/read_filter_pipeline.dir/read_filter_pipeline.cpp.o.d"
+  "read_filter_pipeline"
+  "read_filter_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_filter_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultralong_reads.dir/ultralong_reads.cpp.o"
+  "CMakeFiles/ultralong_reads.dir/ultralong_reads.cpp.o.d"
+  "ultralong_reads"
+  "ultralong_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultralong_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

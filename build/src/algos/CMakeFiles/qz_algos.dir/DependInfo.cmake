@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/biwfa.cpp" "src/algos/CMakeFiles/qz_algos.dir/biwfa.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/biwfa.cpp.o.d"
+  "/root/repo/src/algos/cigar.cpp" "src/algos/CMakeFiles/qz_algos.dir/cigar.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/cigar.cpp.o.d"
+  "/root/repo/src/algos/nw.cpp" "src/algos/CMakeFiles/qz_algos.dir/nw.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/nw.cpp.o.d"
+  "/root/repo/src/algos/report.cpp" "src/algos/CMakeFiles/qz_algos.dir/report.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/report.cpp.o.d"
+  "/root/repo/src/algos/runner.cpp" "src/algos/CMakeFiles/qz_algos.dir/runner.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/runner.cpp.o.d"
+  "/root/repo/src/algos/sam.cpp" "src/algos/CMakeFiles/qz_algos.dir/sam.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/sam.cpp.o.d"
+  "/root/repo/src/algos/shouji.cpp" "src/algos/CMakeFiles/qz_algos.dir/shouji.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/shouji.cpp.o.d"
+  "/root/repo/src/algos/sneakysnake.cpp" "src/algos/CMakeFiles/qz_algos.dir/sneakysnake.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/sneakysnake.cpp.o.d"
+  "/root/repo/src/algos/swg.cpp" "src/algos/CMakeFiles/qz_algos.dir/swg.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/swg.cpp.o.d"
+  "/root/repo/src/algos/tiled.cpp" "src/algos/CMakeFiles/qz_algos.dir/tiled.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/tiled.cpp.o.d"
+  "/root/repo/src/algos/wfa.cpp" "src/algos/CMakeFiles/qz_algos.dir/wfa.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/wfa.cpp.o.d"
+  "/root/repo/src/algos/wfa_affine.cpp" "src/algos/CMakeFiles/qz_algos.dir/wfa_affine.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/wfa_affine.cpp.o.d"
+  "/root/repo/src/algos/wfa_engine.cpp" "src/algos/CMakeFiles/qz_algos.dir/wfa_engine.cpp.o" "gcc" "src/algos/CMakeFiles/qz_algos.dir/wfa_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quetzal/CMakeFiles/qz_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qz_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/qz_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qz_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_algos.dir/biwfa.cpp.o"
+  "CMakeFiles/qz_algos.dir/biwfa.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/cigar.cpp.o"
+  "CMakeFiles/qz_algos.dir/cigar.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/nw.cpp.o"
+  "CMakeFiles/qz_algos.dir/nw.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/report.cpp.o"
+  "CMakeFiles/qz_algos.dir/report.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/runner.cpp.o"
+  "CMakeFiles/qz_algos.dir/runner.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/sam.cpp.o"
+  "CMakeFiles/qz_algos.dir/sam.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/shouji.cpp.o"
+  "CMakeFiles/qz_algos.dir/shouji.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/sneakysnake.cpp.o"
+  "CMakeFiles/qz_algos.dir/sneakysnake.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/swg.cpp.o"
+  "CMakeFiles/qz_algos.dir/swg.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/tiled.cpp.o"
+  "CMakeFiles/qz_algos.dir/tiled.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/wfa.cpp.o"
+  "CMakeFiles/qz_algos.dir/wfa.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/wfa_affine.cpp.o"
+  "CMakeFiles/qz_algos.dir/wfa_affine.cpp.o.d"
+  "CMakeFiles/qz_algos.dir/wfa_engine.cpp.o"
+  "CMakeFiles/qz_algos.dir/wfa_engine.cpp.o.d"
+  "libqz_algos.a"
+  "libqz_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/alphabet.cpp" "src/genomics/CMakeFiles/qz_genomics.dir/alphabet.cpp.o" "gcc" "src/genomics/CMakeFiles/qz_genomics.dir/alphabet.cpp.o.d"
+  "/root/repo/src/genomics/datasets.cpp" "src/genomics/CMakeFiles/qz_genomics.dir/datasets.cpp.o" "gcc" "src/genomics/CMakeFiles/qz_genomics.dir/datasets.cpp.o.d"
+  "/root/repo/src/genomics/encoding.cpp" "src/genomics/CMakeFiles/qz_genomics.dir/encoding.cpp.o" "gcc" "src/genomics/CMakeFiles/qz_genomics.dir/encoding.cpp.o.d"
+  "/root/repo/src/genomics/fasta.cpp" "src/genomics/CMakeFiles/qz_genomics.dir/fasta.cpp.o" "gcc" "src/genomics/CMakeFiles/qz_genomics.dir/fasta.cpp.o.d"
+  "/root/repo/src/genomics/protein.cpp" "src/genomics/CMakeFiles/qz_genomics.dir/protein.cpp.o" "gcc" "src/genomics/CMakeFiles/qz_genomics.dir/protein.cpp.o.d"
+  "/root/repo/src/genomics/readsim.cpp" "src/genomics/CMakeFiles/qz_genomics.dir/readsim.cpp.o" "gcc" "src/genomics/CMakeFiles/qz_genomics.dir/readsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_genomics.dir/alphabet.cpp.o"
+  "CMakeFiles/qz_genomics.dir/alphabet.cpp.o.d"
+  "CMakeFiles/qz_genomics.dir/datasets.cpp.o"
+  "CMakeFiles/qz_genomics.dir/datasets.cpp.o.d"
+  "CMakeFiles/qz_genomics.dir/encoding.cpp.o"
+  "CMakeFiles/qz_genomics.dir/encoding.cpp.o.d"
+  "CMakeFiles/qz_genomics.dir/fasta.cpp.o"
+  "CMakeFiles/qz_genomics.dir/fasta.cpp.o.d"
+  "CMakeFiles/qz_genomics.dir/protein.cpp.o"
+  "CMakeFiles/qz_genomics.dir/protein.cpp.o.d"
+  "CMakeFiles/qz_genomics.dir/readsim.cpp.o"
+  "CMakeFiles/qz_genomics.dir/readsim.cpp.o.d"
+  "libqz_genomics.a"
+  "libqz_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

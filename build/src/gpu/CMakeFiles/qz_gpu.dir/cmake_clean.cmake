@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_gpu.dir/gpu_model.cpp.o"
+  "CMakeFiles/qz_gpu.dir/gpu_model.cpp.o.d"
+  "libqz_gpu.a"
+  "libqz_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_isa.dir/vectorunit.cpp.o"
+  "CMakeFiles/qz_isa.dir/vectorunit.cpp.o.d"
+  "libqz_isa.a"
+  "libqz_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

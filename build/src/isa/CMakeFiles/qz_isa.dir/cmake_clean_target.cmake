@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqz_isa.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_kernels.dir/histogram.cpp.o"
+  "CMakeFiles/qz_kernels.dir/histogram.cpp.o.d"
+  "CMakeFiles/qz_kernels.dir/spmv.cpp.o"
+  "CMakeFiles/qz_kernels.dir/spmv.cpp.o.d"
+  "libqz_kernels.a"
+  "libqz_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

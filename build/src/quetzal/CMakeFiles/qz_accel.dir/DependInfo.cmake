@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quetzal/area_model.cpp" "src/quetzal/CMakeFiles/qz_accel.dir/area_model.cpp.o" "gcc" "src/quetzal/CMakeFiles/qz_accel.dir/area_model.cpp.o.d"
+  "/root/repo/src/quetzal/qbuffer.cpp" "src/quetzal/CMakeFiles/qz_accel.dir/qbuffer.cpp.o" "gcc" "src/quetzal/CMakeFiles/qz_accel.dir/qbuffer.cpp.o.d"
+  "/root/repo/src/quetzal/qzunit.cpp" "src/quetzal/CMakeFiles/qz_accel.dir/qzunit.cpp.o" "gcc" "src/quetzal/CMakeFiles/qz_accel.dir/qzunit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/qz_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/qz_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qz_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_accel.dir/area_model.cpp.o"
+  "CMakeFiles/qz_accel.dir/area_model.cpp.o.d"
+  "CMakeFiles/qz_accel.dir/qbuffer.cpp.o"
+  "CMakeFiles/qz_accel.dir/qbuffer.cpp.o.d"
+  "CMakeFiles/qz_accel.dir/qzunit.cpp.o"
+  "CMakeFiles/qz_accel.dir/qzunit.cpp.o.d"
+  "libqz_accel.a"
+  "libqz_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/qz_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/qz_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/memsystem.cpp" "src/sim/CMakeFiles/qz_sim.dir/memsystem.cpp.o" "gcc" "src/sim/CMakeFiles/qz_sim.dir/memsystem.cpp.o.d"
+  "/root/repo/src/sim/multicore.cpp" "src/sim/CMakeFiles/qz_sim.dir/multicore.cpp.o" "gcc" "src/sim/CMakeFiles/qz_sim.dir/multicore.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/qz_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/qz_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/prefetcher.cpp" "src/sim/CMakeFiles/qz_sim.dir/prefetcher.cpp.o" "gcc" "src/sim/CMakeFiles/qz_sim.dir/prefetcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

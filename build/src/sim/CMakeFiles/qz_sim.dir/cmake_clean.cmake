@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_sim.dir/cache.cpp.o"
+  "CMakeFiles/qz_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/qz_sim.dir/memsystem.cpp.o"
+  "CMakeFiles/qz_sim.dir/memsystem.cpp.o.d"
+  "CMakeFiles/qz_sim.dir/multicore.cpp.o"
+  "CMakeFiles/qz_sim.dir/multicore.cpp.o.d"
+  "CMakeFiles/qz_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/qz_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qz_sim.dir/prefetcher.cpp.o"
+  "CMakeFiles/qz_sim.dir/prefetcher.cpp.o.d"
+  "libqz_sim.a"
+  "libqz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_biwfa.dir/test_biwfa.cpp.o"
+  "CMakeFiles/test_biwfa.dir/test_biwfa.cpp.o.d"
+  "test_biwfa"
+  "test_biwfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_biwfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nw_swg.dir/test_nw_swg.cpp.o"
+  "CMakeFiles/test_nw_swg.dir/test_nw_swg.cpp.o.d"
+  "test_nw_swg"
+  "test_nw_swg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nw_swg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

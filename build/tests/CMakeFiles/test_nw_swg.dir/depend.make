@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nw_swg.
+# This may be replaced when dependencies are built.

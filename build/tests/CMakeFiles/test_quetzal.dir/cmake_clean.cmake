@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quetzal.dir/test_quetzal.cpp.o"
+  "CMakeFiles/test_quetzal.dir/test_quetzal.cpp.o.d"
+  "test_quetzal"
+  "test_quetzal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quetzal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

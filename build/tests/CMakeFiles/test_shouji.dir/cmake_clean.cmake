@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shouji.dir/test_shouji.cpp.o"
+  "CMakeFiles/test_shouji.dir/test_shouji.cpp.o.d"
+  "test_shouji"
+  "test_shouji.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shouji.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

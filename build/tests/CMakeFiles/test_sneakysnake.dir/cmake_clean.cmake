@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sneakysnake.dir/test_sneakysnake.cpp.o"
+  "CMakeFiles/test_sneakysnake.dir/test_sneakysnake.cpp.o.d"
+  "test_sneakysnake"
+  "test_sneakysnake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sneakysnake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

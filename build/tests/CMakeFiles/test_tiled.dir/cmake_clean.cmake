@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled.dir/test_tiled.cpp.o"
+  "CMakeFiles/test_tiled.dir/test_tiled.cpp.o.d"
+  "test_tiled"
+  "test_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

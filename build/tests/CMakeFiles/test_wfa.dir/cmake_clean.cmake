@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfa.dir/test_wfa.cpp.o"
+  "CMakeFiles/test_wfa.dir/test_wfa.cpp.o.d"
+  "test_wfa"
+  "test_wfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfa_affine.dir/test_wfa_affine.cpp.o"
+  "CMakeFiles/test_wfa_affine.dir/test_wfa_affine.cpp.o.d"
+  "test_wfa_affine"
+  "test_wfa_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfa_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_align.dir/qz_align.cpp.o"
+  "CMakeFiles/qz_align.dir/qz_align.cpp.o.d"
+  "qz_align"
+  "qz_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_datagen.dir/qz_datagen.cpp.o"
+  "CMakeFiles/qz_datagen.dir/qz_datagen.cpp.o.d"
+  "qz_datagen"
+  "qz_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qz_filter.dir/qz_filter.cpp.o"
+  "CMakeFiles/qz_filter.dir/qz_filter.cpp.o.d"
+  "qz_filter"
+  "qz_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qz_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
