@@ -3,19 +3,31 @@
  * Shared plumbing for the per-figure/per-table bench binaries.
  *
  * Each binary regenerates one table or figure of the paper: it builds
- * the workload, simulates the relevant variants, and prints the same
- * rows/series the paper reports. Set QZ_BENCH_SCALE to scale dataset
- * sizes (default 1.0; e.g. 0.2 for a quick pass, 4 for longer runs).
+ * the workload, queues the relevant (algorithm, variant, dataset)
+ * cells on the batch engine, and prints the same rows/series the
+ * paper reports.
+ *
+ * Environment knobs:
+ *  - QZ_BENCH_SCALE   dataset scale (default 1.0; 0.2 quick, 4 long)
+ *  - QZ_BENCH_THREADS harness workers (default hardware_concurrency)
+ *  - QZ_BENCH_JSON    dump the RunResult rows as JSON: a path, or "-"
+ *                     for stdout after the table
  */
 #ifndef QUETZAL_BENCH_BENCH_COMMON_HPP
 #define QUETZAL_BENCH_BENCH_COMMON_HPP
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "algos/batch.hpp"
+#include "algos/report.hpp"
 #include "algos/runner.hpp"
 #include "common/table.hpp"
+#include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
 #include "genomics/protein.hpp"
 
@@ -33,6 +45,20 @@ benchScale()
     return 1.0;
 }
 
+/** Harness worker count from QZ_BENCH_THREADS (default: all cores). */
+inline unsigned
+benchThreads()
+{
+    if (const char *env = std::getenv("QZ_BENCH_THREADS")) {
+        const long n = std::atol(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+        warn("ignoring QZ_BENCH_THREADS='{}' (want a positive integer)",
+             env);
+    }
+    return ThreadPool::hardwareThreads();
+}
+
 /** Print the experiment banner with the Table I system summary. */
 inline void
 banner(const std::string &title)
@@ -44,8 +70,37 @@ banner(const std::string &title)
               << "  L1D 64KB/8w lt=4, L2 8MB/16w lt=37, HBM2; "
                  "QUETZAL 2x8KB QBUFFERs\n"
               << "Dataset scale: " << benchScale()
-              << " (set QZ_BENCH_SCALE to change)\n"
+              << " (QZ_BENCH_SCALE), harness threads: "
+              << benchThreads() << " (QZ_BENCH_THREADS)\n"
               << "==================================================\n";
+}
+
+/** Shared-ownership dataset handle for batch cells. */
+using DatasetPtr = std::shared_ptr<const genomics::PairDataset>;
+
+/** Materialize a catalog dataset behind a shared handle. */
+inline DatasetPtr
+makeDatasetPtr(std::string_view name, double scale = benchScale())
+{
+    return std::make_shared<const genomics::PairDataset>(
+        genomics::makeDataset(name, scale));
+}
+
+/** RunOptions for one verification-free bench cell. */
+inline algos::RunOptions
+cellOptions(algos::Variant variant,
+            std::size_t maxLen = ~std::size_t{0},
+            genomics::AlphabetKind alphabet = genomics::AlphabetKind::Dna,
+            unsigned qzPorts = 8)
+{
+    algos::RunOptions options;
+    options.variant = variant;
+    options.maxLen = maxLen;
+    options.alphabet = alphabet;
+    options.verify = false; // the test suite covers correctness
+    if (algos::needsQuetzal(variant))
+        options.system = sim::SystemParams::withQuetzal(qzPorts);
+    return options;
 }
 
 /** Run one algorithm/variant/dataset cell without verification. */
@@ -56,14 +111,94 @@ runCell(algos::AlgoKind kind, const genomics::PairDataset &dataset,
         genomics::AlphabetKind alphabet = genomics::AlphabetKind::Dna,
         unsigned qzPorts = 8)
 {
-    algos::RunOptions options;
-    options.variant = variant;
-    options.maxLen = maxLen;
-    options.alphabet = alphabet;
-    options.verify = false; // the test suite covers correctness
-    if (algos::needsQuetzal(variant))
-        options.system = sim::SystemParams::withQuetzal(qzPorts);
-    return algos::runAlgorithm(kind, dataset, options);
+    return algos::runAlgorithm(
+        kind, dataset, cellOptions(variant, maxLen, alphabet, qzPorts));
+}
+
+/**
+ * The bench binaries' front end to algos::BatchRunner: queue every
+ * cell of the figure first, then run() once across QZ_BENCH_THREADS
+ * workers and read results back by the indices add() returned.
+ * Results are deterministic and bitwise identical to a serial run.
+ */
+class CellBatch
+{
+  public:
+    CellBatch() : runner_(benchThreads()) {}
+
+    /** Queue a cell; @return its index into results(). */
+    std::size_t
+    add(algos::AlgoKind kind, DatasetPtr dataset,
+        algos::Variant variant, std::size_t maxLen = ~std::size_t{0},
+        genomics::AlphabetKind alphabet = genomics::AlphabetKind::Dna,
+        unsigned qzPorts = 8)
+    {
+        return runner_.add(
+            kind, std::move(dataset),
+            cellOptions(variant, maxLen, alphabet, qzPorts));
+    }
+
+    /** Queue a cell with fully custom options. */
+    std::size_t
+    add(algos::AlgoKind kind, DatasetPtr dataset,
+        const algos::RunOptions &options)
+    {
+        return runner_.add(kind, std::move(dataset), options);
+    }
+
+    /** Run all queued cells; callable once per fill. */
+    void run() { results_ = runner_.run(); }
+
+    const algos::RunResult &
+    operator[](std::size_t index) const
+    {
+        return results_.at(index);
+    }
+
+    const std::vector<algos::RunResult> &results() const
+    {
+        return results_;
+    }
+
+  private:
+    algos::BatchRunner runner_;
+    std::vector<algos::RunResult> results_;
+};
+
+/**
+ * Machine-readable results emission: when QZ_BENCH_JSON is set, dump
+ * @p results as {"bench", "threads", "scale", "results": [...]} to
+ * that path ("-" = stdout). Called by each bench binary after its
+ * human-readable table.
+ */
+inline void
+maybeWriteJson(const std::string &benchName,
+               const std::vector<algos::RunResult> &results)
+{
+    const char *env = std::getenv("QZ_BENCH_JSON");
+    if (!env || !*env)
+        return;
+    JsonWriter json;
+    json.beginObject()
+        .field("bench", benchName)
+        .field("scale", benchScale())
+        .field("threads", static_cast<std::uint64_t>(benchThreads()));
+    json.beginArray("results");
+    for (const auto &r : results)
+        json.rawValue(algos::toJson(r));
+    json.endArray();
+    json.endObject();
+    if (std::string_view(env) == "-") {
+        std::cout << json.str() << "\n";
+        return;
+    }
+    std::ofstream out(env);
+    if (!out) {
+        warn("cannot open QZ_BENCH_JSON path '{}' for writing", env);
+        return;
+    }
+    out << json.str() << "\n";
+    std::cout << "wrote JSON results to " << env << "\n";
 }
 
 /** Build the protein workload as a PairDataset (use case 4). */

@@ -20,28 +20,44 @@ main()
 
     TextTable table({"Algorithm", "Dataset", "BASE cycles",
                      "VEC cycles", "VEC speedup"});
-    double shortProd = 1.0, longProd = 1.0;
-    int shortN = 0, longN = 0;
 
+    bench::CellBatch batch;
+    struct Row
+    {
+        AlgoKind kind;
+        std::string dataset;
+        bool longRead;
+        std::size_t base, vec;
+    };
+    std::vector<Row> rows;
     for (const AlgoKind kind :
          {AlgoKind::Wfa, AlgoKind::SneakySnake}) {
         for (const auto &spec : genomics::datasetCatalog()) {
-            const auto ds =
-                genomics::makeDataset(spec.name, bench::benchScale());
-            const auto base = bench::runCell(kind, ds, Variant::Base);
-            const auto vec = bench::runCell(kind, ds, Variant::Vec);
-            const double s = algos::speedup(base, vec);
-            table.addRow({std::string(algos::algoName(kind)),
-                          spec.name, std::to_string(base.cycles),
-                          std::to_string(vec.cycles),
-                          TextTable::num(s, 2) + "x"});
-            if (spec.longRead) {
-                longProd *= s;
-                ++longN;
-            } else {
-                shortProd *= s;
-                ++shortN;
-            }
+            const auto ds = bench::makeDatasetPtr(spec.name);
+            Row row{kind, spec.name, spec.longRead, 0, 0};
+            row.base = batch.add(kind, ds, Variant::Base);
+            row.vec = batch.add(kind, ds, Variant::Vec);
+            rows.push_back(std::move(row));
+        }
+    }
+    batch.run();
+
+    double shortProd = 1.0, longProd = 1.0;
+    int shortN = 0, longN = 0;
+    for (const Row &row : rows) {
+        const auto &base = batch[row.base];
+        const auto &vec = batch[row.vec];
+        const double s = algos::speedup(base, vec);
+        table.addRow({std::string(algos::algoName(row.kind)),
+                      row.dataset, std::to_string(base.cycles),
+                      std::to_string(vec.cycles),
+                      TextTable::num(s, 2) + "x"});
+        if (row.longRead) {
+            longProd *= s;
+            ++longN;
+        } else {
+            shortProd *= s;
+            ++shortN;
         }
     }
     table.print(std::cout);
@@ -53,5 +69,6 @@ main()
               << TextTable::num(shortGeo, 2) << "x (paper ~1.3x), "
               << "long reads " << TextTable::num(longGeo, 2)
               << "x (paper ~2.5x)\n";
+    bench::maybeWriteJson("fig03_vectorization", batch.results());
     return 0;
 }

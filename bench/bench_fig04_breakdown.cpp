@@ -18,24 +18,43 @@ main()
 
     TextTable table({"Algorithm", "Dataset", "Cycles", "Frontend",
                      "Compute", "Cache access", "RS/LSQ stall"});
+
+    bench::CellBatch batch;
+    struct Row
+    {
+        AlgoKind kind;
+        std::string dataset;
+        std::size_t vec;
+    };
+    std::vector<Row> rows;
     for (const AlgoKind kind :
          {AlgoKind::Wfa, AlgoKind::BiWfa, AlgoKind::SneakySnake}) {
         for (const auto &spec : genomics::datasetCatalog()) {
-            const auto ds =
-                genomics::makeDataset(spec.name, bench::benchScale());
-            const auto vec = bench::runCell(kind, ds, Variant::Vec);
-            const double total = static_cast<double>(vec.cycles);
-            auto pct = [&](std::uint64_t v) {
-                return TextTable::num(100.0 * v / total, 1) + "%";
-            };
-            table.addRow({std::string(algos::algoName(kind)), spec.name,
-                          std::to_string(vec.cycles),
-                          pct(vec.stalls[0]), pct(vec.stalls[1]),
-                          pct(vec.stalls[2]), pct(vec.stalls[3])});
+            const auto ds = bench::makeDatasetPtr(spec.name);
+            rows.push_back(
+                {kind, spec.name, batch.add(kind, ds, Variant::Vec)});
         }
+    }
+    batch.run();
+
+    for (const Row &row : rows) {
+        const auto &vec = batch[row.vec];
+        const double total = static_cast<double>(vec.cycles);
+        auto pct = [&](sim::StallKind kind) {
+            return TextTable::num(
+                       100.0 * vec.stallCycles(kind) / total, 1) +
+                   "%";
+        };
+        table.addRow({std::string(algos::algoName(row.kind)),
+                      row.dataset, std::to_string(vec.cycles),
+                      pct(sim::StallKind::Frontend),
+                      pct(sim::StallKind::Compute),
+                      pct(sim::StallKind::Cache),
+                      pct(sim::StallKind::Struct)});
     }
     table.print(std::cout);
     std::cout << "\nPaper: cache accesses are 32%-65% of execution "
                  "time, growing with sequence length.\n";
+    bench::maybeWriteJson("fig04_breakdown", batch.results());
     return 0;
 }

@@ -17,31 +17,45 @@ main()
     const unsigned ports[] = {1, 2, 4, 8};
     TextTable table({"Algorithm", "Dataset", "QZ_1P", "QZ_2P", "QZ_4P",
                      "QZ_8P"});
+
+    bench::CellBatch batch;
+    struct Row
+    {
+        AlgoKind kind;
+        std::string dataset;
+        std::size_t cell[4];
+    };
+    std::vector<Row> rows;
     for (const AlgoKind kind :
          {AlgoKind::Wfa, AlgoKind::BiWfa, AlgoKind::SneakySnake}) {
         for (const auto &spec : genomics::datasetCatalog()) {
-            const auto ds =
-                genomics::makeDataset(spec.name, bench::benchScale());
-            std::uint64_t cycles[4] = {};
+            const auto ds = bench::makeDatasetPtr(spec.name);
+            Row row{kind, spec.name, {}};
             for (int i = 0; i < 4; ++i)
-                cycles[i] = bench::runCell(kind, ds, Variant::QzC,
-                                           ~std::size_t{0},
-                                           genomics::AlphabetKind::Dna,
-                                           ports[i])
-                                .cycles;
-            auto rel = [&](int i) {
-                return TextTable::num(
-                           static_cast<double>(cycles[0]) /
-                               static_cast<double>(cycles[i]),
-                           2) +
-                       "x";
-            };
-            table.addRow({std::string(algos::algoName(kind)), spec.name,
-                          rel(0), rel(1), rel(2), rel(3)});
+                row.cell[i] = batch.add(kind, ds, Variant::QzC,
+                                        ~std::size_t{0},
+                                        genomics::AlphabetKind::Dna,
+                                        ports[i]);
+            rows.push_back(std::move(row));
         }
+    }
+    batch.run();
+
+    for (const Row &row : rows) {
+        auto rel = [&](int i) {
+            return TextTable::num(
+                       static_cast<double>(batch[row.cell[0]].cycles) /
+                           static_cast<double>(
+                               batch[row.cell[i]].cycles),
+                       2) +
+                   "x";
+        };
+        table.addRow({std::string(algos::algoName(row.kind)),
+                      row.dataset, rel(0), rel(1), rel(2), rel(3)});
     }
     table.print(std::cout);
     std::cout << "\nPaper: performance rises with port count; QZ_8P "
                  "(2-cycle reads) is the chosen configuration.\n";
+    bench::maybeWriteJson("fig12_ports", batch.results());
     return 0;
 }

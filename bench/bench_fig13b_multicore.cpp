@@ -24,17 +24,24 @@ main()
     TextTable table({"Algorithm", "Dataset", "1 core", "2", "4", "8",
                      "16", "DRAM B/cyc @16"});
     const unsigned counts[] = {1, 2, 4, 8, 16};
+    constexpr std::size_t numCounts = std::size(counts);
+
+    bench::CellBatch batch;
+    struct Row
+    {
+        AlgoKind kind;
+        std::string dataset;
+        std::size_t cell[numCounts];
+    };
+    std::vector<Row> rows;
+    const double dramPeakBpc =
+        sim::SystemParams::withQuetzal().dram.peakBytesPerCycle;
     for (const AlgoKind kind :
          {AlgoKind::Wfa, AlgoKind::BiWfa, AlgoKind::SneakySnake}) {
         for (const auto &spec : genomics::datasetCatalog()) {
-            const auto ds =
-                genomics::makeDataset(spec.name, bench::benchScale());
-            std::vector<std::string> row{
-                std::string(algos::algoName(kind)), spec.name};
-
-            std::uint64_t cycles1 = 0;
-            double lastDemand = 0.0;
-            for (unsigned cores : counts) {
+            const auto ds = bench::makeDatasetPtr(spec.name);
+            Row row{kind, spec.name, {}};
+            for (std::size_t i = 0; i < numCounts; ++i) {
                 algos::RunOptions options;
                 options.variant = Variant::QzC;
                 options.verify = false;
@@ -42,33 +49,41 @@ main()
                 // Capacity-partition the shared L2 across cores.
                 options.system.l2.sizeBytes =
                     std::max<std::uint64_t>(
-                        options.system.l2.sizeBytes / cores,
+                        options.system.l2.sizeBytes / counts[i],
                         256 * 1024);
-                const auto r =
-                    algos::runAlgorithm(kind, ds, options);
-                if (cores == 1)
-                    cycles1 = r.cycles;
-                const double perCoreDemand =
-                    r.demand().bytesPerCycle();
-                lastDemand = perCoreDemand;
-                const double bwCap =
-                    perCoreDemand > 0
-                        ? options.system.dram.peakBytesPerCycle /
-                              perCoreDemand
-                        : static_cast<double>(cores);
-                const double speedup =
-                    std::min<double>(cores, bwCap) *
-                    static_cast<double>(cycles1) /
-                    static_cast<double>(r.cycles);
-                row.push_back(TextTable::num(speedup, 2) + "x");
+                row.cell[i] = batch.add(kind, ds, options);
             }
-            row.push_back(TextTable::num(lastDemand, 3));
-            table.addRow(std::move(row));
+            rows.push_back(std::move(row));
         }
+    }
+    batch.run();
+
+    for (const Row &row : rows) {
+        std::vector<std::string> out{
+            std::string(algos::algoName(row.kind)), row.dataset};
+        const std::uint64_t cycles1 = batch[row.cell[0]].cycles;
+        double lastDemand = 0.0;
+        for (std::size_t i = 0; i < numCounts; ++i) {
+            const auto &r = batch[row.cell[i]];
+            const double perCoreDemand = r.demand().bytesPerCycle();
+            lastDemand = perCoreDemand;
+            const double bwCap =
+                perCoreDemand > 0
+                    ? dramPeakBpc / perCoreDemand
+                    : static_cast<double>(counts[i]);
+            const double speedup =
+                std::min<double>(counts[i], bwCap) *
+                static_cast<double>(cycles1) /
+                static_cast<double>(r.cycles);
+            out.push_back(TextTable::num(speedup, 2) + "x");
+        }
+        out.push_back(TextTable::num(lastDemand, 3));
+        table.addRow(std::move(out));
     }
     table.print(std::cout);
     std::cout << "\nPaper: near-linear for short reads; long reads "
                  "flatten as the shared LLC and HBM2 bandwidth "
                  "saturate.\n";
+    bench::maybeWriteJson("fig13b_multicore", batch.results());
     return 0;
 }

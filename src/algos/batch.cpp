@@ -1,0 +1,35 @@
+#include "algos/batch.hpp"
+
+#include <utility>
+
+namespace quetzal::algos {
+
+std::vector<RunResult>
+BatchRunner::run()
+{
+    std::vector<BatchCell> cells = std::move(cells_);
+    cells_.clear();
+
+    std::vector<RunResult> results(cells.size());
+    // Submission order in, submission order out: worker i writes only
+    // slot i, so completion order never reorders results. Each
+    // runAlgorithm() call owns a fresh simulated core (see runner.cpp)
+    // and reads a shared immutable dataset — no cross-cell state.
+    parallelFor(threads_, cells.size(), [&](std::size_t i) {
+        results[i] =
+            runAlgorithm(cells[i].kind, *cells[i].dataset,
+                         cells[i].options);
+    });
+    return results;
+}
+
+std::vector<RunResult>
+runBatch(std::vector<BatchCell> cells, unsigned threads)
+{
+    BatchRunner runner(threads);
+    for (auto &cell : cells)
+        runner.add(std::move(cell));
+    return runner.run();
+}
+
+} // namespace quetzal::algos

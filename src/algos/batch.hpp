@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Batch experiment engine: runs many (algorithm, variant, dataset)
+ * evaluation-matrix cells concurrently on a fixed thread pool.
+ *
+ * Each cell is independent by construction — runAlgorithm() builds a
+ * fresh simulated core per call and datasets are read-only — so the
+ * matrix is embarrassingly parallel. Results come back in submission
+ * order regardless of completion order, and every cell is bitwise
+ * identical to what a serial run would produce (the simulator is
+ * deterministic and shares no mutable state across cells).
+ */
+#ifndef QUETZAL_ALGOS_BATCH_HPP
+#define QUETZAL_ALGOS_BATCH_HPP
+
+#include <memory>
+#include <vector>
+
+#include "algos/runner.hpp"
+#include "common/threadpool.hpp"
+
+namespace quetzal::algos {
+
+/** One queued evaluation-matrix cell. */
+struct BatchCell
+{
+    AlgoKind kind = AlgoKind::Wfa;
+    /** Shared so many cells can reference one materialized dataset. */
+    std::shared_ptr<const genomics::PairDataset> dataset;
+    RunOptions options;
+};
+
+/**
+ * Collects evaluation cells and runs them on a worker pool.
+ *
+ * Usage: add() every cell (the returned index identifies its slot),
+ * then run() once; results land at the same indices. The runner is
+ * single-shot per run() call but can be refilled and rerun.
+ */
+class BatchRunner
+{
+  public:
+    /** @p threads worker count; <= 1 degrades to a serial loop. */
+    explicit BatchRunner(unsigned threads = ThreadPool::hardwareThreads())
+        : threads_(threads == 0 ? 1 : threads)
+    {}
+
+    /** Queue @p cell; @return its index into run()'s result vector. */
+    std::size_t
+    add(BatchCell cell)
+    {
+        fatal_if(!cell.dataset, "BatchRunner cell without a dataset");
+        cells_.push_back(std::move(cell));
+        return cells_.size() - 1;
+    }
+
+    /** Convenience overload building the cell in place. */
+    std::size_t
+    add(AlgoKind kind,
+        std::shared_ptr<const genomics::PairDataset> dataset,
+        const RunOptions &options)
+    {
+        return add(BatchCell{kind, std::move(dataset), options});
+    }
+
+    std::size_t size() const { return cells_.size(); }
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run every queued cell and clear the queue. The result vector is
+     * ordered by submission index; a worker exception (fatal/panic
+     * from a cell) rethrows here after the pool drains.
+     */
+    std::vector<RunResult> run();
+
+  private:
+    unsigned threads_;
+    std::vector<BatchCell> cells_;
+};
+
+/** One-shot helper: run @p cells on @p threads workers. */
+std::vector<RunResult> runBatch(std::vector<BatchCell> cells,
+                                unsigned threads);
+
+} // namespace quetzal::algos
+
+#endif // QUETZAL_ALGOS_BATCH_HPP

@@ -20,10 +20,10 @@ toJson(const RunResult &result)
         .field("dp_cells", result.dpCells)
         .field("outputs_match", result.outputsMatch);
     json.beginObject("stalls")
-        .field("frontend", result.stalls[0])
-        .field("compute", result.stalls[1])
-        .field("cache", result.stalls[2])
-        .field("structural", result.stalls[3])
+        .field("frontend", result.stallCycles(sim::StallKind::Frontend))
+        .field("compute", result.stallCycles(sim::StallKind::Compute))
+        .field("cache", result.stallCycles(sim::StallKind::Cache))
+        .field("structural", result.stallCycles(sim::StallKind::Struct))
         .endObject();
     json.endObject();
     return json.str();

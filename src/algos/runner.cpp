@@ -80,7 +80,8 @@ harvest(RunResult &out, CoreRig &rig)
     out.instructions = rig.ctx.pipeline().instructions();
     out.memRequests = rig.ctx.mem().totalRequests();
     out.dramBytes = rig.ctx.mem().dramBytes();
-    for (unsigned k = 0; k < 4; ++k)
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(sim::StallKind::NumKinds); ++k)
         out.stalls[k] = rig.ctx.pipeline().stallCycles(
             static_cast<sim::StallKind>(k));
 }
@@ -131,6 +132,9 @@ runAlgorithm(AlgoKind kind, const PairDataset &dataset,
     const std::size_t limit =
         std::min<std::size_t>(options.maxPairs, dataset.pairs.size());
     for (std::size_t idx = 0; idx < limit; ++idx) {
+        // Pairs are independent work items; remap recycled host
+        // memory so cycle counts don't depend on allocator state.
+        rig.ctx.mem().newEpoch();
         const auto &pair = dataset.pairs[idx];
         std::string_view pattern = pair.pattern;
         std::string_view text = pair.text;

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "algos/variant.hpp"
@@ -66,8 +67,17 @@ struct RunResult
     std::uint64_t dpCells = 0;    //!< for GCUPS accounting
     bool outputsMatch = true;     //!< bitwise agreement with Ref
 
-    /** Stall cycles: Frontend, Compute, Cache, Struct. */
-    std::array<std::uint64_t, 4> stalls{};
+    /** Stall cycles, indexed by sim::StallKind. */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(sim::StallKind::NumKinds)>
+        stalls{};
+
+    /** Stall cycles attributed to @p kind. */
+    std::uint64_t
+    stallCycles(sim::StallKind kind) const
+    {
+        return stalls[static_cast<std::size_t>(kind)];
+    }
 
     sim::CoreDemand
     demand() const
@@ -79,9 +89,11 @@ struct RunResult
     double
     cacheFraction() const
     {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(stalls[2]) /
-                                 static_cast<double>(cycles);
+        return cycles == 0
+                   ? 0.0
+                   : static_cast<double>(
+                         stallCycles(sim::StallKind::Cache)) /
+                         static_cast<double>(cycles);
     }
 };
 
@@ -98,12 +110,19 @@ RunResult runAlgorithm(AlgoKind kind,
 genomics::PairDataset
 mixWithDecoys(const genomics::PairDataset &dataset);
 
-/** Speedup of @p test over @p baseline in simulated cycles. */
+/**
+ * Speedup of @p test over @p baseline in simulated cycles.
+ *
+ * A zero-cycle test run has no defined speedup; returning 0.0 here
+ * used to masquerade as "infinitely slow", so the undefined case now
+ * yields NaN, which the bench tables render as "n/a"
+ * (TextTable::num).
+ */
 inline double
 speedup(const RunResult &baseline, const RunResult &test)
 {
     return test.cycles == 0
-               ? 0.0
+               ? std::numeric_limits<double>::quiet_NaN()
                : static_cast<double>(baseline.cycles) /
                      static_cast<double>(test.cycles);
 }

@@ -12,7 +12,10 @@
 #define QUETZAL_ALGOS_WAVEFRONT_HPP
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -22,6 +25,142 @@ namespace quetzal::algos {
 /** Invalid-offset sentinel; stays negative under +1 arithmetic. */
 inline constexpr std::int32_t kOffNone =
     std::numeric_limits<std::int32_t>::min() / 4;
+
+/**
+ * Per-thread buffer pool for wavefront storage with exact-size-class
+ * LIFO recycling (memory is never returned to the system).
+ *
+ * Waves are the simulator's hottest sim-visible scratch, and
+ * wavefront algorithms free and reallocate them constantly (BiWFA's
+ * swap/reset loop, per-segment teardown). Under glibc, whether such a
+ * request reuses a just-freed chunk depends on heap state left behind
+ * by earlier work, so the address-collision pattern — which the
+ * memory-system translation layer turns into cache behavior — would
+ * differ between a serial and a parallel batch run. With exact size
+ * classes and LIFO reuse, a free followed by a same-size allocation
+ * always recycles the same buffer regardless of pool state, so a
+ * cell's collision pattern depends only on its own alloc/free
+ * sequence and simulated timings are reproducible.
+ */
+class WavePool
+{
+  public:
+    std::int32_t *
+    take(std::size_t elems)
+    {
+        auto it = free_.find(elems);
+        if (it != free_.end() && !it->second.empty()) {
+            std::int32_t *p = it->second.back();
+            it->second.pop_back();
+            return p;
+        }
+        slabs_.push_back(std::make_unique<std::int32_t[]>(elems));
+        return slabs_.back().get();
+    }
+
+    void
+    give(std::int32_t *ptr, std::size_t elems)
+    {
+        free_[elems].push_back(ptr);
+    }
+
+    static WavePool &
+    local()
+    {
+        static thread_local WavePool pool;
+        return pool;
+    }
+
+  private:
+    std::map<std::size_t, std::vector<std::int32_t *>> free_;
+    std::vector<std::unique_ptr<std::int32_t[]>> slabs_;
+};
+
+/** Pool-backed int32 buffer used as Wave storage. */
+class WaveStorage
+{
+  public:
+    WaveStorage() = default;
+    WaveStorage(const WaveStorage &other) { copyFrom(other); }
+    WaveStorage(WaveStorage &&other) noexcept { steal(other); }
+
+    WaveStorage &
+    operator=(const WaveStorage &other)
+    {
+        if (this != &other) {
+            release();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    WaveStorage &
+    operator=(WaveStorage &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            steal(other);
+        }
+        return *this;
+    }
+
+    ~WaveStorage() { release(); }
+
+    /** Resize to @p n elements, all set to @p value. */
+    void
+    assign(std::size_t n, std::int32_t value)
+    {
+        if (n > cap_) {
+            release();
+            data_ = WavePool::local().take(n);
+            cap_ = n;
+        }
+        size_ = n;
+        for (std::size_t i = 0; i < n; ++i)
+            data_[i] = value;
+    }
+
+    std::size_t size() const { return size_; }
+    std::int32_t *data() { return data_; }
+    const std::int32_t *data() const { return data_; }
+    std::int32_t &operator[](std::size_t i) { return data_[i]; }
+    std::int32_t operator[](std::size_t i) const { return data_[i]; }
+
+  private:
+    void
+    release()
+    {
+        if (data_)
+            WavePool::local().give(data_, cap_);
+        data_ = nullptr;
+        size_ = cap_ = 0;
+    }
+
+    void
+    copyFrom(const WaveStorage &other)
+    {
+        if (other.size_ > 0) {
+            data_ = WavePool::local().take(other.size_);
+            cap_ = size_ = other.size_;
+            std::memcpy(data_, other.data_,
+                        size_ * sizeof(std::int32_t));
+        }
+    }
+
+    void
+    steal(WaveStorage &other) noexcept
+    {
+        data_ = other.data_;
+        size_ = other.size_;
+        cap_ = other.cap_;
+        other.data_ = nullptr;
+        other.size_ = other.cap_ = 0;
+    }
+
+    std::int32_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
 
 /** One wavefront: offsets for diagonals lo..hi at a fixed score. */
 class Wave
@@ -84,7 +223,7 @@ class Wave
 
     int lo_ = 0;
     int hi_ = 0;
-    std::vector<std::int32_t> data_;
+    WaveStorage data_;
 };
 
 } // namespace quetzal::algos

@@ -130,6 +130,19 @@ class JsonWriter
         return *this;
     }
 
+    /**
+     * Splice pre-serialized JSON text as one value (e.g. nesting the
+     * output of another writer inside an array). The caller vouches
+     * that @p json is well-formed.
+     */
+    JsonWriter &
+    rawValue(std::string_view json)
+    {
+        comma();
+        out_ << json;
+        return *this;
+    }
+
     /** Final JSON text; all scopes must be closed. */
     std::string
     str() const

@@ -31,6 +31,9 @@ class Stat
     void set(std::uint64_t v) { value_ = v; }
     void reset() { value_ = 0; }
 
+    /** Replace the description (a later registration refining it). */
+    void describe(std::string desc) { desc_ = std::move(desc); }
+
     std::uint64_t value() const { return value_; }
     const std::string &description() const { return desc_; }
 
@@ -50,13 +53,20 @@ class StatGroup
   public:
     explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
 
-    /** Register (or fetch) a counter under @p name. */
+    /**
+     * Register (or fetch) a counter under @p name. A desc-less
+     * registration falls back to the name as description; a later
+     * registration that does carry a description wins, so the order
+     * components first touch a shared counter doesn't lose it.
+     */
     Stat &
     stat(const std::string &name, const std::string &desc = "")
     {
-        auto [it, inserted] = stats_.try_emplace(name, Stat{desc});
-        if (inserted && desc.empty())
-            it->second = Stat{name};
+        auto [it, inserted] =
+            stats_.try_emplace(name, Stat{desc.empty() ? name : desc});
+        if (!inserted && !desc.empty() &&
+            it->second.description() != desc)
+            it->second.describe(desc);
         return it->second;
     }
 
@@ -78,6 +88,34 @@ class StatGroup
     {
         for (auto &[name, stat] : stats_)
             stat.reset();
+    }
+
+    /**
+     * Accumulate every counter of @p other into this group,
+     * registering counters this group has not seen. Used to fold the
+     * per-worker StatGroups of a batch run back into one aggregate
+     * after the pool joins; neither group may be concurrently mutated.
+     */
+    void
+    merge(const StatGroup &other)
+    {
+        for (const auto &[name, st] : other.stats_) {
+            // A description equal to the name is the desc-less
+            // fallback; don't let it clobber a real description the
+            // target already carries.
+            const bool fallback = st.description() == name;
+            stat(name, fallback ? "" : st.description()) += st.value();
+        }
+    }
+
+    /** Sum of every counter value in the group. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &[name, st] : stats_)
+            sum += st.value();
+        return sum;
     }
 
     const std::string &name() const { return name_; }

@@ -10,6 +10,7 @@
 #define QUETZAL_COMMON_TABLE_HPP
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <string>
@@ -34,10 +35,16 @@ class TextTable
         rows_.push_back(std::move(cells));
     }
 
-    /** Format a double with fixed precision. */
+    /**
+     * Format a double with fixed precision. Non-finite values (e.g.
+     * the NaN sentinel algos::speedup() returns for a zero-cycle run)
+     * render as "n/a".
+     */
     static std::string
     num(double v, int precision = 2)
     {
+        if (!std::isfinite(v))
+            return "n/a";
         char buf[64];
         std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
         return buf;

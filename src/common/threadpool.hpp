@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Fixed-size thread pool for the batch experiment engine.
+ *
+ * Deliberately simple — a shared FIFO queue guarded by one mutex, no
+ * work stealing — because the work items it runs (whole evaluation
+ * cells, shards of a pair file) are coarse enough that queue contention
+ * is noise. Tasks may not touch shared mutable state; the simulator
+ * components (Pipeline, MemorySystem, StatGroup, QBuffer) are
+ * single-threaded by contract and every worker task must own a fresh
+ * set (see docs/SIMULATOR.md, "Thread safety").
+ *
+ * Exceptions thrown by a task are captured; the first one re-throws
+ * from wait() (or the destructor's implicit wait is preceded by a
+ * warn), so fatal()/panic() diagnostics from worker cells surface on
+ * the harness thread.
+ */
+#ifndef QUETZAL_COMMON_THREADPOOL_HPP
+#define QUETZAL_COMMON_THREADPOOL_HPP
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace quetzal {
+
+/** Fixed pool of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads workers. Zero is clamped to one: a pool always
+     * makes progress even when hardware_concurrency() reports 0.
+     */
+    explicit ThreadPool(unsigned threads = hardwareThreads())
+    {
+        if (threads == 0)
+            threads = 1;
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        taskReady_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+        if (firstError_)
+            warn("thread pool destroyed with an unobserved task "
+                 "exception (call wait() to rethrow it)");
+    }
+
+    /** Number of worker threads. */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue @p task; it runs on some worker in FIFO order. */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            panic_if_not(!stopping_,
+                         "submit() on a stopping thread pool");
+            ++pending_;
+            queue_.push_back(std::move(task));
+        }
+        taskReady_.notify_one();
+    }
+
+    /**
+     * Block until every submitted task has finished. Rethrows the
+     * first exception any task raised (later ones are dropped).
+     */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return pending_ == 0; });
+        if (firstError_)
+            std::rethrow_exception(std::exchange(firstError_, nullptr));
+    }
+
+    /** Worker count to default to: hardware_concurrency, min 1. */
+    static unsigned
+    hardwareThreads()
+    {
+        const unsigned n = std::thread::hardware_concurrency();
+        return n == 0 ? 1 : n;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                taskReady_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return; // stopping_ and drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            try {
+                task();
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    allDone_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t pending_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Run indices [0, count) through @p fn on @p threads workers and wait.
+ * threads <= 1 runs inline on the caller (no pool, identical order);
+ * either way fn(i) must only touch state owned by iteration i.
+ */
+template <typename Fn>
+void
+parallelFor(unsigned threads, std::size_t count, Fn &&fn)
+{
+    if (threads <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(
+        static_cast<unsigned>(std::min<std::size_t>(threads, count)));
+    for (std::size_t i = 0; i < count; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace quetzal
+
+#endif // QUETZAL_COMMON_THREADPOOL_HPP

@@ -15,6 +15,22 @@ MemorySystem::MemorySystem(const SystemParams &params)
     dramBytes_ = &stats_.stat("dram_bytes", "bytes fetched from DRAM");
 }
 
+namespace {
+/** malloc's alignment guarantee: host offsets below this granularity
+ *  are deterministic, everything above is normalized away. */
+constexpr Addr kParagraphBytes = 16;
+} // namespace
+
+Addr
+MemorySystem::translate(Addr hostAddr)
+{
+    const auto [it, inserted] = paragraphMap_.try_emplace(
+        hostAddr / kParagraphBytes, nextParagraph_);
+    if (inserted)
+        ++nextParagraph_;
+    return it->second * kParagraphBytes + hostAddr % kParagraphBytes;
+}
+
 unsigned
 MemorySystem::accessLine(std::uint64_t pc, Addr addr)
 {
@@ -44,12 +60,25 @@ MemorySystem::access(std::uint64_t pc, Addr addr, unsigned bytes,
     // loads (the LSQ hides store latency; the occupancy cost is modeled
     // in the pipeline).
     (void)write;
+    // Walk the host footprint paragraph by paragraph (the translation
+    // granularity), probing each distinct simulated line once. The
+    // line split is decided by simulated addresses so that it, too,
+    // is independent of where the host allocator placed the data.
     const unsigned line = l1d_.lineBytes();
     unsigned worst = 0;
-    const Addr first = addr / line;
-    const Addr last = (addr + std::max(1u, bytes) - 1) / line;
-    for (Addr l = first; l <= last; ++l)
-        worst = std::max(worst, accessLine(pc, l * line));
+    Addr prevLine = ~Addr{0};
+    const Addr first = addr / kParagraphBytes;
+    const Addr last =
+        (addr + std::max(1u, bytes) - 1) / kParagraphBytes;
+    for (Addr p = first; p <= last; ++p) {
+        const Addr host =
+            p == first ? addr : p * kParagraphBytes;
+        const Addr simLine = translate(host) / line;
+        if (simLine != prevLine) {
+            worst = std::max(worst, accessLine(pc, simLine * line));
+            prevLine = simLine;
+        }
+    }
     return worst;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "common/stats.hpp"
 #include "sim/cache.hpp"
@@ -41,6 +42,37 @@ class MemorySystem
     /** Total demand requests sent to the L1 (the Fig. 14a numerator). */
     std::uint64_t totalRequests() const { return requests_->value(); }
 
+    /**
+     * Map a host address to the deterministic simulated physical
+     * address the caches index on. Host heap pointers stand in for
+     * virtual addresses, but their values depend on allocation order
+     * (and ASLR), which would make cache indexing — and therefore
+     * cycle counts — vary between runs and between serial and
+     * parallel batch execution. Each 16-byte host paragraph is
+     * instead assigned the next simulated paragraph on first touch.
+     * malloc alignment makes everything below a paragraph
+     * deterministic, and a core's access sequence (which fixes the
+     * touch order) is deterministic too, so the resulting addresses —
+     * and every cycle count downstream — are reproducible no matter
+     * where the host allocator put the data. Streams stay contiguous
+     * in simulated space because they touch paragraphs in order.
+     */
+    Addr translate(Addr hostAddr);
+
+    /**
+     * Forget host->simulated paragraph assignments (simulated
+     * addresses keep advancing, so new mappings never alias old
+     * ones). Called between independent work items (e.g. pairs):
+     * whether the host allocator recycles one item's buffers for the
+     * next depends on allocator state the simulation must not observe,
+     * so recycled memory is remapped fresh instead.
+     */
+    void
+    newEpoch()
+    {
+        paragraphMap_.clear();
+    }
+
     /** Bytes transferred from DRAM (for bandwidth contention). */
     std::uint64_t dramBytes() const { return dramBytes_->value(); }
 
@@ -58,6 +90,10 @@ class MemorySystem
     Cache l1d_;
     Cache l2_;
     StridePrefetcher l1Prefetcher_;
+
+    /** First-touch map: host paragraph -> simulated paragraph. */
+    std::unordered_map<Addr, Addr> paragraphMap_;
+    Addr nextParagraph_ = 1;
 
     StatGroup stats_;
     Stat *requests_;

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Regression tests for the command-line option parser: negative
+ * numeric values must bind as option values (not become flags), and
+ * malformed numeric input must be a fatal diagnostic instead of
+ * silently parsing as 0.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../tools/cli_common.hpp"
+
+namespace quetzal::cli {
+namespace {
+
+/** Build an Args from a brace list, faking argv[0]. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : storage_(std::move(args))
+    {
+        ptrs_.push_back(const_cast<char *>("test"));
+        for (auto &arg : storage_)
+            ptrs_.push_back(arg.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> ptrs_;
+};
+
+Args
+parse(std::vector<std::string> args)
+{
+    Argv argv(std::move(args));
+    return Args(argv.argc(), argv.argv());
+}
+
+TEST(Cli, LooksLikeNumberClassifiesLiterals)
+{
+    EXPECT_TRUE(looksLikeNumber("-5"));
+    EXPECT_TRUE(looksLikeNumber("-0.3"));
+    EXPECT_TRUE(looksLikeNumber("+1e6"));
+    EXPECT_TRUE(looksLikeNumber("42"));
+    EXPECT_FALSE(looksLikeNumber("--verbose"));
+    EXPECT_FALSE(looksLikeNumber("-lag"));
+    EXPECT_FALSE(looksLikeNumber(""));
+    EXPECT_FALSE(looksLikeNumber("5x"));
+}
+
+TEST(Cli, NegativeIntegerBindsAsOptionValue)
+{
+    // Regression: "--ssthreshold -5" used to turn into a boolean flag
+    // plus a stray "-5" positional.
+    const Args args = parse({"pairs.txt", "--ssthreshold", "-5"});
+    EXPECT_EQ(args.getInt("ssthreshold", 0), -5);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional().front(), "pairs.txt");
+}
+
+TEST(Cli, NegativeDoubleBindsAsOptionValue)
+{
+    const Args args = parse({"--bias", "-0.25"});
+    EXPECT_DOUBLE_EQ(args.getDouble("bias", 0.0), -0.25);
+    EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Cli, OptionFollowedByOptionStaysAFlag)
+{
+    const Args args = parse({"--verbose", "--threads", "4"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_EQ(args.get("verbose"), "1");
+    EXPECT_EQ(args.getInt("threads", 1), 4);
+}
+
+TEST(Cli, TrailingOptionIsAFlag)
+{
+    const Args args = parse({"input.txt", "--cigar"});
+    EXPECT_TRUE(args.has("cigar"));
+    EXPECT_EQ(args.get("cigar"), "1");
+}
+
+TEST(Cli, MissingOptionFallsBack)
+{
+    const Args args = parse({"input.txt"});
+    EXPECT_EQ(args.getInt("threads", 3), 3);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.5), 0.5);
+    EXPECT_EQ(args.get("variant", "qzc"), "qzc");
+}
+
+TEST(Cli, MalformedIntegerIsFatal)
+{
+    // Regression: atol() silently returned 0 for garbage.
+    const Args args = parse({"--threads", "abc"});
+    EXPECT_THROW(args.getInt("threads", 1), FatalError);
+    const Args trailing = parse({"--threads", "4x"});
+    EXPECT_THROW(trailing.getInt("threads", 1), FatalError);
+}
+
+TEST(Cli, MalformedDoubleIsFatal)
+{
+    const Args args = parse({"--rate", "fast"});
+    EXPECT_THROW(args.getDouble("rate", 0.0), FatalError);
+    const Args trailing = parse({"--rate", "0.5pct"});
+    EXPECT_THROW(trailing.getDouble("rate", 0.0), FatalError);
+}
+
+TEST(Cli, OutOfRangeIntegerIsFatal)
+{
+    const Args args =
+        parse({"--big", "999999999999999999999999999999"});
+    EXPECT_THROW(args.getInt("big", 0), FatalError);
+}
+
+TEST(Cli, WellFormedValuesStillParse)
+{
+    const Args args = parse({"--threads", "8", "--rate", "1.5e-2"});
+    EXPECT_EQ(args.getInt("threads", 1), 8);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 0.015);
+}
+
+} // namespace
+} // namespace quetzal::cli

@@ -187,6 +187,50 @@ TEST(Stats, DumpIsStableOrdered)
     EXPECT_EQ(dump[1].first, "b");
 }
 
+TEST(Stats, LaterDescriptionWins)
+{
+    StatGroup group("test");
+    // Regression: a desc-less first registration used to pin the
+    // fallback description forever, silently dropping the real one.
+    group.stat("hits") += 1;
+    EXPECT_EQ(group.get("hits").description(), "hits");
+    group.stat("hits", "cache hit count") += 1;
+    EXPECT_EQ(group.get("hits").description(), "cache hit count");
+    EXPECT_EQ(group.get("hits").value(), 2u);
+    // A later desc-less registration must not erase it again.
+    group.stat("hits") += 1;
+    EXPECT_EQ(group.get("hits").description(), "cache hit count");
+}
+
+TEST(Stats, MergeAccumulatesPerWorkerGroups)
+{
+    StatGroup total("total");
+    total.stat("hits", "hit count") += 3;
+    total.stat("misses") += 1;
+
+    StatGroup worker("worker0");
+    worker.stat("hits") += 4;
+    worker.stat("evictions", "lines evicted") += 2;
+
+    total.merge(worker);
+    EXPECT_EQ(total.get("hits").value(), 7u);
+    EXPECT_EQ(total.get("hits").description(), "hit count");
+    EXPECT_EQ(total.get("misses").value(), 1u);
+    EXPECT_EQ(total.get("evictions").value(), 2u);
+    EXPECT_EQ(total.get("evictions").description(), "lines evicted");
+    // merge() leaves the source untouched.
+    EXPECT_EQ(worker.get("hits").value(), 4u);
+}
+
+TEST(Stats, TotalSumsAllCounters)
+{
+    StatGroup group("test");
+    EXPECT_EQ(group.total(), 0u);
+    group.stat("a") += 5;
+    group.stat("b") += 7;
+    EXPECT_EQ(group.total(), 12u);
+}
+
 TEST(Table, RendersAlignedColumns)
 {
     TextTable table({"name", "value"});
@@ -204,6 +248,28 @@ TEST(Table, NumFormatsPrecision)
 {
     EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
     EXPECT_EQ(TextTable::num(5.0, 1), "5.0");
+}
+
+TEST(Table, NumRendersNonFiniteAsNa)
+{
+    EXPECT_EQ(TextTable::num(std::numeric_limits<double>::quiet_NaN()),
+              "n/a");
+    EXPECT_EQ(TextTable::num(std::numeric_limits<double>::infinity()),
+              "n/a");
+    EXPECT_EQ(TextTable::num(-std::numeric_limits<double>::infinity()),
+              "n/a");
+}
+
+TEST(Json, RawValueSplicesPreserializedJson)
+{
+    JsonWriter inner;
+    inner.beginObject().field("x", std::uint64_t{1}).endObject();
+    JsonWriter json;
+    json.beginArray()
+        .rawValue(inner.str())
+        .rawValue("{\"y\":2}")
+        .endArray();
+    EXPECT_EQ(json.str(), "[{\"x\":1},{\"y\":2}]");
 }
 
 TEST(Json, ObjectsArraysAndEscaping)

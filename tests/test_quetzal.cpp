@@ -141,6 +141,41 @@ TEST(QBuffer, ReverseWindowPadsBelowStart)
     EXPECT_EQ(window & 0xFFFFFF, 0u);
 }
 
+TEST(QBuffer, ReverseWindowAtElementZeroKeepsOnlyTopSlot)
+{
+    QBuffer buf(params8P());
+    // Element 0 is 0b10 (C); a window *ending* at element 0 has 31
+    // zero-padded slots below it and element 0 in the top slot.
+    const auto packed = genomics::pack2bit("CAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA");
+    buf.writeEncodedPair(0, packed[0], packed.size() > 1 ? packed[1] : 0);
+    const std::uint64_t window =
+        buf.readWindow64Ending(0, ElementSize::Bits2);
+    EXPECT_EQ(window >> 62, genomics::encodeBase2('C'));
+    EXPECT_EQ(window & ~(0x3ULL << 62), 0u);
+}
+
+TEST(QBuffer, ReverseWindowUnderrunPadsFor8BitElements)
+{
+    QBuffer buf(params8P());
+    buf.writeWord(0, 0x1122334455667788ULL);
+    // Window ending at 8-bit element 2: three real bytes at the top,
+    // five zero bytes of padding below.
+    const std::uint64_t window =
+        buf.readWindow64Ending(2, ElementSize::Bits8);
+    EXPECT_EQ(window, 0x6677880000000000ULL);
+}
+
+TEST(QBuffer, EncodedPairWriteAcceptsLastValidPair)
+{
+    QBuffer buf(params8P());
+    // words() - 2 is the last wordIdx whose pair fits; one past it
+    // must panic (covered in OutOfRangePanics).
+    const std::size_t last = buf.words() - 2;
+    EXPECT_EQ(buf.writeEncodedPair(last, 0xAAAA, 0xBBBB), 1u);
+    EXPECT_EQ(buf.readWord(last), 0xAAAAu);
+    EXPECT_EQ(buf.readWord(last + 1), 0xBBBBu);
+}
+
 TEST(QBuffer, SaveRestoreArchitecturalState)
 {
     QBuffer buf(params8P());

@@ -108,11 +108,13 @@ TEST(MemSystem, L2HitAfterL1Eviction)
 {
     SystemParams params;
     MemorySystem mem(params);
-    // Touch enough distinct lines to overflow the 64 KB L1 but stay
+    // Touch enough distinct memory to overflow the 64 KB L1 but stay
     // within the 8 MB L2; disable prefetching noise via irregular pc.
-    const unsigned lines = 2048; // 512 KB at 256B lines
-    for (unsigned i = 0; i < lines; ++i)
-        mem.access(1000 + i * 7, static_cast<Addr>(i) * 256, 4, false);
+    // First-touch translation packs at 16B granularity, so the
+    // simulated footprint is touches x 16B: 8192 -> 128 KB.
+    const unsigned touches = 8192;
+    for (unsigned i = 0; i < touches; ++i)
+        mem.access(1000 + i * 7, static_cast<Addr>(i) * 16, 4, false);
     // Re-touch the first line: L1 evicted it, L2 still has it.
     const unsigned lat = mem.access(5000, 0, 4, false);
     EXPECT_EQ(lat, params.l2.loadToUse);
@@ -122,10 +124,52 @@ TEST(MemSystem, MultiLineAccessReturnsWorstLatency)
 {
     SystemParams params;
     MemorySystem mem(params);
-    mem.access(1, 0, 4, false); // line 0 now resident
-    // Access spanning lines 0 and 1: line 1 misses to DRAM.
-    const unsigned lat = mem.access(2, 200, 128, false);
+    mem.access(1, 0, 4, false); // home line now resident
+    // A footprint wider than a line must probe the cold next line
+    // too and return the worst latency.
+    const unsigned lat =
+        mem.access(2, 4096, 2 * params.l1d.lineBytes, false);
     EXPECT_EQ(lat, params.dram.latencyCycles);
+}
+
+TEST(MemSystem, TranslationIsAllocationIndependent)
+{
+    // The same logical access pattern at completely different host
+    // bases must produce identical timing: simulated addresses are
+    // assigned by first-touch order, not by host pointer values.
+    SystemParams params;
+    auto walk = [&](Addr base, Addr gap) {
+        MemorySystem mem(params);
+        std::vector<unsigned> lat;
+        for (unsigned rep = 0; rep < 2; ++rep)
+            for (unsigned i = 0; i < 512; ++i)
+                lat.push_back(
+                    mem.access(7, base + i * gap, 8, false));
+        lat.push_back(static_cast<unsigned>(mem.totalRequests()));
+        lat.push_back(static_cast<unsigned>(mem.dramBytes()));
+        return lat;
+    };
+    // Same 64B stride, wildly different (even unaligned-page) bases.
+    EXPECT_EQ(walk(0x10000, 64), walk(0x7f3210, 64));
+    // Sanity that it is not a constant function: an 8B stride revisits
+    // each 16B paragraph twice, halving the footprint.
+    EXPECT_NE(walk(0x10000, 64), walk(0x10000, 8));
+}
+
+TEST(MemSystem, NewEpochRemapsRecycledMemory)
+{
+    SystemParams params;
+    MemorySystem mem(params);
+    // Fill one whole simulated line's worth of paragraphs.
+    for (Addr a = 0; a < params.l1d.lineBytes; a += 16)
+        mem.access(1, 0x1000 + a, 4, false);
+    EXPECT_EQ(mem.access(1, 0x1000, 4, false), params.l1d.loadToUse);
+    // After an epoch the same host addresses map to fresh simulated
+    // paragraphs instead of aliasing the old ones; a footprint wider
+    // than a line is guaranteed to reach a cold line again.
+    mem.newEpoch();
+    EXPECT_EQ(mem.access(1, 0x1000, 2 * params.l1d.lineBytes, false),
+              params.dram.latencyCycles);
 }
 
 TEST(Pipeline, IssueWidthBoundsThroughput)
@@ -261,9 +305,11 @@ TEST(Pipeline, StoresRetireIntoStoreBuffer)
     const Tag st =
         pipe.executeMem(OpClass::VecStore, 1, 0x800000, 64, {});
     EXPECT_LE(st.ready, pipe.now() + 2);
-    // ...while a cold LOAD's tag carries the DRAM latency.
-    const Tag ld =
-        pipe.executeMem(OpClass::VecLoad, 2, 0x900000, 64, {});
+    // ...while a cold LOAD's tag carries the DRAM latency. The load
+    // is wider than a line so it reaches past the line the store's
+    // write-allocate already fetched.
+    const Tag ld = pipe.executeMem(OpClass::VecLoad, 2, 0x900000,
+                                   ctx.params().l1d.lineBytes + 64, {});
     EXPECT_GE(ld.ready, ctx.params().dram.latencyCycles);
 }
 

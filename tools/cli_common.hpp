@@ -5,6 +5,7 @@
 #ifndef QUETZAL_TOOLS_CLI_COMMON_HPP
 #define QUETZAL_TOOLS_CLI_COMMON_HPP
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -16,6 +17,21 @@
 
 namespace quetzal::cli {
 
+/**
+ * True when @p arg is a numeric literal such as "-5", "-0.3", or
+ * "+1e6" — i.e. a leading sign does NOT make it an option name.
+ */
+inline bool
+looksLikeNumber(const std::string &arg)
+{
+    if (arg.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    std::strtod(arg.c_str(), &end);
+    return end == arg.c_str() + arg.size() && errno == 0;
+}
+
 /** Parsed "--key value" options plus positional arguments. */
 class Args
 {
@@ -26,10 +42,19 @@ class Args
             std::string arg = argv[i];
             if (arg.rfind("--", 0) == 0) {
                 const std::string key = arg.substr(2);
-                if (i + 1 < argc && argv[i + 1][0] != '-') {
-                    options_[key] = argv[++i];
+                // The next argv is this option's value unless it is
+                // itself an option. A leading '-' only disqualifies it
+                // when it isn't a number: "--ssthreshold -5" must bind
+                // -5 as the value, not turn the option into a flag
+                // with a stray "-5" positional.
+                if (i + 1 < argc &&
+                    (argv[i + 1][0] != '-' ||
+                     looksLikeNumber(argv[i + 1]))) {
+                    options_.insert_or_assign(key,
+                                              std::string(argv[++i]));
                 } else {
-                    options_[key] = "1"; // boolean flag
+                    options_.insert_or_assign(key,
+                                              std::string("1")); // flag
                 }
             } else {
                 positional_.push_back(std::move(arg));
@@ -44,20 +69,47 @@ class Args
         return it == options_.end() ? fallback : it->second;
     }
 
+    /**
+     * Integer option value. Malformed input is a fatal diagnostic —
+     * the old atol() path silently turned garbage into 0.
+     */
     long
     getInt(const std::string &key, long fallback) const
     {
         auto it = options_.find(key);
-        return it == options_.end() ? fallback
-                                    : std::atol(it->second.c_str());
+        if (it == options_.end())
+            return fallback;
+        errno = 0;
+        char *end = nullptr;
+        const long value = std::strtol(it->second.c_str(), &end, 10);
+        fatal_if(it->second.empty() ||
+                     end != it->second.c_str() + it->second.size(),
+                 "option --{} expects an integer, got '{}'", key,
+                 it->second);
+        fatal_if(errno == ERANGE,
+                 "option --{} value '{}' is out of range", key,
+                 it->second);
+        return value;
     }
 
+    /** Floating-point option value; malformed input is fatal. */
     double
     getDouble(const std::string &key, double fallback) const
     {
         auto it = options_.find(key);
-        return it == options_.end() ? fallback
-                                    : std::atof(it->second.c_str());
+        if (it == options_.end())
+            return fallback;
+        errno = 0;
+        char *end = nullptr;
+        const double value = std::strtod(it->second.c_str(), &end);
+        fatal_if(it->second.empty() ||
+                     end != it->second.c_str() + it->second.size(),
+                 "option --{} expects a number, got '{}'", key,
+                 it->second);
+        fatal_if(errno == ERANGE,
+                 "option --{} value '{}' is out of range", key,
+                 it->second);
+        return value;
     }
 
     bool has(const std::string &key) const

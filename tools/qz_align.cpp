@@ -6,6 +6,7 @@
  *   qz-align pairs.txt --algo biwfa --variant vec
  *   qz-align pairs.txt --algo nw --maxlen 500 --cigar
  *   qz-align long_pairs.txt --window 30000      # tiled ultra-long
+ *   qz-align pairs.txt --threads 8              # shard across workers
  */
 #include <fstream>
 #include <iostream>
@@ -21,15 +22,51 @@
 #include "algos/wfa.hpp"
 #include "algos/wfa_engine.hpp"
 #include "cli_common.hpp"
+#include "common/threadpool.hpp"
 #include "genomics/fasta.hpp"
 #include "quetzal/qzunit.hpp"
 #include "sim/context.hpp"
 
+namespace {
+
+using namespace quetzal;
+using algos::Variant;
+
+/** One worker's private simulated core + engines. */
+struct ShardRig
+{
+    sim::SimContext core;
+    isa::VectorUnit vpu;
+    std::optional<accel::QzUnit> qz;
+    std::unique_ptr<algos::WfaEngine> engine;
+
+    explicit ShardRig(Variant variant)
+        : core(algos::needsQuetzal(variant)
+                   ? sim::SystemParams::withQuetzal()
+                   : sim::SystemParams::baseline()),
+          vpu(core.pipeline())
+    {
+        if (algos::needsQuetzal(variant))
+            qz.emplace(vpu, core.params().quetzal);
+        engine = algos::makeWfaEngine(variant, &vpu,
+                                      qz ? &*qz : nullptr);
+    }
+};
+
+/** Cycle/instruction totals harvested from one worker's core. */
+struct ShardStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memRequests = 0;
+    std::string profileJson;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    using namespace quetzal;
-    using algos::Variant;
     try {
         const cli::Args args(argc, argv);
         if (args.has("help") || args.positional().empty()) {
@@ -44,8 +81,10 @@ main(int argc, char **argv)
                    "  --lag N        adaptive wavefront reduction "
                    "(WFA heuristic)\n"
                    "  --sam FILE     write alignments as SAM\n"
+                   "  --threads N    shard pairs across N simulated "
+                   "cores (default 1)\n"
                    "  --json         print an instruction profile as "
-                   "JSON\n";
+                   "JSON (one per shard)\n";
             return args.has("help") ? 0 : 2;
         }
 
@@ -63,16 +102,92 @@ main(int argc, char **argv)
         const auto esize = args.has("protein")
                                ? genomics::ElementSize::Bits8
                                : genomics::ElementSize::Bits2;
+        const long threadsOpt = args.getInt("threads", 1);
+        fatal_if(threadsOpt < 1, "--threads must be at least 1");
+        const unsigned threads = static_cast<unsigned>(
+            std::min<std::size_t>(static_cast<std::size_t>(threadsOpt),
+                                  pairs.size()));
 
-        sim::SimContext core(algos::needsQuetzal(variant)
-                                 ? sim::SystemParams::withQuetzal()
-                                 : sim::SystemParams::baseline());
-        isa::VectorUnit vpu(core.pipeline());
-        std::optional<accel::QzUnit> qz;
-        if (algos::needsQuetzal(variant))
-            qz.emplace(vpu, core.params().quetzal);
-        auto engine =
-            algos::makeWfaEngine(variant, &vpu, qz ? &*qz : nullptr);
+        // Align pair @p i on @p rig (each worker owns its rig).
+        auto alignPair = [&](ShardRig &rig,
+                             std::size_t i) -> algos::AlignResult {
+            std::string_view pattern = pairs[i].pattern;
+            std::string_view text = pairs[i].text;
+            if (pattern.size() > maxLen)
+                pattern = pattern.substr(0, maxLen);
+            if (text.size() > maxLen)
+                text = text.substr(0, maxLen);
+
+            if (args.has("window")) {
+                algos::TiledConfig config;
+                config.windowBases = static_cast<std::size_t>(
+                    args.getInt("window", 30000));
+                return algos::tiledAlign(*rig.engine, pattern, text,
+                                         config, esize);
+            }
+            if (algo == "wfa") {
+                algos::WfaHeuristic heuristic;
+                heuristic.maxLag = static_cast<std::int32_t>(
+                    args.getInt("lag", 0));
+                return algos::wfaAlign(*rig.engine, pattern, text,
+                                       true, esize, heuristic);
+            }
+            if (algo == "biwfa")
+                return algos::biwfaAlign(*rig.engine, pattern, text,
+                                         true, esize);
+            if (algo == "affine") {
+                algos::AffinePenalties pen;
+                pen.mismatch =
+                    static_cast<std::int32_t>(args.getInt("x", 4));
+                pen.gapOpen =
+                    static_cast<std::int32_t>(args.getInt("o", 6));
+                pen.gapExtend =
+                    static_cast<std::int32_t>(args.getInt("e", 2));
+                const auto affine = algos::affineWfaAlign(
+                    *rig.engine, pattern, text, pen, true, esize);
+                algos::AlignResult result;
+                result.score = affine.score;
+                result.cigar = affine.cigar;
+                return result;
+            }
+            if (algo == "nw")
+                return algos::nwAlign(variant, pattern, text, &rig.vpu,
+                                      rig.qz ? &*rig.qz : nullptr);
+            if (algo == "sw") {
+                const auto swg = algos::swgAlign(
+                    variant, pattern, text, algos::SwgParams{},
+                    &rig.vpu, rig.qz ? &*rig.qz : nullptr);
+                algos::AlignResult result;
+                result.score = swg.score;
+                result.cigar = swg.cigar;
+                return result;
+            }
+            fatal("unknown algorithm '{}'", algo);
+        };
+
+        // Shard the pair list into contiguous ranges, one simulated
+        // core per worker; per-pair results keep their input index so
+        // output order (and the --threads 1 output itself) is
+        // identical to a serial run.
+        std::vector<algos::AlignResult> results(pairs.size());
+        std::vector<ShardStats> shards(threads);
+        const std::size_t perShard =
+            (pairs.size() + threads - 1) / threads;
+        parallelFor(threads, threads, [&](std::size_t s) {
+            const std::size_t lo = s * perShard;
+            const std::size_t hi =
+                std::min(pairs.size(), lo + perShard);
+            ShardRig rig(variant);
+            for (std::size_t i = lo; i < hi; ++i) {
+                rig.core.mem().newEpoch();
+                results[i] = alignPair(rig, i);
+            }
+            shards[s].cycles = rig.core.pipeline().totalCycles();
+            shards[s].instructions = rig.core.pipeline().instructions();
+            shards[s].memRequests = rig.core.mem().totalRequests();
+            shards[s].profileJson =
+                algos::instructionProfileJson(rig.core.pipeline());
+        });
 
         std::optional<std::ofstream> sam;
         if (args.has("sam")) {
@@ -85,60 +200,16 @@ main(int argc, char **argv)
 
         std::int64_t totalScore = 0;
         for (std::size_t i = 0; i < pairs.size(); ++i) {
-            std::string_view pattern = pairs[i].pattern;
-            std::string_view text = pairs[i].text;
-            if (pattern.size() > maxLen)
-                pattern = pattern.substr(0, maxLen);
-            if (text.size() > maxLen)
-                text = text.substr(0, maxLen);
-
-            algos::AlignResult result;
-            if (args.has("window")) {
-                algos::TiledConfig config;
-                config.windowBases = static_cast<std::size_t>(
-                    args.getInt("window", 30000));
-                result = algos::tiledAlign(*engine, pattern, text,
-                                           config, esize);
-            } else if (algo == "wfa") {
-                algos::WfaHeuristic heuristic;
-                heuristic.maxLag = static_cast<std::int32_t>(
-                    args.getInt("lag", 0));
-                result = algos::wfaAlign(*engine, pattern, text, true,
-                                         esize, heuristic);
-            } else if (algo == "biwfa") {
-                result = algos::biwfaAlign(*engine, pattern, text, true,
-                                           esize);
-            } else if (algo == "affine") {
-                algos::AffinePenalties pen;
-                pen.mismatch =
-                    static_cast<std::int32_t>(args.getInt("x", 4));
-                pen.gapOpen =
-                    static_cast<std::int32_t>(args.getInt("o", 6));
-                pen.gapExtend =
-                    static_cast<std::int32_t>(args.getInt("e", 2));
-                const auto affine = algos::affineWfaAlign(
-                    *engine, pattern, text, pen, true, esize);
-                result.score = affine.score;
-                result.cigar = affine.cigar;
-            } else if (algo == "nw") {
-                result = algos::nwAlign(variant, pattern, text, &vpu,
-                                        qz ? &*qz : nullptr);
-            } else if (algo == "sw") {
-                const auto swg = algos::swgAlign(
-                    variant, pattern, text, algos::SwgParams{}, &vpu,
-                    qz ? &*qz : nullptr);
-                result.score = swg.score;
-                result.cigar = swg.cigar;
-            } else {
-                fatal("unknown algorithm '{}'", algo);
-            }
-
+            const auto &result = results[i];
             totalScore += result.score;
             std::cout << "pair " << i << ": score " << result.score;
             if (args.has("cigar"))
                 std::cout << "  " << result.cigar.rle();
             std::cout << "\n";
             if (sam) {
+                std::string_view pattern = pairs[i].pattern;
+                if (pattern.size() > maxLen)
+                    pattern = pattern.substr(0, maxLen);
                 algos::SamRecord record;
                 record.qname = "pair_" + std::to_string(i);
                 record.rname = "ref";
@@ -149,18 +220,33 @@ main(int argc, char **argv)
             }
         }
 
+        std::uint64_t cycles = 0, instructions = 0, memRequests = 0;
+        for (const auto &shard : shards) {
+            cycles += shard.cycles;
+            instructions += shard.instructions;
+            memRequests += shard.memRequests;
+        }
         std::cout << "\naligned " << pairs.size() << " pairs, total "
                   << (algo == "sw" ? "alignment score " : "edits ")
                   << totalScore << "\n"
-                  << "simulated cycles: "
-                  << core.pipeline().totalCycles() << " ("
-                  << core.pipeline().instructions()
-                  << " instructions, "
-                  << core.mem().totalRequests()
-                  << " cache requests)\n";
-        if (args.has("json"))
-            std::cout << algos::instructionProfileJson(core.pipeline())
-                      << "\n";
+                  << "simulated cycles: " << cycles << " ("
+                  << instructions << " instructions, " << memRequests
+                  << " cache requests";
+        if (threads > 1)
+            std::cout << "; summed over " << threads
+                      << " simulated cores";
+        std::cout << ")\n";
+        if (args.has("json")) {
+            if (threads == 1) {
+                std::cout << shards.front().profileJson << "\n";
+            } else {
+                std::cout << "[";
+                for (std::size_t s = 0; s < shards.size(); ++s)
+                    std::cout << (s ? "," : "")
+                              << shards[s].profileJson;
+                std::cout << "]\n";
+            }
+        }
         return 0;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";

@@ -4,6 +4,7 @@
  *
  *   qz-filter pairs.txt --threshold 8
  *   qz-filter pairs.txt --variant vec --accepted kept.txt
+ *   qz-filter pairs.txt --threads 8    # shard across workers
  */
 #include <fstream>
 #include <iostream>
@@ -12,6 +13,7 @@
 #include "algos/shouji.hpp"
 #include "algos/sneakysnake.hpp"
 #include "cli_common.hpp"
+#include "common/threadpool.hpp"
 #include "genomics/fasta.hpp"
 #include "quetzal/qzunit.hpp"
 #include "sim/context.hpp"
@@ -32,6 +34,8 @@ main(int argc, char **argv)
                    "  --filter F      sneakysnake|shouji (default "
                    "sneakysnake)\n"
                    "  --accepted F    write accepted pairs to F\n"
+                   "  --threads N     shard pairs across N simulated "
+                   "cores (default 1)\n"
                    "  --verbose       per-pair verdicts\n";
             return args.has("help") ? 0 : 2;
         }
@@ -44,53 +48,90 @@ main(int argc, char **argv)
 
         const Variant variant =
             cli::parseVariant(args.get("variant", "qzc"));
-        sim::SimContext core(algos::needsQuetzal(variant)
-                                 ? sim::SystemParams::withQuetzal()
-                                 : sim::SystemParams::baseline());
-        isa::VectorUnit vpu(core.pipeline());
-        std::optional<accel::QzUnit> qz;
-        if (algos::needsQuetzal(variant))
-            qz.emplace(vpu, core.params().quetzal);
-        auto engine =
-            algos::makeSsEngine(variant, &vpu, qz ? &*qz : nullptr);
         const bool useShouji = args.get("filter") == "shouji";
+        const long threadsOpt = args.getInt("threads", 1);
+        fatal_if(threadsOpt < 1, "--threads must be at least 1");
+        const unsigned threads = static_cast<unsigned>(
+            std::min<std::size_t>(static_cast<std::size_t>(threadsOpt),
+                                  pairs.size()));
+
+        struct Verdict
+        {
+            bool ok = false;
+            std::int64_t bound = 0;
+            std::int64_t threshold = 0;
+        };
+        std::vector<Verdict> verdicts(pairs.size());
+        std::vector<std::uint64_t> shardCycles(threads, 0);
+
+        // Contiguous shards, one fresh simulated core per worker;
+        // verdicts keep their pair index so the report (and the
+        // --threads 1 output itself) matches the serial run.
+        const std::size_t perShard =
+            (pairs.size() + threads - 1) / threads;
+        parallelFor(threads, threads, [&](std::size_t s) {
+            const std::size_t lo = s * perShard;
+            const std::size_t hi =
+                std::min(pairs.size(), lo + perShard);
+            sim::SimContext core(algos::needsQuetzal(variant)
+                                     ? sim::SystemParams::withQuetzal()
+                                     : sim::SystemParams::baseline());
+            isa::VectorUnit vpu(core.pipeline());
+            std::optional<accel::QzUnit> qz;
+            if (algos::needsQuetzal(variant))
+                qz.emplace(vpu, core.params().quetzal);
+            auto engine =
+                algos::makeSsEngine(variant, &vpu, qz ? &*qz : nullptr);
+
+            for (std::size_t i = lo; i < hi; ++i) {
+                core.mem().newEpoch();
+                Verdict &v = verdicts[i];
+                v.threshold =
+                    args.has("threshold")
+                        ? args.getInt("threshold", 0)
+                        : algos::defaultSsThreshold(
+                              pairs[i].pattern.size(), 0.033);
+                if (useShouji) {
+                    const auto verdict = algos::shouji(
+                        variant, pairs[i].pattern, pairs[i].text,
+                        v.threshold, &vpu, qz ? &*qz : nullptr);
+                    v.ok = verdict.accepted;
+                    v.bound = verdict.zeroCount;
+                } else {
+                    algos::SsConfig config;
+                    config.editThreshold = v.threshold;
+                    const auto verdict = algos::sneakySnake(
+                        *engine, pairs[i].pattern, pairs[i].text,
+                        config);
+                    v.ok = verdict.accepted;
+                    v.bound = verdict.editBound;
+                }
+            }
+            shardCycles[s] = core.pipeline().totalCycles();
+        });
 
         std::vector<genomics::SequencePair> accepted;
         for (std::size_t i = 0; i < pairs.size(); ++i) {
-            const std::int64_t threshold =
-                args.has("threshold")
-                    ? args.getInt("threshold", 0)
-                    : algos::defaultSsThreshold(
-                          pairs[i].pattern.size(), 0.033);
-            bool ok;
-            std::int64_t bound;
-            if (useShouji) {
-                const auto verdict = algos::shouji(
-                    variant, pairs[i].pattern, pairs[i].text,
-                    threshold, &vpu, qz ? &*qz : nullptr);
-                ok = verdict.accepted;
-                bound = verdict.zeroCount;
-            } else {
-                algos::SsConfig config;
-                config.editThreshold = threshold;
-                const auto verdict = algos::sneakySnake(
-                    *engine, pairs[i].pattern, pairs[i].text, config);
-                ok = verdict.accepted;
-                bound = verdict.editBound;
-            }
-            if (ok)
+            const Verdict &v = verdicts[i];
+            if (v.ok)
                 accepted.push_back(pairs[i]);
             if (args.has("verbose"))
                 std::cout << "pair " << i << ": "
-                          << (ok ? "ACCEPT" : "reject")
-                          << " (edit bound " << bound << ", E "
-                          << threshold << ")\n";
+                          << (v.ok ? "ACCEPT" : "reject")
+                          << " (edit bound " << v.bound << ", E "
+                          << v.threshold << ")\n";
         }
 
+        std::uint64_t cycles = 0;
+        for (const auto c : shardCycles)
+            cycles += c;
         std::cout << "accepted " << accepted.size() << " / "
-                  << pairs.size() << " pairs ("
-                  << core.pipeline().totalCycles()
-                  << " simulated cycles)\n";
+                  << pairs.size() << " pairs (" << cycles
+                  << " simulated cycles";
+        if (threads > 1)
+            std::cout << " summed over " << threads
+                      << " simulated cores";
+        std::cout << ")\n";
         if (args.has("accepted")) {
             std::ofstream out(args.get("accepted"));
             fatal_if(!out, "cannot open '{}' for writing",
