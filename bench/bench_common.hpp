@@ -12,6 +12,10 @@
  *  - QZ_BENCH_THREADS harness workers (default hardware_concurrency)
  *  - QZ_BENCH_JSON    dump the RunResult rows as JSON: a path, or "-"
  *                     for stdout after the table
+ *  - QZ_BENCH_CHECKPOINT  append completed cells to this file and skip
+ *                     cells already in it on restart (resumable sweeps)
+ *  - QZ_FAULT_INJECT  deterministic fault injection, CELL:KIND[:TIMES]
+ *                     (docs/ROBUSTNESS.md)
  */
 #ifndef QUETZAL_BENCH_BENCH_COMMON_HPP
 #define QUETZAL_BENCH_BENCH_COMMON_HPP
@@ -124,7 +128,12 @@ runCell(algos::AlgoKind kind, const genomics::PairDataset &dataset,
 class CellBatch
 {
   public:
-    CellBatch() : runner_(benchThreads()) {}
+    CellBatch() : runner_(benchThreads())
+    {
+        if (const char *env = std::getenv("QZ_BENCH_CHECKPOINT");
+            env && *env)
+            runner_.setCheckpoint(env);
+    }
 
     /** Queue a cell; @return its index into results(). */
     std::size_t
@@ -147,22 +156,40 @@ class CellBatch
     }
 
     /** Run all queued cells; callable once per fill. */
-    void run() { results_ = runner_.run(); }
+    void
+    run()
+    {
+        outcome_ = runner_.run();
+        if (outcome_.resumedCells > 0)
+            std::cout << "resumed " << outcome_.resumedCells
+                      << " cell(s) from checkpoint\n";
+        for (const auto &failure : outcome_.failures)
+            warn("cell {} [{}] failed after {} attempt(s): {} ({})",
+                 failure.cell, failure.key, failure.attempts,
+                 failure.message,
+                 algos::failureKindName(failure.kind));
+    }
 
+    /**
+     * Result slot for a cell. A failed cell's slot holds zeroed
+     * metrics; tables render it as a zero row (check outcome()).
+     */
     const algos::RunResult &
     operator[](std::size_t index) const
     {
-        return results_.at(index);
+        return outcome_.results.at(index);
     }
 
     const std::vector<algos::RunResult> &results() const
     {
-        return results_;
+        return outcome_.results;
     }
+
+    const algos::BatchOutcome &outcome() const { return outcome_; }
 
   private:
     algos::BatchRunner runner_;
-    std::vector<algos::RunResult> results_;
+    algos::BatchOutcome outcome_;
 };
 
 /**
@@ -173,7 +200,8 @@ class CellBatch
  */
 inline void
 maybeWriteJson(const std::string &benchName,
-               const std::vector<algos::RunResult> &results)
+               const std::vector<algos::RunResult> &results,
+               const algos::BatchOutcome *outcome = nullptr)
 {
     const char *env = std::getenv("QZ_BENCH_JSON");
     if (!env || !*env)
@@ -183,10 +211,20 @@ maybeWriteJson(const std::string &benchName,
         .field("bench", benchName)
         .field("scale", benchScale())
         .field("threads", static_cast<std::uint64_t>(benchThreads()));
+    if (outcome) {
+        json.field("resumed_cells", outcome->resumedCells)
+            .field("retries", outcome->retries);
+    }
     json.beginArray("results");
     for (const auto &r : results)
         json.rawValue(algos::toJson(r));
     json.endArray();
+    if (outcome) {
+        json.beginArray("failures");
+        for (const auto &failure : outcome->failures)
+            json.rawValue(algos::toJson(failure));
+        json.endArray();
+    }
     json.endObject();
     if (std::string_view(env) == "-") {
         std::cout << json.str() << "\n";
@@ -199,6 +237,17 @@ maybeWriteJson(const std::string &benchName,
     }
     out << json.str() << "\n";
     std::cout << "wrote JSON results to " << env << "\n";
+}
+
+/**
+ * Preferred overload: emit the whole BatchOutcome, including the
+ * failures array and resume/retry counters.
+ */
+inline void
+maybeWriteJson(const std::string &benchName,
+               const algos::BatchOutcome &outcome)
+{
+    maybeWriteJson(benchName, outcome.results, &outcome);
 }
 
 /** Build the protein workload as a PairDataset (use case 4). */

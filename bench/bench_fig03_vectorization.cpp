@@ -69,6 +69,6 @@ main()
               << TextTable::num(shortGeo, 2) << "x (paper ~1.3x), "
               << "long reads " << TextTable::num(longGeo, 2)
               << "x (paper ~2.5x)\n";
-    bench::maybeWriteJson("fig03_vectorization", batch.results());
+    bench::maybeWriteJson("fig03_vectorization", batch.outcome());
     return 0;
 }

@@ -55,6 +55,6 @@ main()
     table.print(std::cout);
     std::cout << "\nPaper: cache accesses are 32%-65% of execution "
                  "time, growing with sequence length.\n";
-    bench::maybeWriteJson("fig04_breakdown", batch.results());
+    bench::maybeWriteJson("fig04_breakdown", batch.outcome());
     return 0;
 }

@@ -56,6 +56,6 @@ main()
     table.print(std::cout);
     std::cout << "\nPaper: performance rises with port count; QZ_8P "
                  "(2-cycle reads) is the chosen configuration.\n";
-    bench::maybeWriteJson("fig12_ports", batch.results());
+    bench::maybeWriteJson("fig12_ports", batch.outcome());
     return 0;
 }

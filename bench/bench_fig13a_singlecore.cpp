@@ -86,6 +86,6 @@ main()
     std::cout << "\nNW is length-capped at " << classicCap
               << " bp (full-table DP; the paper likewise constrained "
                  "datasets for simulation time).\n";
-    bench::maybeWriteJson("fig13a_singlecore", batch.results());
+    bench::maybeWriteJson("fig13a_singlecore", batch.outcome());
     return 0;
 }

@@ -84,6 +84,6 @@ main()
     std::cout << "\nPaper: near-linear for short reads; long reads "
                  "flatten as the shared LLC and HBM2 bandwidth "
                  "saturate.\n";
-    bench::maybeWriteJson("fig13b_multicore", batch.results());
+    bench::maybeWriteJson("fig13b_multicore", batch.outcome());
     return 0;
 }

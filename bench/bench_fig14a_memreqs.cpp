@@ -54,6 +54,6 @@ main()
     std::cout << "\nPaper: all input-sequence accesses execute in the "
                  "QBUFFERs; the remaining requests are strided wave "
                  "updates the prefetcher handles.\n";
-    bench::maybeWriteJson("fig14a_memreqs", batch.results());
+    bench::maybeWriteJson("fig14a_memreqs", batch.outcome());
     return 0;
 }

@@ -58,6 +58,6 @@ main()
     table.print(std::cout);
     std::cout << "\nPaper (16 cores): 1.8x, 2.7x, 3.6x, 3.1x across "
                  "the four datasets.\n";
-    bench::maybeWriteJson("fig14b_pipeline", batch.results());
+    bench::maybeWriteJson("fig14b_pipeline", batch.outcome());
     return 0;
 }

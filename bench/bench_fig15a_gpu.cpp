@@ -78,6 +78,6 @@ main()
                  "WFA-GPU, ~1.1x over GASAL2). A40 area ~"
               << TextTable::num(device.areaMm2, 0)
               << " mm^2 (>10x a 16-core QUETZAL CPU slice).\n";
-    bench::maybeWriteJson("fig15a_gpu", batch.results());
+    bench::maybeWriteJson("fig15a_gpu", batch.outcome());
     return 0;
 }

@@ -59,6 +59,6 @@ main()
                  "QUETZAL on raw PGCUPS (GenASM 2.7x, Darwin 1.2x), "
                  "but QUETZAL runs every algorithm in this repo on "
                  "one programmable datapath at ~1.4% SoC overhead.\n";
-    bench::maybeWriteJson("table4_accelerators", batch.results());
+    bench::maybeWriteJson("table4_accelerators", batch.outcome());
     return 0;
 }

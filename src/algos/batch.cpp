@@ -1,29 +1,213 @@
 #include "algos/batch.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
+
+#include "algos/report.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
 
 namespace quetzal::algos {
 
-std::vector<RunResult>
+namespace {
+
+/**
+ * Load a checkpoint file into hash -> RunResult. Each line is one
+ * completed cell ({"v":1,"hash":...,"key":...,"result":{...}}).
+ * Unparseable lines — typically one partial trailing line left by a
+ * killed sweep — are counted and skipped, never fatal: the worst case
+ * is re-simulating a cell that was almost recorded.
+ */
+std::unordered_map<std::string, RunResult>
+loadCheckpoint(const std::string &path)
+{
+    std::unordered_map<std::string, RunResult> cache;
+    std::ifstream in(path);
+    if (!in)
+        return cache; // first run: the file does not exist yet
+    std::size_t skipped = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto json = parseJson(line);
+        if (!json || !json->isObject()) {
+            ++skipped;
+            continue;
+        }
+        const std::string hash = json->getString("hash");
+        const JsonValue *result = json->find("result");
+        if (hash.empty() || !result) {
+            ++skipped;
+            continue;
+        }
+        auto parsed = runResultFromJson(*result);
+        if (!parsed) {
+            ++skipped;
+            continue;
+        }
+        cache[hash] = std::move(*parsed);
+    }
+    if (skipped > 0)
+        warn("checkpoint '{}': skipped {} unparseable line(s); the "
+             "affected cells will re-simulate",
+             path, skipped);
+    return cache;
+}
+
+/** One completed cell as a checkpoint line (no trailing newline). */
+std::string
+checkpointLine(const std::string &hash, const std::string &key,
+               const RunResult &result)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("v", std::uint64_t{1})
+        .field("hash", hash)
+        .field("key", key)
+        .rawField("result", toJson(result))
+        .endObject();
+    return json.str();
+}
+
+} // namespace
+
+BatchOutcome
 BatchRunner::run()
 {
     std::vector<BatchCell> cells = std::move(cells_);
     cells_.clear();
 
-    std::vector<RunResult> results(cells.size());
-    // Submission order in, submission order out: worker i writes only
-    // slot i, so completion order never reorders results. Each
-    // runAlgorithm() call owns a fresh simulated core (see runner.cpp)
-    // and reads a shared immutable dataset — no cross-cell state.
+    BatchOutcome out;
+    out.results.resize(cells.size());
+
+    // Canonical identities up front: keys label failure records, and
+    // hashes (checkpoint mode only — they digest dataset contents)
+    // index the resume cache.
+    std::vector<std::string> keys(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        keys[i] = cellKey(cells[i].kind, *cells[i].dataset,
+                          cells[i].options);
+
+    std::vector<char> done(cells.size(), 0);
+    std::vector<std::string> hashes;
+    std::ofstream ckptOut;
+    if (!policy_.checkpointPath.empty()) {
+        hashes.resize(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            hashes[i] = cellHash(cells[i].kind, *cells[i].dataset,
+                                 cells[i].options);
+        const auto cache = loadCheckpoint(policy_.checkpointPath);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto it = cache.find(hashes[i]);
+            if (it == cache.end())
+                continue;
+            out.results[i] = it->second;
+            done[i] = 1;
+            ++out.resumedCells;
+        }
+        ckptOut.open(policy_.checkpointPath, std::ios::app);
+        if (!ckptOut)
+            warn("cannot open checkpoint '{}' for appending; this "
+                 "sweep will not be resumable",
+                 policy_.checkpointPath);
+    }
+
+    // One mutex covers every shared record: the failure list, the
+    // checkpoint stream, the retry counter, and the injection budget.
+    // Cells are coarse (whole simulations), so contention is noise.
+    std::mutex recordMutex;
+    unsigned injectionsLeft =
+        policy_.inject ? policy_.inject->times : 0;
+    std::uint64_t retries = 0;
+
     parallelFor(threads_, cells.size(), [&](std::size_t i) {
-        results[i] =
-            runAlgorithm(cells[i].kind, *cells[i].dataset,
-                         cells[i].options);
+        if (done[i])
+            return; // resumed from checkpoint
+        const BatchCell &cell = cells[i];
+        for (unsigned attempt = 1;; ++attempt) {
+            try {
+                if (policy_.inject && policy_.inject->cell == i) {
+                    bool fire = false;
+                    {
+                        std::lock_guard<std::mutex> lock(recordMutex);
+                        if (injectionsLeft > 0) {
+                            --injectionsLeft;
+                            fire = true;
+                        }
+                    }
+                    if (fire)
+                        throwInjectedFault(*policy_.inject);
+                }
+                RunResult result = runAlgorithm(
+                    cell.kind, *cell.dataset, cell.options);
+                {
+                    std::lock_guard<std::mutex> lock(recordMutex);
+                    retries += attempt - 1;
+                    if (ckptOut.is_open())
+                        ckptOut << checkpointLine(hashes[i], keys[i],
+                                                  result)
+                                << std::endl; // flush: crash safety
+                }
+                out.results[i] = std::move(result);
+                return;
+            } catch (...) {
+                const std::exception_ptr error =
+                    std::current_exception();
+                const FailureKind kind = classifyException(error);
+                if (kind == FailureKind::Transient &&
+                    attempt < policy_.retry.maxAttempts) {
+                    const unsigned delayMs =
+                        policy_.retry.backoffMs(attempt);
+                    if (delayMs > 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(delayMs));
+                    continue;
+                }
+                if (!policy_.isolateFailures)
+                    throw; // legacy fail-fast: pool rethrows first
+
+                CellFailure failure;
+                failure.cell = i;
+                failure.key = keys[i];
+                failure.kind = kind;
+                failure.message = exceptionMessage(error);
+                failure.attempts = attempt;
+                // The slot keeps its identity so tables and JSON can
+                // label the hole; metrics stay zeroed.
+                RunResult &slot = out.results[i];
+                slot.algo = algoName(cell.kind);
+                slot.variant =
+                    std::string(variantName(cell.options.variant));
+                slot.dataset = cell.dataset->name;
+                slot.pairs = 0;
+                {
+                    std::lock_guard<std::mutex> lock(recordMutex);
+                    retries += attempt - 1;
+                    out.failures.push_back(std::move(failure));
+                }
+                return;
+            }
+        }
     });
-    return results;
+
+    // Workers append failures in completion order; submission order
+    // is the deterministic one.
+    std::sort(out.failures.begin(), out.failures.end(),
+              [](const CellFailure &a, const CellFailure &b) {
+                  return a.cell < b.cell;
+              });
+    out.retries = retries;
+    return out;
 }
 
-std::vector<RunResult>
+BatchOutcome
 runBatch(std::vector<BatchCell> cells, unsigned threads)
 {
     BatchRunner runner(threads);

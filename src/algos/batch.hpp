@@ -1,21 +1,28 @@
 /**
  * @file
  * Batch experiment engine: runs many (algorithm, variant, dataset)
- * evaluation-matrix cells concurrently on a fixed thread pool.
+ * evaluation-matrix cells concurrently on a fixed thread pool, with
+ * per-cell fault isolation, bounded retries, checkpoint/resume, and
+ * deterministic fault injection (docs/ROBUSTNESS.md).
  *
  * Each cell is independent by construction — runAlgorithm() builds a
  * fresh simulated core per call and datasets are read-only — so the
  * matrix is embarrassingly parallel. Results come back in submission
  * order regardless of completion order, and every cell is bitwise
  * identical to what a serial run would produce (the simulator is
- * deterministic and shares no mutable state across cells).
+ * deterministic and shares no mutable state across cells). A cell
+ * that fails becomes a structured CellFailure record instead of
+ * killing the sweep; every other cell's result is unaffected.
  */
 #ifndef QUETZAL_ALGOS_BATCH_HPP
 #define QUETZAL_ALGOS_BATCH_HPP
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "algos/faults.hpp"
 #include "algos/runner.hpp"
 #include "common/threadpool.hpp"
 
@@ -28,6 +35,59 @@ struct BatchCell
     /** Shared so many cells can reference one materialized dataset. */
     std::shared_ptr<const genomics::PairDataset> dataset;
     RunOptions options;
+};
+
+/** Fault-tolerance knobs of one BatchRunner. */
+struct BatchPolicy
+{
+    /**
+     * true (default): a failing cell is recorded and the sweep
+     * continues. false: legacy fail-fast — the first failure rethrows
+     * from run() after the pool drains.
+     */
+    bool isolateFailures = true;
+
+    /** Bounded retries for Transient failures. */
+    RetryPolicy retry;
+
+    /**
+     * When non-empty, completed cells are appended to this file as
+     * JSON lines and cells already present in it are skipped on the
+     * next run (checkpoint/resume; see docs/ROBUSTNESS.md).
+     */
+    std::string checkpointPath;
+
+    /** Deterministic fault injection (QZ_FAULT_INJECT by default). */
+    std::optional<FaultInjection> inject;
+};
+
+/** Everything one run() produced. */
+struct BatchOutcome
+{
+    /**
+     * One slot per submitted cell, in submission order. A failed
+     * cell's slot carries the identifying fields (algo, variant,
+     * dataset) with zeroed metrics; check failureFor()/failures.
+     */
+    std::vector<RunResult> results;
+
+    /** Terminal failures, ordered by cell index. */
+    std::vector<CellFailure> failures;
+
+    std::uint64_t resumedCells = 0; //!< skipped via checkpoint
+    std::uint64_t retries = 0;      //!< attempts beyond each first
+
+    bool ok() const { return failures.empty(); }
+
+    /** Failure record for @p cell; nullptr when the cell succeeded. */
+    const CellFailure *
+    failureFor(std::size_t cell) const
+    {
+        for (const auto &failure : failures)
+            if (failure.cell == cell)
+                return &failure;
+        return nullptr;
+    }
 };
 
 /**
@@ -43,7 +103,9 @@ class BatchRunner
     /** @p threads worker count; <= 1 degrades to a serial loop. */
     explicit BatchRunner(unsigned threads = ThreadPool::hardwareThreads())
         : threads_(threads == 0 ? 1 : threads)
-    {}
+    {
+        policy_.inject = faultInjectionFromEnv();
+    }
 
     /** Queue @p cell; @return its index into run()'s result vector. */
     std::size_t
@@ -66,21 +128,38 @@ class BatchRunner
     std::size_t size() const { return cells_.size(); }
     unsigned threads() const { return threads_; }
 
+    /** Mutable fault-tolerance policy (set before run()). */
+    BatchPolicy &policy() { return policy_; }
+    const BatchPolicy &policy() const { return policy_; }
+
+    /** Enable checkpoint/resume against @p path. */
+    void setCheckpoint(std::string path)
+    {
+        policy_.checkpointPath = std::move(path);
+    }
+
+    /** Override the injection spec (tests; env is the default). */
+    void setFaultInjection(std::optional<FaultInjection> inject)
+    {
+        policy_.inject = std::move(inject);
+    }
+
     /**
-     * Run every queued cell and clear the queue. The result vector is
-     * ordered by submission index; a worker exception (fatal/panic
-     * from a cell) rethrows here after the pool drains.
+     * Run every queued cell and clear the queue. Results are ordered
+     * by submission index. Failing cells become CellFailure records
+     * (unless policy().isolateFailures is false, which restores the
+     * legacy rethrow-first behavior).
      */
-    std::vector<RunResult> run();
+    BatchOutcome run();
 
   private:
     unsigned threads_;
+    BatchPolicy policy_;
     std::vector<BatchCell> cells_;
 };
 
 /** One-shot helper: run @p cells on @p threads workers. */
-std::vector<RunResult> runBatch(std::vector<BatchCell> cells,
-                                unsigned threads);
+BatchOutcome runBatch(std::vector<BatchCell> cells, unsigned threads);
 
 } // namespace quetzal::algos
 

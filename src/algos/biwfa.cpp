@@ -60,12 +60,16 @@ findOverlap(WfaEngine &engine, const Wave &f, const Wave &r,
     return false;
 }
 
-} // namespace
-
+/**
+ * Score pass with watchdog accounting. BiWFA's rolling storage is
+ * O(s) by construction, so only the step ceiling is consulted; a
+ * breach throws WfaBudgetExceeded for the callers here to translate
+ * (biwfaAlign degrades to pruned WFA, biwfaScore reports terminally).
+ */
 std::int64_t
-biwfaScore(WfaEngine &engine, std::string_view pattern,
-           std::string_view text, genomics::ElementSize esize,
-           Breakpoint *bp)
+scoreImpl(WfaEngine &engine, std::string_view pattern,
+          std::string_view text, genomics::ElementSize esize,
+          Breakpoint *bp)
 {
     if (pattern.empty() || text.empty()) {
         if (bp)
@@ -96,6 +100,10 @@ biwfaScore(WfaEngine &engine, std::string_view pattern,
     for (;;) {
         panic_if_not(sf + sr <= m + n,
                      "BiWFA exceeded the m+n score bound");
+        engine.noteStep();
+        if (engine.budgetExceeded())
+            throw WfaBudgetExceeded{engine.stepsUsed(),
+                                    engine.waveBytesUsed()};
         if (sf <= sr) {
             int lo, hi;
             waveRange(sf + 1, m, n, lo, hi);
@@ -123,6 +131,27 @@ biwfaScore(WfaEngine &engine, std::string_view pattern,
     }
 }
 
+} // namespace
+
+std::int64_t
+biwfaScore(WfaEngine &engine, std::string_view pattern,
+           std::string_view text, genomics::ElementSize esize,
+           Breakpoint *bp)
+{
+    try {
+        return scoreImpl(engine, pattern, text, esize, bp);
+    } catch (const WfaBudgetExceeded &e) {
+        // Score-only callers need the exact score; no degraded mode.
+        const std::string msg = qformat(
+            "BiWFA step budget exhausted (pair {}x{}: {} steps / "
+            "ceiling {})",
+            pattern.size(), text.size(), e.steps,
+            engine.budget().maxSteps);
+        std::fputs(("fatal: " + msg + "\n").c_str(), stderr);
+        throw ResourceError(msg);
+    }
+}
+
 AlignResult
 biwfaAlign(WfaEngine &engine, std::string_view pattern,
            std::string_view text, bool traceback,
@@ -138,8 +167,35 @@ biwfaAlign(WfaEngine &engine, std::string_view pattern,
         return wfaAlign(engine, pattern, text, traceback, esize);
 
     Breakpoint bp;
-    const std::int64_t score =
-        biwfaScore(engine, pattern, text, esize, &bp);
+    std::int64_t score;
+    try {
+        score = scoreImpl(engine, pattern, text, esize, &bp);
+    } catch (const WfaBudgetExceeded &) {
+        // Watchdog fired mid-meet: degrade this subproblem to the
+        // pruned unidirectional variant. As in wfaAlign's own retry,
+        // the step ceiling is lifted (pruning bounds per-step work
+        // instead; steps track the score, which pruning cannot
+        // shrink) while the memory ceiling stays enforced — wfaAlign
+        // raises a terminal ResourceError if even the pruned pass
+        // breaches it.
+        WfaHeuristic fallback;
+        fallback.maxLag = engine.budget().fallbackLag;
+        const ResourceBudget saved = engine.budget();
+        ResourceBudget relaxed = saved;
+        relaxed.maxSteps = 0;
+        engine.setBudget(relaxed);
+        AlignResult out;
+        try {
+            out = wfaAlign(engine, pattern, text, traceback, esize,
+                           fallback);
+        } catch (...) {
+            engine.setBudget(saved);
+            throw;
+        }
+        engine.setBudget(saved);
+        out.degraded = true;
+        return out;
+    }
     if (!traceback)
         return AlignResult{score, {}};
 
@@ -160,6 +216,7 @@ biwfaAlign(WfaEngine &engine, std::string_view pattern,
     out.score = left.score + right.score;
     out.cigar.ops = std::move(left.cigar.ops);
     out.cigar.ops += right.cigar.ops;
+    out.degraded = left.degraded || right.degraded;
     return out;
 }
 

@@ -1,0 +1,268 @@
+#include "algos/faults.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace quetzal::algos {
+
+std::string_view
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::Fatal:
+        return "fatal";
+      case FailureKind::Panic:
+        return "panic";
+      case FailureKind::Transient:
+        return "transient";
+      case FailureKind::Resource:
+        return "resource";
+      case FailureKind::Unknown:
+        return "unknown";
+    }
+    return "?";
+}
+
+std::optional<FailureKind>
+failureKindFromName(std::string_view name)
+{
+    for (FailureKind kind :
+         {FailureKind::Fatal, FailureKind::Panic, FailureKind::Transient,
+          FailureKind::Resource, FailureKind::Unknown})
+        if (name == failureKindName(kind))
+            return kind;
+    return std::nullopt;
+}
+
+FailureKind
+classifyException(std::exception_ptr error)
+{
+    if (!error)
+        return FailureKind::Unknown;
+    try {
+        std::rethrow_exception(error);
+    } catch (const TransientError &) {
+        return FailureKind::Transient;
+    } catch (const ResourceError &) {
+        // Before FatalError: ResourceError derives from it.
+        return FailureKind::Resource;
+    } catch (const FatalError &) {
+        return FailureKind::Fatal;
+    } catch (const PanicError &) {
+        return FailureKind::Panic;
+    } catch (...) {
+        return FailureKind::Unknown;
+    }
+}
+
+std::string
+exceptionMessage(std::exception_ptr error)
+{
+    if (!error)
+        return "(no exception)";
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "(non-standard exception)";
+    }
+}
+
+std::optional<FaultInjection>
+parseFaultSpec(std::string_view spec)
+{
+    if (spec.empty())
+        return std::nullopt;
+
+    auto nextField = [&spec]() -> std::string_view {
+        const std::size_t colon = spec.find(':');
+        std::string_view field = spec.substr(0, colon);
+        spec = colon == std::string_view::npos
+                   ? std::string_view{}
+                   : spec.substr(colon + 1);
+        return field;
+    };
+
+    const std::string cellField(nextField());
+    const std::string kindField(nextField());
+    const std::string timesField(nextField());
+    fatal_if(!spec.empty(),
+             "fault spec has trailing fields after ':{}' "
+             "(want CELL:KIND[:TIMES])",
+             timesField);
+
+    char *end = nullptr;
+    const unsigned long long cell =
+        std::strtoull(cellField.c_str(), &end, 10);
+    fatal_if(cellField.empty() || *end != '\0',
+             "fault spec cell '{}' is not a non-negative integer",
+             cellField);
+
+    const auto kind = failureKindFromName(kindField);
+    fatal_if(!kind,
+             "fault spec kind '{}' unknown (want "
+             "fatal|panic|transient|resource|unknown)",
+             kindField);
+
+    unsigned long long times = 1;
+    if (!timesField.empty()) {
+        times = std::strtoull(timesField.c_str(), &end, 10);
+        fatal_if(*end != '\0' || times == 0,
+                 "fault spec times '{}' is not a positive integer",
+                 timesField);
+    }
+
+    FaultInjection inject;
+    inject.cell = static_cast<std::size_t>(cell);
+    inject.kind = *kind;
+    inject.times = static_cast<unsigned>(times);
+    return inject;
+}
+
+std::optional<FaultInjection>
+faultInjectionFromEnv()
+{
+    const char *env = std::getenv("QZ_FAULT_INJECT");
+    if (!env || !*env)
+        return std::nullopt;
+    return parseFaultSpec(env);
+}
+
+void
+throwInjectedFault(const FaultInjection &inject)
+{
+    const std::string msg =
+        qformat("injected {} fault (cell {})",
+                failureKindName(inject.kind), inject.cell);
+    switch (inject.kind) {
+      case FailureKind::Fatal:
+        throw FatalError(msg);
+      case FailureKind::Panic:
+        throw PanicError(msg);
+      case FailureKind::Transient:
+        throw TransientError(msg);
+      case FailureKind::Resource:
+        throw ResourceError(msg);
+      case FailureKind::Unknown:
+        throw std::runtime_error(msg);
+    }
+    throw std::runtime_error(msg); // unreachable
+}
+
+namespace {
+
+/** FNV-1a 64-bit streaming hasher. */
+class Fnv
+{
+  public:
+    void
+    mix(std::uint64_t value)
+    {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash_ ^= (value >> (byte * 8)) & 0xff;
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    mix(std::string_view text)
+    {
+        mix(static_cast<std::uint64_t>(text.size()));
+        for (const char c : text) {
+            hash_ ^= static_cast<unsigned char>(c);
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+void
+mixSystem(Fnv &fnv, const sim::SystemParams &sys)
+{
+    fnv.mix(sys.clockGhz);
+    fnv.mix(std::uint64_t{sys.cores});
+    for (const auto *cache : {&sys.l1d, &sys.l2}) {
+        fnv.mix(cache->sizeBytes);
+        fnv.mix(std::uint64_t{cache->associativity});
+        fnv.mix(std::uint64_t{cache->lineBytes});
+        fnv.mix(std::uint64_t{cache->loadToUse});
+    }
+    fnv.mix(std::uint64_t{sys.prefetcher.enabled});
+    fnv.mix(std::uint64_t{sys.prefetcher.tableEntries});
+    fnv.mix(std::uint64_t{sys.prefetcher.degree});
+    fnv.mix(std::uint64_t{sys.prefetcher.trainThreshold});
+    fnv.mix(std::uint64_t{sys.dram.latencyCycles});
+    fnv.mix(sys.dram.peakBytesPerCycle);
+    const auto &core = sys.core;
+    for (const unsigned field :
+         {core.issueWidth, core.vectorPipes, core.scalarPipes,
+          core.agus, core.robEntries, core.lsqEntries, core.vlenBits,
+          core.scalarAluLatency, core.vectorAluLatency,
+          core.vectorCmpLatency, core.predOpLatency,
+          core.reduceLatency, core.branchLatency,
+          core.gatherMinLatency})
+        fnv.mix(std::uint64_t{field});
+    fnv.mix(std::uint64_t{sys.quetzal.present});
+    fnv.mix(std::uint64_t{sys.quetzal.readPorts});
+    fnv.mix(sys.quetzal.bufferBytes);
+    fnv.mix(std::uint64_t{sys.quetzal.banks});
+}
+
+std::string
+hexDigest(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+cellKey(AlgoKind kind, const genomics::PairDataset &dataset,
+        const RunOptions &options)
+{
+    return qformat(
+        "{}/{}/{}#pairs={};maxPairs={};maxLen={};alphabet={};"
+        "ssThreshold={};traceback={};verify={};budget={},{},{}",
+        algoName(kind), variantName(options.variant), dataset.name,
+        dataset.pairs.size(), options.maxPairs, options.maxLen,
+        genomics::name(options.alphabet), options.ssThreshold,
+        options.traceback ? 1 : 0, options.verify ? 1 : 0,
+        options.budget.maxWaveBytes, options.budget.maxSteps,
+        options.budget.fallbackLag);
+}
+
+std::string
+cellHash(AlgoKind kind, const genomics::PairDataset &dataset,
+         const RunOptions &options)
+{
+    Fnv fnv;
+    fnv.mix(cellKey(kind, dataset, options));
+    // Dataset content: the key only names it, but resumed results are
+    // only valid when the actual pairs are unchanged too.
+    fnv.mix(dataset.readLength);
+    fnv.mix(dataset.errorRate);
+    for (const auto &pair : dataset.pairs) {
+        fnv.mix(pair.pattern);
+        fnv.mix(pair.text);
+        fnv.mix(static_cast<std::uint64_t>(pair.trueEdits));
+    }
+    mixSystem(fnv, options.system);
+    return hexDigest(fnv.value());
+}
+
+} // namespace quetzal::algos

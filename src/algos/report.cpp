@@ -18,7 +18,8 @@ toJson(const RunResult &result)
         .field("accepted", result.accepted)
         .field("total_score", result.totalScore)
         .field("dp_cells", result.dpCells)
-        .field("outputs_match", result.outputsMatch);
+        .field("outputs_match", result.outputsMatch)
+        .field("degraded_pairs", result.degradedPairs);
     json.beginObject("stalls")
         .field("frontend", result.stallCycles(sim::StallKind::Frontend))
         .field("compute", result.stallCycles(sim::StallKind::Compute))
@@ -27,6 +28,64 @@ toJson(const RunResult &result)
         .endObject();
     json.endObject();
     return json.str();
+}
+
+std::string
+toJson(const CellFailure &failure)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("cell", static_cast<std::uint64_t>(failure.cell))
+        .field("key", failure.key)
+        .field("kind", failureKindName(failure.kind))
+        .field("message", failure.message)
+        .field("attempts", std::uint64_t{failure.attempts})
+        .endObject();
+    return json.str();
+}
+
+std::optional<RunResult>
+runResultFromJson(const JsonValue &json)
+{
+    if (!json.isObject())
+        return std::nullopt;
+    // The identity strings and the cycle count are mandatory; metric
+    // fields default to zero so the format can grow new members
+    // without invalidating older checkpoints.
+    const JsonValue *algo = json.find("algo");
+    const JsonValue *variant = json.find("variant");
+    const JsonValue *dataset = json.find("dataset");
+    const JsonValue *cycles = json.find("cycles");
+    if (!algo || !algo->isString() || !variant ||
+        !variant->isString() || !dataset || !dataset->isString() ||
+        !cycles || !cycles->isNumber())
+        return std::nullopt;
+
+    RunResult result;
+    result.algo = algo->asString();
+    result.variant = variant->asString();
+    result.dataset = dataset->asString();
+    result.cycles = cycles->asUint();
+    result.instructions = json.getUint("instructions");
+    result.memRequests = json.getUint("mem_requests");
+    result.dramBytes = json.getUint("dram_bytes");
+    result.pairs = json.getUint("pairs");
+    result.accepted = json.getUint("accepted");
+    result.totalScore = json.getInt("total_score");
+    result.dpCells = json.getUint("dp_cells");
+    result.outputsMatch = json.getBool("outputs_match", true);
+    result.degradedPairs = json.getUint("degraded_pairs");
+    if (const JsonValue *stalls = json.find("stalls");
+        stalls && stalls->isObject()) {
+        auto slot = [&result](sim::StallKind kind) -> std::uint64_t & {
+            return result.stalls[static_cast<std::size_t>(kind)];
+        };
+        slot(sim::StallKind::Frontend) = stalls->getUint("frontend");
+        slot(sim::StallKind::Compute) = stalls->getUint("compute");
+        slot(sim::StallKind::Cache) = stalls->getUint("cache");
+        slot(sim::StallKind::Struct) = stalls->getUint("structural");
+    }
+    return result;
 }
 
 std::string

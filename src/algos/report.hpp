@@ -7,8 +7,10 @@
 #ifndef QUETZAL_ALGOS_REPORT_HPP
 #define QUETZAL_ALGOS_REPORT_HPP
 
+#include <optional>
 #include <string>
 
+#include "algos/faults.hpp"
 #include "algos/runner.hpp"
 #include "common/json.hpp"
 #include "sim/pipeline.hpp"
@@ -17,6 +19,16 @@ namespace quetzal::algos {
 
 /** Serialize one evaluation cell to a JSON object string. */
 std::string toJson(const RunResult &result);
+
+/** Serialize one cell failure record to a JSON object string. */
+std::string toJson(const CellFailure &failure);
+
+/**
+ * Rebuild a RunResult from a parsed toJson() object (checkpoint
+ * resume). Returns nullopt when required members are missing or
+ * mistyped — the loader then re-simulates the cell instead.
+ */
+std::optional<RunResult> runResultFromJson(const JsonValue &json);
 
 /** Serialize a pipeline's per-opcode instruction profile. */
 std::string instructionProfileJson(const sim::Pipeline &pipeline);

@@ -117,8 +117,11 @@ runAlgorithm(AlgoKind kind, const PairDataset &dataset,
     CoreRig rig(systemFor(options));
     const ElementSize esize = esizeFor(options.alphabet);
 
-    // Variant under test and untimed golden model.
+    // Variant under test and untimed golden model. Only the timed
+    // engine gets the resource budget: the golden model must stay
+    // exact so degraded pairs can still be sanity-checked.
     auto engine = makeWfaEngine(options.variant, &rig.vpu, rig.qzPtr());
+    engine->setBudget(options.budget);
     auto refEngine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
     auto ssEngine = makeSsEngine(options.variant, &rig.vpu, rig.qzPtr());
     auto ssRef = makeSsEngine(Variant::Ref, nullptr, nullptr);
@@ -150,7 +153,8 @@ runAlgorithm(AlgoKind kind, const PairDataset &dataset,
                                              options.traceback, esize);
             out.totalScore += got.score;
             out.dpCells += wfaCellCount(got.score);
-            if (options.verify) {
+            out.degradedPairs += got.degraded ? 1 : 0;
+            if (options.verify && !got.degraded) {
                 const AlignResult want =
                     wfaAlign(*refEngine, pattern, text,
                              options.traceback);
@@ -160,6 +164,11 @@ runAlgorithm(AlgoKind kind, const PairDataset &dataset,
                         got.cigar.ops == want.cigar.ops &&
                         validateCigar(pattern, text, got.cigar);
                 }
+            } else if (options.verify && options.traceback) {
+                // Degraded pairs: the score is no longer guaranteed
+                // optimal, but the CIGAR must still replay cleanly.
+                out.outputsMatch &=
+                    validateCigar(pattern, text, got.cigar);
             }
             break;
           }
@@ -168,7 +177,8 @@ runAlgorithm(AlgoKind kind, const PairDataset &dataset,
                                                options.traceback, esize);
             out.totalScore += got.score;
             out.dpCells += wfaCellCount(got.score);
-            if (options.verify) {
+            out.degradedPairs += got.degraded ? 1 : 0;
+            if (options.verify && !got.degraded) {
                 const std::int64_t want =
                     wfaScore(*refEngine, pattern, text);
                 out.outputsMatch &= got.score == want;
@@ -177,6 +187,9 @@ runAlgorithm(AlgoKind kind, const PairDataset &dataset,
                         got.cigar.edits() == want &&
                         validateCigar(pattern, text, got.cigar);
                 }
+            } else if (options.verify && options.traceback) {
+                out.outputsMatch &=
+                    validateCigar(pattern, text, got.cigar);
             }
             break;
           }
@@ -243,7 +256,8 @@ runAlgorithm(AlgoKind kind, const PairDataset &dataset,
                     *engine, pattern, text, options.traceback, esize);
                 out.totalScore += got.score;
                 out.dpCells += wfaCellCount(got.score);
-                if (options.verify) {
+                out.degradedPairs += got.degraded ? 1 : 0;
+                if (options.verify && !got.degraded) {
                     const AlignResult want = wfaAlign(
                         *refEngine, pattern, text, options.traceback);
                     out.outputsMatch &= got.score == want.score;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "algos/variant.hpp"
+#include "algos/wfa_engine.hpp"
 #include "genomics/datasets.hpp"
 #include "genomics/sequence.hpp"
 #include "sim/context.hpp"
@@ -48,6 +49,14 @@ struct RunOptions
     genomics::AlphabetKind alphabet = genomics::AlphabetKind::Dna;
     std::int64_t ssThreshold = 0; //!< 0 derives from the dataset
     bool verify = true;           //!< compare against the Ref variant
+
+    /**
+     * Per-pair resource ceilings for the wavefront engines (zero =
+     * unlimited). A breach degrades the pair to the pruned variant
+     * and counts it in RunResult::degradedPairs; the Ref golden model
+     * always runs unbudgeted.
+     */
+    ResourceBudget budget;
 };
 
 /** One cell of the evaluation matrix. */
@@ -66,6 +75,13 @@ struct RunResult
     std::int64_t totalScore = 0;
     std::uint64_t dpCells = 0;    //!< for GCUPS accounting
     bool outputsMatch = true;     //!< bitwise agreement with Ref
+
+    /**
+     * Pairs where a resource budget forced the pruned fallback.
+     * Degraded pairs are excluded from the outputsMatch comparison
+     * (their score is valid but not guaranteed optimal).
+     */
+    std::uint64_t degradedPairs = 0;
 
     /** Stall cycles, indexed by sim::StallKind. */
     std::array<std::uint64_t,

@@ -94,15 +94,29 @@ chargeBuild(Variant variant, std::int64_t m, std::int64_t diagonals,
       }
       case Variant::Vec: {
         // Contiguous 16-char compares per diagonal (no gathers:
-        // a fixed diagonal is a unit-stride stream).
+        // a fixed diagonal is a unit-stride stream). The diagonal
+        // offset wraps around the sequence, so the modeled cnt-byte
+        // read must be pulled back from the tail to stay in bounds.
+        auto inBounds = [](std::string_view s, std::int64_t i,
+                           unsigned cnt) {
+            const std::size_t span =
+                std::min<std::size_t>(cnt, s.size());
+            return s.data() +
+                   std::min(static_cast<std::size_t>(i) % s.size(),
+                            s.size() - span);
+        };
         for (std::int64_t k = 0; k < diagonals; ++k) {
             for (std::int64_t i = 0; i < m; i += 16) {
                 const unsigned cnt = static_cast<unsigned>(
                     std::min<std::int64_t>(16, m - i));
                 const VReg pc = vpu->load8to32(
-                    kSitePat, p.data() + i % p.size(), cnt);
+                    kSitePat, inBounds(p, i, cnt),
+                    std::min<unsigned>(
+                        cnt, static_cast<unsigned>(p.size())));
                 const VReg tc = vpu->load8to32(
-                    kSiteTxt, t.data() + i % t.size(), cnt);
+                    kSiteTxt, inBounds(t, i, cnt),
+                    std::min<unsigned>(
+                        cnt, static_cast<unsigned>(t.size())));
                 const Pred lanes = vpu->whilelt(0, cnt, 16);
                 vpu->cmpeq32(pc, tc, lanes, 16);
                 vpu->scalarOps(1); // pack bits + store

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -130,6 +131,20 @@ pruneWave(WfaEngine &engine, const Wave &wave, std::int32_t maxLag,
         static_cast<std::size_t>((hi - lo + 1) + trimmed) / 8);
 }
 
+/** Report a ceiling breached even by the pruned retry and throw. */
+[[noreturn]] void
+budgetExhausted(const WfaEngine &engine, std::int64_t m, std::int64_t n)
+{
+    const std::string msg = qformat(
+        "resource budget exhausted even after pruned retry "
+        "(pair {}x{}: {} steps / ceiling {}, {} wave bytes / "
+        "ceiling {})",
+        m, n, engine.stepsUsed(), engine.budget().maxSteps,
+        engine.waveBytesUsed(), engine.budget().maxWaveBytes);
+    std::fputs(("fatal: " + msg + "\n").c_str(), stderr);
+    throw ResourceError(msg);
+}
+
 } // namespace
 
 AlignResult
@@ -145,39 +160,76 @@ wfaAlign(WfaEngine &engine, std::string_view pattern,
     const auto n = static_cast<std::int64_t>(text.size());
     const int kEnd = static_cast<int>(n - m);
 
-    engine.begin(pattern, text, esize);
-
+    // One full wavefront pass under @p heur. Returns the score, or
+    // nullopt when the engine's resource budget was breached (the
+    // watchdog path; retained waves/score are then meaningless).
     std::vector<Wave> waves;
-    waves.emplace_back(0, 0);
-    waves.back().set(0, 0);
-    engine.extend(waves.back(), Dir::Fwd);
-
-    std::int64_t s = 0;
-    int curLo = 0, curHi = 0;
-    while (!reachedEnd(waves.back(), kEnd, n)) {
-        panic_if_not(s <= m + n, "WFA exceeded the m+n score bound");
-        int lo, hi;
-        waveRange(s + 1, m, n, lo, hi);
-        if (heuristic.enabled()) {
-            // Grow from the (possibly pruned) previous bounds only.
-            lo = std::max(lo, curLo - 1);
-            hi = std::min(hi, curHi + 1);
-        }
-        waves.emplace_back(lo, hi);
-        engine.nextWave(waves[static_cast<std::size_t>(s)],
-                        waves.back());
+    auto attempt =
+        [&](const WfaHeuristic &heur) -> std::optional<std::int64_t> {
+        engine.begin(pattern, text, esize); // resets usage counters
+        waves.clear();
+        waves.emplace_back(0, 0);
+        waves.back().set(0, 0);
+        engine.noteWaveAlloc(1);
         engine.extend(waves.back(), Dir::Fwd);
-        curLo = lo;
-        curHi = hi;
-        if (heuristic.enabled())
-            pruneWave(engine, waves.back(), heuristic.maxLag, curLo,
-                      curHi);
-        ++s;
+
+        std::int64_t s = 0;
+        int curLo = 0, curHi = 0;
+        while (!reachedEnd(waves.back(), kEnd, n)) {
+            panic_if_not(s <= m + n, "WFA exceeded the m+n score bound");
+            engine.noteStep();
+            if (engine.budgetExceeded())
+                return std::nullopt;
+            int lo, hi;
+            waveRange(s + 1, m, n, lo, hi);
+            if (heur.enabled()) {
+                // Grow from the (possibly pruned) previous bounds only.
+                lo = std::max(lo, curLo - 1);
+                hi = std::min(hi, curHi + 1);
+            }
+            waves.emplace_back(lo, hi);
+            engine.noteWaveAlloc(static_cast<std::size_t>(hi - lo + 1));
+            engine.nextWave(waves[static_cast<std::size_t>(s)],
+                            waves.back());
+            engine.extend(waves.back(), Dir::Fwd);
+            curLo = lo;
+            curHi = hi;
+            if (heur.enabled())
+                pruneWave(engine, waves.back(), heur.maxLag, curLo,
+                          curHi);
+            ++s;
+        }
+        return s;
+    };
+
+    std::optional<std::int64_t> score = attempt(heuristic);
+    if (!score) {
+        // Watchdog fired: degrade to adaptive pruning and retry once.
+        // When the caller's own pruning was already at least as tight
+        // as the fallback, a retry cannot shrink the work — give up.
+        WfaHeuristic fallback;
+        fallback.maxLag = engine.budget().fallbackLag;
+        if (heuristic.enabled() && heuristic.maxLag <= fallback.maxLag)
+            budgetExhausted(engine, m, n);
+        result.degraded = true;
+        // The retry lifts the step ceiling: steps equal the alignment
+        // score, which pruning cannot reduce — the lag bound caps the
+        // per-step work and memory instead, so total work is linear.
+        // The wave-memory ceiling stays enforced; pruned waves are
+        // narrow, so a second breach means the pair is hopeless.
+        const ResourceBudget saved = engine.budget();
+        ResourceBudget relaxed = saved;
+        relaxed.maxSteps = 0;
+        engine.setBudget(relaxed);
+        score = attempt(fallback);
+        engine.setBudget(saved);
+        if (!score)
+            budgetExhausted(engine, m, n);
     }
 
-    result.score = s;
+    result.score = *score;
     if (doTraceback)
-        result.cigar = traceback(engine, waves, s, m, n);
+        result.cigar = traceback(engine, waves, *score, m, n);
     return result;
 }
 
@@ -203,6 +255,11 @@ wfaScore(WfaEngine &engine, std::string_view pattern,
     Wave next;
     while (!reachedEnd(cur, kEnd, n)) {
         panic_if_not(s <= m + n, "WFA exceeded the m+n score bound");
+        engine.noteStep();
+        // Score-only WFA has no pruned fallback (its callers need the
+        // exact score), so a breach is terminal rather than degraded.
+        if (engine.budgetExceeded())
+            budgetExhausted(engine, m, n);
         int lo, hi;
         waveRange(s + 1, m, n, lo, hi);
         next.reset(lo, hi);

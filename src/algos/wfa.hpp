@@ -38,6 +38,13 @@ struct AlignResult
 {
     std::int64_t score = 0; //!< optimal edit distance
     Cigar cigar;            //!< empty when traceback was not requested
+
+    /**
+     * True when a resource budget (engine.setBudget) forced the
+     * wavefront loop to fall back to adaptive pruning, so the score
+     * is a valid alignment but no longer guaranteed optimal.
+     */
+    bool degraded = false;
 };
 
 /**
@@ -48,6 +55,11 @@ struct AlignResult
  *        every measurement).
  * @param esize element encoding for QUETZAL variants (Bits2 for
  *        DNA/RNA, Bits8 for proteins).
+ *
+ * When the engine carries a ResourceBudget and the exact pass
+ * breaches it, the pair restarts once with the budget's fallbackLag
+ * pruning heuristic and the result is flagged degraded; a second
+ * breach raises ResourceError (see docs/ROBUSTNESS.md).
  */
 AlignResult wfaAlign(WfaEngine &engine, std::string_view pattern,
                      std::string_view text, bool traceback = true,

@@ -46,6 +46,8 @@ WfaEngine::begin(std::string_view pattern, std::string_view text,
     paddedT_.append(kSeqPad, '\x02');
     p_ = std::string_view(paddedP_).substr(kSeqPad, pattern.size());
     t_ = std::string_view(paddedT_).substr(kSeqPad, text.size());
+    stepsUsed_ = 0;
+    waveBytesUsed_ = 0;
     onBegin(esize);
 }
 

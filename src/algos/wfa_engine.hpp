@@ -38,6 +38,32 @@ enum class Dir
     Rev, //!< align the reversed pair (indices mapped, no copy)
 };
 
+/**
+ * Per-alignment resource ceilings for the wavefront control loops.
+ *
+ * Adversarial pairs (high divergence, ultralong reads) make the WFA
+ * wavefront table grow as O(s^2); the budget turns that unbounded
+ * growth into graceful degradation. Both ceilings apply per begin()
+ * scope (one alignment problem; BiWFA sub-problems each get a fresh
+ * scope). A zero ceiling means unlimited. On the first breach the
+ * aligner restarts the pair with the adaptive-pruning heuristic
+ * (maxLag = fallbackLag) and flags the result as degraded; if the
+ * pruned retry breaches again, a ResourceError is raised and the
+ * batch layer records a Resource failure (docs/ROBUSTNESS.md).
+ */
+struct ResourceBudget
+{
+    std::uint64_t maxWaveBytes = 0; //!< retained wavefront storage cap
+    std::uint64_t maxSteps = 0;     //!< score-loop iteration cap
+    std::int32_t fallbackLag = 64;  //!< pruning lag of the degraded retry
+
+    bool
+    enabled() const
+    {
+        return maxWaveBytes != 0 || maxSteps != 0;
+    }
+};
+
 /** Abstract per-variant kernel executor. */
 class WfaEngine
 {
@@ -101,6 +127,41 @@ class WfaEngine
 
     std::size_t patternLength() const { return p_.size(); }
     std::size_t textLength() const { return t_.size(); }
+
+    /** Install @p budget; applies to every subsequent alignment. */
+    void setBudget(const ResourceBudget &budget) { budget_ = budget; }
+    const ResourceBudget &budget() const { return budget_; }
+
+    /**
+     * Watchdog accounting, driven by the control loops (wfa.cpp /
+     * biwfa.cpp): one step per score iteration, one alloc note per
+     * retained wavefront row. begin() resets both counters.
+     */
+    void noteStep() { ++stepsUsed_; }
+    void noteWaveAlloc(std::size_t elems)
+    {
+        waveBytesUsed_ += elems * sizeof(std::int32_t);
+    }
+
+    /** Drop usage accounting for rows released back to the pool. */
+    void noteWaveFree(std::size_t elems)
+    {
+        const std::uint64_t bytes = elems * sizeof(std::int32_t);
+        waveBytesUsed_ -= std::min(waveBytesUsed_, bytes);
+    }
+
+    std::uint64_t stepsUsed() const { return stepsUsed_; }
+    std::uint64_t waveBytesUsed() const { return waveBytesUsed_; }
+
+    /** True when either ceiling has been breached. */
+    bool
+    budgetExceeded() const
+    {
+        return (budget_.maxSteps != 0 &&
+                stepsUsed_ > budget_.maxSteps) ||
+               (budget_.maxWaveBytes != 0 &&
+                waveBytesUsed_ > budget_.maxWaveBytes);
+    }
 
     /** Clamp a combined offset to the valid range for diagonal k. */
     std::int32_t
@@ -192,6 +253,20 @@ class WfaEngine
   private:
     std::string paddedP_;
     std::string paddedT_;
+    ResourceBudget budget_;
+    std::uint64_t stepsUsed_ = 0;
+    std::uint64_t waveBytesUsed_ = 0;
+};
+
+/**
+ * Internal signal: a budget ceiling was hit mid-alignment. The
+ * control loops in wfa.cpp/biwfa.cpp catch it and degrade to the
+ * pruned variant; it never escapes the public alignment entry points.
+ */
+struct WfaBudgetExceeded
+{
+    std::uint64_t steps;
+    std::uint64_t waveBytes;
 };
 
 /**

@@ -1,18 +1,29 @@
 /**
  * @file
- * Minimal JSON writer for machine-readable experiment output.
+ * Minimal JSON writer and reader for machine-readable experiment
+ * output.
  *
- * The bench binaries print human tables; automation wants JSON. This
- * is a write-only builder (objects, arrays, scalars) with correct
- * string escaping — deliberately tiny, no parsing.
+ * The bench binaries print human tables; automation wants JSON. The
+ * writer is a streaming builder (objects, arrays, scalars) with
+ * correct string escaping. The reader is a small recursive-descent
+ * parser producing a JsonValue tree — added for the batch engine's
+ * checkpoint files, which must be read back by the process that wrote
+ * them (see docs/ROBUSTNESS.md). Both are deliberately tiny; neither
+ * aims at full spec coverage (no \uXXXX decoding beyond ASCII, no
+ * number-format pedantry).
  */
 #ifndef QUETZAL_COMMON_JSON_HPP
 #define QUETZAL_COMMON_JSON_HPP
 
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -143,6 +154,16 @@ class JsonWriter
         return *this;
     }
 
+    /** Keyed rawValue: splice pre-serialized JSON under @p key. */
+    JsonWriter &
+    rawField(std::string_view key, std::string_view json)
+    {
+        comma();
+        writeKey(key);
+        out_ << json;
+        return *this;
+    }
+
     /** Final JSON text; all scopes must be closed. */
     std::string
     str() const
@@ -219,6 +240,349 @@ class JsonWriter
     std::vector<Frame> stack_;
     bool fresh_ = true;
 };
+
+/** One parsed JSON value (tree node). */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return boolean_; }
+    double asDouble() const { return number_; }
+
+    /** Integer view of a number (truncates; exact for written u64s). */
+    std::int64_t asInt() const { return integer_; }
+    std::uint64_t
+    asUint() const
+    {
+        return integer_ < 0 ? 0 : static_cast<std::uint64_t>(integer_);
+    }
+
+    const std::string &asString() const { return string_; }
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::vector<Member> &members() const { return members_; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *
+    find(std::string_view key) const
+    {
+        for (const auto &[k, v] : members_)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    /** Convenience typed getters with defaults for absent members. */
+    std::uint64_t
+    getUint(std::string_view key, std::uint64_t fallback = 0) const
+    {
+        const JsonValue *v = find(key);
+        return v && v->isNumber() ? v->asUint() : fallback;
+    }
+
+    std::int64_t
+    getInt(std::string_view key, std::int64_t fallback = 0) const
+    {
+        const JsonValue *v = find(key);
+        return v && v->isNumber() ? v->asInt() : fallback;
+    }
+
+    bool
+    getBool(std::string_view key, bool fallback = false) const
+    {
+        const JsonValue *v = find(key);
+        return v && v->isBool() ? v->asBool() : fallback;
+    }
+
+    std::string
+    getString(std::string_view key, std::string fallback = {}) const
+    {
+        const JsonValue *v = find(key);
+        return v && v->isString() ? v->asString()
+                                  : std::move(fallback);
+    }
+
+    static JsonValue
+    makeBool(bool b)
+    {
+        JsonValue v(Type::Bool);
+        v.boolean_ = b;
+        return v;
+    }
+
+    static JsonValue
+    makeNumber(double d, std::int64_t i)
+    {
+        JsonValue v(Type::Number);
+        v.number_ = d;
+        v.integer_ = i;
+        return v;
+    }
+
+    static JsonValue
+    makeString(std::string s)
+    {
+        JsonValue v(Type::String);
+        v.string_ = std::move(s);
+        return v;
+    }
+
+    explicit JsonValue(Type type = Type::Null) : type_(type) {}
+
+    std::vector<JsonValue> &mutableItems() { return items_; }
+    std::vector<Member> &mutableMembers() { return members_; }
+
+  private:
+    Type type_ = Type::Null;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::int64_t integer_ = 0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+namespace detail {
+
+/** Recursive-descent JSON parser over a string_view. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parse()
+    {
+        auto value = parseValue();
+        if (!value)
+            return std::nullopt;
+        skipSpace();
+        if (pos_ != text_.size())
+            return std::nullopt; // trailing garbage
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    std::optional<JsonValue>
+    parseValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return std::nullopt;
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            auto s = parseString();
+            if (!s)
+                return std::nullopt;
+            return JsonValue::makeString(std::move(*s));
+          }
+          case 't':
+            return literal("true")
+                       ? std::optional(JsonValue::makeBool(true))
+                       : std::nullopt;
+          case 'f':
+            return literal("false")
+                       ? std::optional(JsonValue::makeBool(false))
+                       : std::nullopt;
+          case 'n':
+            return literal("null") ? std::optional(JsonValue{})
+                                   : std::nullopt;
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::optional<JsonValue>
+    parseObject()
+    {
+        ++pos_; // '{'
+        JsonValue obj(JsonValue::Type::Object);
+        skipSpace();
+        if (consume('}'))
+            return obj;
+        for (;;) {
+            skipSpace();
+            auto key = parseString();
+            if (!key || !consume(':'))
+                return std::nullopt;
+            auto value = parseValue();
+            if (!value)
+                return std::nullopt;
+            obj.mutableMembers().emplace_back(std::move(*key),
+                                              std::move(*value));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return obj;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<JsonValue>
+    parseArray()
+    {
+        ++pos_; // '['
+        JsonValue arr(JsonValue::Type::Array);
+        skipSpace();
+        if (consume(']'))
+            return arr;
+        for (;;) {
+            auto value = parseValue();
+            if (!value)
+                return std::nullopt;
+            arr.mutableItems().push_back(std::move(*value));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return arr;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return std::nullopt;
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return std::nullopt;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(esc);
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'u': {
+                // ASCII-only \u escape (all the writer emits).
+                if (pos_ + 4 > text_.size())
+                    return std::nullopt;
+                const std::string hex(text_.substr(pos_, 4));
+                pos_ += 4;
+                char *end = nullptr;
+                const long code = std::strtol(hex.c_str(), &end, 16);
+                if (end != hex.c_str() + 4 || code < 0 || code > 0x7f)
+                    return std::nullopt;
+                out.push_back(static_cast<char>(code));
+                break;
+              }
+              default:
+                return std::nullopt;
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        auto isNumChar = [](char c) {
+            return (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                   c == '.' || c == 'e' || c == 'E';
+        };
+        while (pos_ < text_.size() && isNumChar(text_[pos_]))
+            ++pos_;
+        if (pos_ == start)
+            return std::nullopt;
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return std::nullopt;
+        // Integral values round-trip exactly through strtoll; the
+        // double mirror is what non-integral readers use.
+        char *iend = nullptr;
+        std::int64_t i =
+            std::strtoll(token.c_str(), &iend, 10);
+        if (iend != token.c_str() + token.size())
+            i = static_cast<std::int64_t>(d);
+        return JsonValue::makeNumber(d, i);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/**
+ * Parse one JSON document. Returns nullopt on malformed input — the
+ * checkpoint loader treats that as "line not written completely" and
+ * skips it rather than aborting a resume.
+ */
+inline std::optional<JsonValue>
+parseJson(std::string_view text)
+{
+    return detail::JsonParser(text).parse();
+}
 
 } // namespace quetzal
 

@@ -34,6 +34,30 @@ class PanicError : public std::logic_error
 };
 
 /**
+ * A condition that is expected to clear on retry (I/O contention,
+ * injected flakiness). The batch engine retries cells that raise it;
+ * everything else is terminal on the first attempt.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * A per-cell resource budget was exhausted even after graceful
+ * degradation (see docs/ROBUSTNESS.md). Terminal like FatalError but
+ * distinguishable in failure records.
+ */
+class ResourceError : public FatalError
+{
+  public:
+    explicit ResourceError(const std::string &msg) : FatalError(msg) {}
+};
+
+/**
  * Report an internal invariant violation (a library bug) and throw.
  *
  * @param fmt "{}"-style format string followed by its arguments.

@@ -13,7 +13,9 @@
  * Exceptions thrown by a task are captured; the first one re-throws
  * from wait() (or the destructor's implicit wait is preceded by a
  * warn), so fatal()/panic() diagnostics from worker cells surface on
- * the harness thread.
+ * the harness thread. Later exceptions cannot be rethrown, but they
+ * are no longer silent: wait() counts them and emits a warn() with the
+ * dropped total (droppedExceptionTotal() exposes the running count).
  */
 #ifndef QUETZAL_COMMON_THREADPOOL_HPP
 #define QUETZAL_COMMON_THREADPOOL_HPP
@@ -90,15 +92,34 @@ class ThreadPool
 
     /**
      * Block until every submitted task has finished. Rethrows the
-     * first exception any task raised (later ones are dropped).
+     * first exception any task raised; any further exceptions raised
+     * since the last wait() are counted and reported via warn().
      */
     void
     wait()
     {
         std::unique_lock<std::mutex> lock(mutex_);
         allDone_.wait(lock, [this] { return pending_ == 0; });
+        const std::size_t dropped = dropped_ - droppedReported_;
+        droppedReported_ = dropped_;
+        if (dropped > 0)
+            warn("thread pool dropped {} additional worker "
+                 "exception(s) after the first; only the first "
+                 "rethrows",
+                 dropped);
         if (firstError_)
             std::rethrow_exception(std::exchange(firstError_, nullptr));
+    }
+
+    /**
+     * Total task exceptions that could not be rethrown (every one
+     * after the first per wait() round), over the pool's lifetime.
+     */
+    std::size_t
+    droppedExceptionTotal()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return dropped_;
     }
 
     /** Worker count to default to: hardware_concurrency, min 1. */
@@ -131,6 +152,8 @@ class ThreadPool
                 std::unique_lock<std::mutex> lock(mutex_);
                 if (!firstError_)
                     firstError_ = std::current_exception();
+                else
+                    ++dropped_;
             }
             {
                 std::unique_lock<std::mutex> lock(mutex_);
@@ -146,6 +169,8 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
     std::size_t pending_ = 0;
+    std::size_t dropped_ = 0;         //!< exceptions after the first
+    std::size_t droppedReported_ = 0; //!< already warned about
     bool stopping_ = false;
     std::exception_ptr firstError_;
 };

@@ -36,6 +36,70 @@ datasetSpec(std::string_view name)
     fatal("unknown dataset '{}'", name);
 }
 
+namespace {
+
+/**
+ * First invalid character of @p seq for @p kind, or npos. 'N' passes
+ * for nucleotide alphabets: the encoder handles it via the 8-bit
+ * fallback and complement() maps it to itself.
+ */
+std::size_t
+firstInvalid(std::string_view seq, AlphabetKind kind)
+{
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const char c = seq[i];
+        if (isValid(kind, c))
+            continue;
+        if (c == 'N' && kind != AlphabetKind::Protein)
+            continue;
+        return i;
+    }
+    return std::string_view::npos;
+}
+
+void
+validateSide(std::string_view seq, std::string_view side,
+             AlphabetKind kind, std::size_t index,
+             std::string_view context)
+{
+    fatal_if(seq.empty(),
+             "{}: pair {} has an empty {} — remove the pair or fix "
+             "the input file",
+             context, index, side);
+    const std::size_t bad = firstInvalid(seq, kind);
+    if (bad == std::string_view::npos)
+        return;
+    const char c = seq[bad];
+    const bool printable = c >= 0x20 && c < 0x7f;
+    fatal("{}: pair {} {} has invalid {} character {} at position {} "
+          "(expected one of '{}'{}) — check the input encoding or "
+          "pass the matching alphabet",
+          context, index, side, name(kind),
+          printable ? qformat("'{}'", c)
+                    : qformat("0x{}", static_cast<int>(
+                                          static_cast<unsigned char>(c))),
+          bad, letters(kind),
+          kind != AlphabetKind::Protein ? " or 'N'" : "");
+}
+
+} // namespace
+
+void
+validatePair(const SequencePair &pair, AlphabetKind kind,
+             std::size_t index, std::string_view context)
+{
+    validateSide(pair.pattern, "pattern", kind, index, context);
+    validateSide(pair.text, "text", kind, index, context);
+}
+
+void
+validatePairs(const PairDataset &dataset)
+{
+    for (std::size_t i = 0; i < dataset.pairs.size(); ++i)
+        validatePair(dataset.pairs[i], dataset.pairs[i].alphabet, i,
+                     dataset.name);
+}
+
 PairDataset
 makeDataset(std::string_view name, double scale)
 {
@@ -67,6 +131,9 @@ makeDataset(std::string_view name, double scale)
         auto pair = (i % 2 == 0 ? low : high).generatePairs(1);
         dataset.pairs.push_back(std::move(pair.front()));
     }
+    // A bad simulator change should fail loudly here, not as a
+    // confusing wavefront mismatch deep inside an engine.
+    validatePairs(dataset);
     return dataset;
 }
 

@@ -47,6 +47,19 @@ const DatasetSpec &datasetSpec(std::string_view name);
  */
 PairDataset makeDataset(std::string_view name, double scale = 1.0);
 
+/**
+ * Validate one pattern/text pair before it reaches an engine: both
+ * sides must be non-empty and every character a letter of @p kind
+ * ('N' is additionally accepted for nucleotide alphabets — it encodes
+ * via the 8-bit fallback). Throws FatalError naming @p context, the
+ * pair index, and the offending character/position.
+ */
+void validatePair(const SequencePair &pair, AlphabetKind kind,
+                  std::size_t index, std::string_view context);
+
+/** validatePair() over every pair of @p dataset (context = its name). */
+void validatePairs(const PairDataset &dataset);
+
 /** Names of the short-read datasets. */
 std::vector<std::string> shortReadNames();
 

@@ -118,10 +118,11 @@ TEST(BatchRunner, ResultsLandAtSubmissionIndices)
         EXPECT_EQ(batch.add(kinds[i], ds, options), i);
     EXPECT_EQ(batch.size(), kinds.size());
 
-    const auto results = batch.run();
-    ASSERT_EQ(results.size(), kinds.size());
+    const auto outcome = batch.run();
+    EXPECT_TRUE(outcome.ok());
+    ASSERT_EQ(outcome.results.size(), kinds.size());
     for (std::size_t i = 0; i < kinds.size(); ++i)
-        EXPECT_EQ(results[i].algo, algos::algoName(kinds[i]))
+        EXPECT_EQ(outcome.results[i].algo, algos::algoName(kinds[i]))
             << "slot " << i;
     // run() clears the queue for reuse.
     EXPECT_EQ(batch.size(), 0u);
@@ -145,10 +146,12 @@ TEST(BatchRunner, ParallelRunMatchesSerialFieldByField)
 
     const auto serial = algos::runBatch(cells, 1);
     const auto parallel = algos::runBatch(cells, 4);
-    ASSERT_EQ(serial.size(), parallel.size());
-    for (std::size_t i = 0; i < serial.size(); ++i) {
-        const auto &s = serial[i];
-        const auto &p = parallel[i];
+    EXPECT_TRUE(serial.ok());
+    EXPECT_TRUE(parallel.ok());
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        const auto &s = serial.results[i];
+        const auto &p = parallel.results[i];
         EXPECT_EQ(s.algo, p.algo) << "cell " << i;
         EXPECT_EQ(s.variant, p.variant) << "cell " << i;
         EXPECT_EQ(s.cycles, p.cycles) << "cell " << i;
@@ -158,6 +161,7 @@ TEST(BatchRunner, ParallelRunMatchesSerialFieldByField)
         EXPECT_EQ(s.accepted, p.accepted) << "cell " << i;
         EXPECT_EQ(s.dpCells, p.dpCells) << "cell " << i;
         EXPECT_EQ(s.outputsMatch, p.outputsMatch) << "cell " << i;
+        EXPECT_EQ(s.degradedPairs, p.degradedPairs) << "cell " << i;
         for (std::size_t k = 0;
              k < static_cast<std::size_t>(sim::StallKind::NumKinds);
              ++k)
@@ -166,14 +170,52 @@ TEST(BatchRunner, ParallelRunMatchesSerialFieldByField)
     }
 }
 
-TEST(BatchRunner, WorkerFatalPropagatesFromRun)
+TEST(BatchRunner, WorkerFatalBecomesFailureRecord)
 {
     const auto ds = tinyDataset(80, 0.05, 1, 7);
     algos::BatchRunner batch(2);
     algos::RunOptions bad;
     bad.variant = algos::Variant::Ref; // runAlgorithm rejects Ref
+    algos::RunOptions good;
+    batch.add(algos::AlgoKind::Wfa, ds, bad);
+    batch.add(algos::AlgoKind::Wfa, ds, good);
+
+    const auto outcome = batch.run();
+    EXPECT_FALSE(outcome.ok());
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].cell, 0u);
+    EXPECT_EQ(outcome.failures[0].kind, algos::FailureKind::Fatal);
+    EXPECT_EQ(outcome.failures[0].attempts, 1u);
+    EXPECT_NE(outcome.failureFor(0), nullptr);
+    EXPECT_EQ(outcome.failureFor(1), nullptr);
+    // The healthy cell still produced a full result.
+    ASSERT_EQ(outcome.results.size(), 2u);
+    EXPECT_GT(outcome.results[1].cycles, 0u);
+    // The failed slot keeps its identity with zeroed metrics.
+    EXPECT_EQ(outcome.results[0].algo,
+              algos::algoName(algos::AlgoKind::Wfa));
+    EXPECT_EQ(outcome.results[0].cycles, 0u);
+}
+
+TEST(BatchRunner, FailFastModeRethrowsWorkerFatal)
+{
+    const auto ds = tinyDataset(80, 0.05, 1, 7);
+    algos::BatchRunner batch(2);
+    batch.policy().isolateFailures = false;
+    algos::RunOptions bad;
+    bad.variant = algos::Variant::Ref;
     batch.add(algos::AlgoKind::Wfa, ds, bad);
     EXPECT_THROW(batch.run(), FatalError);
+}
+
+TEST(ThreadPool, CountsExceptionsDroppedAfterTheFirst)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 5; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // One rethrew; the other four were dropped but counted.
+    EXPECT_EQ(pool.droppedExceptionTotal(), 4u);
 }
 
 TEST(Metrics, SpeedupOfZeroCycleRunIsNaN)

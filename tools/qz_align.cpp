@@ -23,6 +23,7 @@
 #include "algos/wfa_engine.hpp"
 #include "cli_common.hpp"
 #include "common/threadpool.hpp"
+#include "genomics/datasets.hpp"
 #include "genomics/fasta.hpp"
 #include "quetzal/qzunit.hpp"
 #include "sim/context.hpp"
@@ -168,8 +169,14 @@ main(int argc, char **argv)
         // Shard the pair list into contiguous ranges, one simulated
         // core per worker; per-pair results keep their input index so
         // output order (and the --threads 1 output itself) is
-        // identical to a serial run.
+        // identical to a serial run. A failing pair is recorded and
+        // skipped — one bad input line must not waste the rest of the
+        // run.
+        const auto alphabet = args.has("protein")
+                                  ? genomics::AlphabetKind::Protein
+                                  : genomics::AlphabetKind::Dna;
         std::vector<algos::AlignResult> results(pairs.size());
+        std::vector<std::string> pairErrors(pairs.size());
         std::vector<ShardStats> shards(threads);
         const std::size_t perShard =
             (pairs.size() + threads - 1) / threads;
@@ -180,7 +187,13 @@ main(int argc, char **argv)
             ShardRig rig(variant);
             for (std::size_t i = lo; i < hi; ++i) {
                 rig.core.mem().newEpoch();
-                results[i] = alignPair(rig, i);
+                try {
+                    genomics::validatePair(pairs[i], alphabet, i,
+                                           "qz-align");
+                    results[i] = alignPair(rig, i);
+                } catch (const std::exception &e) {
+                    pairErrors[i] = e.what();
+                }
             }
             shards[s].cycles = rig.core.pipeline().totalCycles();
             shards[s].instructions = rig.core.pipeline().instructions();
@@ -199,7 +212,14 @@ main(int argc, char **argv)
         }
 
         std::int64_t totalScore = 0;
+        std::size_t failedPairs = 0;
         for (std::size_t i = 0; i < pairs.size(); ++i) {
+            if (!pairErrors[i].empty()) {
+                ++failedPairs;
+                std::cout << "pair " << i << ": FAILED ("
+                          << pairErrors[i] << ")\n";
+                continue; // no score, no SAM record
+            }
             const auto &result = results[i];
             totalScore += result.score;
             std::cout << "pair " << i << ": score " << result.score;
@@ -226,7 +246,8 @@ main(int argc, char **argv)
             instructions += shard.instructions;
             memRequests += shard.memRequests;
         }
-        std::cout << "\naligned " << pairs.size() << " pairs, total "
+        std::cout << "\naligned " << (pairs.size() - failedPairs)
+                  << " / " << pairs.size() << " pairs, total "
                   << (algo == "sw" ? "alignment score " : "edits ")
                   << totalScore << "\n"
                   << "simulated cycles: " << cycles << " ("
@@ -246,6 +267,12 @@ main(int argc, char **argv)
                               << shards[s].profileJson;
                 std::cout << "]\n";
             }
+        }
+        if (failedPairs > 0) {
+            std::cerr << "error: " << failedPairs << " of "
+                      << pairs.size()
+                      << " pair(s) failed (see FAILED lines above)\n";
+            return 1;
         }
         return 0;
     } catch (const std::exception &e) {

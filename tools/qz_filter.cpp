@@ -14,6 +14,7 @@
 #include "algos/sneakysnake.hpp"
 #include "cli_common.hpp"
 #include "common/threadpool.hpp"
+#include "genomics/datasets.hpp"
 #include "genomics/fasta.hpp"
 #include "quetzal/qzunit.hpp"
 #include "sim/context.hpp"
@@ -62,6 +63,7 @@ main(int argc, char **argv)
             std::int64_t threshold = 0;
         };
         std::vector<Verdict> verdicts(pairs.size());
+        std::vector<std::string> pairErrors(pairs.size());
         std::vector<std::uint64_t> shardCycles(threads, 0);
 
         // Contiguous shards, one fresh simulated core per worker;
@@ -83,36 +85,53 @@ main(int argc, char **argv)
             auto engine =
                 algos::makeSsEngine(variant, &vpu, qz ? &*qz : nullptr);
 
+            // A failing pair is recorded and filtered out (rejected);
+            // the remaining pairs still get verdicts.
             for (std::size_t i = lo; i < hi; ++i) {
                 core.mem().newEpoch();
                 Verdict &v = verdicts[i];
-                v.threshold =
-                    args.has("threshold")
-                        ? args.getInt("threshold", 0)
-                        : algos::defaultSsThreshold(
-                              pairs[i].pattern.size(), 0.033);
-                if (useShouji) {
-                    const auto verdict = algos::shouji(
-                        variant, pairs[i].pattern, pairs[i].text,
-                        v.threshold, &vpu, qz ? &*qz : nullptr);
-                    v.ok = verdict.accepted;
-                    v.bound = verdict.zeroCount;
-                } else {
-                    algos::SsConfig config;
-                    config.editThreshold = v.threshold;
-                    const auto verdict = algos::sneakySnake(
-                        *engine, pairs[i].pattern, pairs[i].text,
-                        config);
-                    v.ok = verdict.accepted;
-                    v.bound = verdict.editBound;
+                try {
+                    genomics::validatePair(pairs[i],
+                                           pairs[i].alphabet, i,
+                                           "qz-filter");
+                    v.threshold =
+                        args.has("threshold")
+                            ? args.getInt("threshold", 0)
+                            : algos::defaultSsThreshold(
+                                  pairs[i].pattern.size(), 0.033);
+                    if (useShouji) {
+                        const auto verdict = algos::shouji(
+                            variant, pairs[i].pattern, pairs[i].text,
+                            v.threshold, &vpu, qz ? &*qz : nullptr);
+                        v.ok = verdict.accepted;
+                        v.bound = verdict.zeroCount;
+                    } else {
+                        algos::SsConfig config;
+                        config.editThreshold = v.threshold;
+                        const auto verdict = algos::sneakySnake(
+                            *engine, pairs[i].pattern, pairs[i].text,
+                            config);
+                        v.ok = verdict.accepted;
+                        v.bound = verdict.editBound;
+                    }
+                } catch (const std::exception &e) {
+                    pairErrors[i] = e.what();
+                    v.ok = false;
                 }
             }
             shardCycles[s] = core.pipeline().totalCycles();
         });
 
         std::vector<genomics::SequencePair> accepted;
+        std::size_t failedPairs = 0;
         for (std::size_t i = 0; i < pairs.size(); ++i) {
             const Verdict &v = verdicts[i];
+            if (!pairErrors[i].empty()) {
+                ++failedPairs;
+                std::cout << "pair " << i << ": FAILED ("
+                          << pairErrors[i] << ")\n";
+                continue;
+            }
             if (v.ok)
                 accepted.push_back(pairs[i]);
             if (args.has("verbose"))
@@ -139,6 +158,12 @@ main(int argc, char **argv)
             genomics::writePairFile(out, accepted);
             std::cout << "wrote accepted pairs to "
                       << args.get("accepted") << "\n";
+        }
+        if (failedPairs > 0) {
+            std::cerr << "error: " << failedPairs << " of "
+                      << pairs.size()
+                      << " pair(s) failed (see FAILED lines above)\n";
+            return 1;
         }
         return 0;
     } catch (const std::exception &e) {
