@@ -16,6 +16,13 @@
  *                     cells already in it on restart (resumable sweeps)
  *  - QZ_FAULT_INJECT  deterministic fault injection, CELL:KIND[:TIMES]
  *                     (docs/ROBUSTNESS.md)
+ *  - QZ_BENCH_SHARD   run as shard K/N of a multi-process sweep: only
+ *                     cells with index % N == K-1 execute, and the
+ *                     JSON report carries their global indices so
+ *                     qz-merge can reassemble the unsharded output
+ *                     byte-identically (docs/SIMULATOR.md)
+ *  - QZ_BENCH_LIST    =1: print every registered workload with its
+ *                     variants/datasets and exit
  */
 #ifndef QUETZAL_BENCH_BENCH_COMMON_HPP
 #define QUETZAL_BENCH_BENCH_COMMON_HPP
@@ -67,6 +74,11 @@ benchThreads()
 inline void
 banner(const std::string &title)
 {
+    if (const char *env = std::getenv("QZ_BENCH_LIST"); env && *env &&
+                                                        std::string_view(env) != "0") {
+        std::cout << algos::workloadListing();
+        std::exit(0);
+    }
     std::cout << "==================================================\n"
               << title << "\n"
               << "Simulated system (Table I): 2.0 GHz A64FX-like, "
@@ -155,11 +167,35 @@ class CellBatch
         return runner_.add(kind, std::move(dataset), options);
     }
 
+    /** Queue a registry workload's cell; @return its result index. */
+    std::size_t
+    add(const algos::Workload &workload, DatasetPtr dataset,
+        algos::Variant variant, unsigned qzPorts = 8)
+    {
+        return runner_.add(workload, std::move(dataset),
+                           cellOptions(variant, ~std::size_t{0},
+                                       genomics::AlphabetKind::Dna,
+                                       qzPorts));
+    }
+
+    /** Queue a registry workload's cell with fully custom options. */
+    std::size_t
+    add(const algos::Workload &workload, DatasetPtr dataset,
+        const algos::RunOptions &options)
+    {
+        return runner_.add(workload, std::move(dataset), options);
+    }
+
     /** Run all queued cells; callable once per fill. */
     void
     run()
     {
         outcome_ = runner_.run();
+        if (outcome_.shard)
+            std::cout << "shard " << algos::shardName(*outcome_.shard)
+                      << ": ran " << outcome_.ownedCells.size()
+                      << " of " << outcome_.results.size()
+                      << " cell(s)\n";
         if (outcome_.resumedCells > 0)
             std::cout << "resumed " << outcome_.resumedCells
                       << " cell(s) from checkpoint\n";
@@ -194,40 +230,24 @@ class CellBatch
 
 /**
  * Machine-readable results emission: when QZ_BENCH_JSON is set, dump
- * @p results as {"bench", "threads", "scale", "results": [...]} to
- * that path ("-" = stdout). Called by each bench binary after its
- * human-readable table.
+ * the sweep's BenchReport JSON to that path ("-" = stdout). Called by
+ * each bench binary after its human-readable table. Sharded runs emit
+ * only the owned cells plus their global indices; qz-merge reassembles
+ * the shard files into output byte-identical to an unsharded run
+ * (both paths share the algos::toJson(BenchReport) serializer).
  */
 inline void
 maybeWriteJson(const std::string &benchName,
-               const std::vector<algos::RunResult> &results,
-               const algos::BatchOutcome *outcome = nullptr)
+               const algos::BatchOutcome &outcome)
 {
     const char *env = std::getenv("QZ_BENCH_JSON");
     if (!env || !*env)
         return;
-    JsonWriter json;
-    json.beginObject()
-        .field("bench", benchName)
-        .field("scale", benchScale())
-        .field("threads", static_cast<std::uint64_t>(benchThreads()));
-    if (outcome) {
-        json.field("resumed_cells", outcome->resumedCells)
-            .field("retries", outcome->retries);
-    }
-    json.beginArray("results");
-    for (const auto &r : results)
-        json.rawValue(algos::toJson(r));
-    json.endArray();
-    if (outcome) {
-        json.beginArray("failures");
-        for (const auto &failure : outcome->failures)
-            json.rawValue(algos::toJson(failure));
-        json.endArray();
-    }
-    json.endObject();
+    const algos::BenchReport report = algos::makeBenchReport(
+        benchName, benchScale(), benchThreads(), outcome);
+    const std::string json = algos::toJson(report);
     if (std::string_view(env) == "-") {
-        std::cout << json.str() << "\n";
+        std::cout << json << "\n";
         return;
     }
     std::ofstream out(env);
@@ -235,19 +255,23 @@ maybeWriteJson(const std::string &benchName,
         warn("cannot open QZ_BENCH_JSON path '{}' for writing", env);
         return;
     }
-    out << json.str() << "\n";
+    out << json << "\n";
     std::cout << "wrote JSON results to " << env << "\n";
 }
 
 /**
- * Preferred overload: emit the whole BatchOutcome, including the
- * failures array and resume/retry counters.
+ * Legacy overload for benches that only have the result rows: wrap
+ * them in a shard-less outcome so every emitter shares one format.
  */
 inline void
 maybeWriteJson(const std::string &benchName,
-               const algos::BatchOutcome &outcome)
+               const std::vector<algos::RunResult> &results)
 {
-    maybeWriteJson(benchName, outcome.results, &outcome);
+    algos::BatchOutcome outcome;
+    outcome.results = results;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        outcome.ownedCells.push_back(i);
+    maybeWriteJson(benchName, outcome);
 }
 
 /** Build the protein workload as a PairDataset (use case 4). */

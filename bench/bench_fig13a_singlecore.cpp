@@ -17,8 +17,11 @@ main()
     using algos::Variant;
     bench::banner("Fig. 13a: single-core speedup over the baseline");
 
-    TextTable table({"Algorithm", "Dataset", "VEC", "QUETZAL",
-                     "QUETZAL+C", "QZ/VEC", "QZ+C/VEC"});
+    TextTable table({"Algorithm", "Dataset",
+                     std::string(algos::variantName(Variant::Vec)),
+                     std::string(algos::variantName(Variant::Qz)),
+                     std::string(algos::variantName(Variant::QzC)),
+                     "QZ/VEC", "QZ+C/VEC"});
 
     // Phase 1: queue every cell of the figure on the batch engine.
     bench::CellBatch batch;

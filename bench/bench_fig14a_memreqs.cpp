@@ -14,8 +14,11 @@ main()
     bench::banner("Fig. 14a: cache-hierarchy request reduction "
                   "(QUETZAL+C vs VEC)");
 
-    TextTable table({"Algorithm", "Dataset", "VEC requests",
-                     "QUETZAL+C requests", "Reduction"});
+    TextTable table(
+        {"Algorithm", "Dataset",
+         std::string(algos::variantName(Variant::Vec)) + " requests",
+         std::string(algos::variantName(Variant::QzC)) + " requests",
+         "Reduction"});
 
     bench::CellBatch batch;
     struct Row

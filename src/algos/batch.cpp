@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <string>
@@ -14,6 +15,51 @@
 #include "common/logging.hpp"
 
 namespace quetzal::algos {
+
+std::optional<ShardSpec>
+parseShardSpec(std::string_view spec)
+{
+    if (spec.empty())
+        return std::nullopt;
+    const std::size_t slash = spec.find('/');
+    fatal_if(slash == std::string_view::npos,
+             "shard spec '{}' is not of the form K/N", spec);
+    const std::string indexField(spec.substr(0, slash));
+    const std::string countField(spec.substr(slash + 1));
+
+    char *end = nullptr;
+    const unsigned long long index =
+        std::strtoull(indexField.c_str(), &end, 10);
+    fatal_if(indexField.empty() || *end != '\0',
+             "shard index '{}' is not a positive integer", indexField);
+    const unsigned long long count =
+        std::strtoull(countField.c_str(), &end, 10);
+    fatal_if(countField.empty() || *end != '\0',
+             "shard count '{}' is not a positive integer", countField);
+    fatal_if(count == 0, "shard count must be at least 1");
+    fatal_if(index == 0 || index > count,
+             "shard index {} out of range 1..{}", index, count);
+
+    ShardSpec shard;
+    shard.index = static_cast<unsigned>(index);
+    shard.count = static_cast<unsigned>(count);
+    return shard;
+}
+
+std::optional<ShardSpec>
+shardFromEnv()
+{
+    const char *env = std::getenv("QZ_BENCH_SHARD");
+    if (!env || !*env)
+        return std::nullopt;
+    return parseShardSpec(env);
+}
+
+std::string
+shardName(const ShardSpec &shard)
+{
+    return qformat("{}/{}", shard.index, shard.count);
+}
 
 namespace {
 
@@ -86,13 +132,33 @@ BatchRunner::run()
 
     BatchOutcome out;
     out.results.resize(cells.size());
+    out.shard = policy_.shard;
+
+    // Deterministic round-robin partitioning by submission index.
+    // A cell this shard does not own keeps its identity with zeroed
+    // metrics — tables render a labeled hole, and the shard's JSON
+    // report serializes only the owned slots (ownedCells).
+    std::vector<char> owned(cells.size(), 1);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (policy_.shard && !policy_.shard->owns(i)) {
+            owned[i] = 0;
+            RunResult &slot = out.results[i];
+            slot.algo = cells[i].workload->name();
+            slot.variant =
+                std::string(variantName(cells[i].options.variant));
+            slot.dataset = cells[i].dataset->name;
+        } else {
+            out.ownedCells.push_back(i);
+        }
+    }
 
     // Canonical identities up front: keys label failure records, and
     // hashes (checkpoint mode only — they digest dataset contents)
-    // index the resume cache.
+    // index the resume cache. Both are shard-invariant: sharding
+    // changes which process runs a cell, never its identity.
     std::vector<std::string> keys(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i)
-        keys[i] = cellKey(cells[i].kind, *cells[i].dataset,
+        keys[i] = cellKey(cells[i].workload->name(), *cells[i].dataset,
                           cells[i].options);
 
     std::vector<char> done(cells.size(), 0);
@@ -101,10 +167,12 @@ BatchRunner::run()
     if (!policy_.checkpointPath.empty()) {
         hashes.resize(cells.size());
         for (std::size_t i = 0; i < cells.size(); ++i)
-            hashes[i] = cellHash(cells[i].kind, *cells[i].dataset,
-                                 cells[i].options);
+            hashes[i] = cellHash(cells[i].workload->name(),
+                                 *cells[i].dataset, cells[i].options);
         const auto cache = loadCheckpoint(policy_.checkpointPath);
         for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (!owned[i])
+                continue; // another shard's cell; leave it alone
             const auto it = cache.find(hashes[i]);
             if (it == cache.end())
                 continue;
@@ -128,8 +196,8 @@ BatchRunner::run()
     std::uint64_t retries = 0;
 
     parallelFor(threads_, cells.size(), [&](std::size_t i) {
-        if (done[i])
-            return; // resumed from checkpoint
+        if (!owned[i] || done[i])
+            return; // another shard's cell, or resumed from checkpoint
         const BatchCell &cell = cells[i];
         for (unsigned attempt = 1;; ++attempt) {
             try {
@@ -145,8 +213,8 @@ BatchRunner::run()
                     if (fire)
                         throwInjectedFault(*policy_.inject);
                 }
-                RunResult result = runAlgorithm(
-                    cell.kind, *cell.dataset, cell.options);
+                RunResult result =
+                    cell.workload->run(*cell.dataset, cell.options);
                 {
                     std::lock_guard<std::mutex> lock(recordMutex);
                     retries += attempt - 1;
@@ -182,7 +250,7 @@ BatchRunner::run()
                 // The slot keeps its identity so tables and JSON can
                 // label the hole; metrics stay zeroed.
                 RunResult &slot = out.results[i];
-                slot.algo = algoName(cell.kind);
+                slot.algo = cell.workload->name();
                 slot.variant =
                     std::string(variantName(cell.options.variant));
                 slot.dataset = cell.dataset->name;

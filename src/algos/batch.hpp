@@ -24,6 +24,7 @@
 
 #include "algos/faults.hpp"
 #include "algos/runner.hpp"
+#include "algos/workload.hpp"
 #include "common/threadpool.hpp"
 
 namespace quetzal::algos {
@@ -31,11 +32,65 @@ namespace quetzal::algos {
 /** One queued evaluation-matrix cell. */
 struct BatchCell
 {
-    AlgoKind kind = AlgoKind::Wfa;
+    /** Registry workload this cell runs (non-owning; registry-owned). */
+    const Workload *workload = nullptr;
     /** Shared so many cells can reference one materialized dataset. */
     std::shared_ptr<const genomics::PairDataset> dataset;
     RunOptions options;
+
+    BatchCell() = default;
+
+    BatchCell(const Workload &workload_,
+              std::shared_ptr<const genomics::PairDataset> dataset_,
+              RunOptions options_)
+        : workload(&workload_), dataset(std::move(dataset_)),
+          options(std::move(options_))
+    {
+    }
+
+    /** Legacy construction from the AlgoKind enum. */
+    BatchCell(AlgoKind kind,
+              std::shared_ptr<const genomics::PairDataset> dataset_,
+              RunOptions options_)
+        : BatchCell(workloadFor(kind), std::move(dataset_),
+                    std::move(options_))
+    {
+    }
 };
+
+/**
+ * One shard of a partitioned sweep: this process owns every cell
+ * whose submission index i satisfies i % count == index - 1
+ * (deterministic round-robin, so shard layouts balance mixed-cost
+ * matrices and cell ownership never depends on execution order).
+ */
+struct ShardSpec
+{
+    unsigned index = 1; //!< 1-based shard number (K in "K/N")
+    unsigned count = 1; //!< total shards (N in "K/N")
+
+    bool owns(std::size_t cell) const
+    {
+        return cell % count == index - 1;
+    }
+
+    bool operator==(const ShardSpec &other) const
+    {
+        return index == other.index && count == other.count;
+    }
+};
+
+/**
+ * Parse a "K/N" shard spec (1 <= K <= N). Empty input yields nullopt
+ * (unsharded); malformed input is a fatal() diagnostic.
+ */
+std::optional<ShardSpec> parseShardSpec(std::string_view spec);
+
+/** Shard from the QZ_BENCH_SHARD environment variable, if set. */
+std::optional<ShardSpec> shardFromEnv();
+
+/** "K/N" rendering of @p shard. */
+std::string shardName(const ShardSpec &shard);
 
 /** Fault-tolerance knobs of one BatchRunner. */
 struct BatchPolicy
@@ -59,6 +114,15 @@ struct BatchPolicy
 
     /** Deterministic fault injection (QZ_FAULT_INJECT by default). */
     std::optional<FaultInjection> inject;
+
+    /**
+     * When set, only the cells this shard owns execute (QZ_BENCH_SHARD
+     * by default); the other slots keep their identity with zeroed
+     * metrics. Checkpoint resume, writes, and fault injection apply to
+     * owned cells only, and injection cell indices stay global — the
+     * same QZ_FAULT_INJECT spec fires in exactly one shard.
+     */
+    std::optional<ShardSpec> shard;
 };
 
 /** Everything one run() produced. */
@@ -76,6 +140,16 @@ struct BatchOutcome
 
     std::uint64_t resumedCells = 0; //!< skipped via checkpoint
     std::uint64_t retries = 0;      //!< attempts beyond each first
+
+    /** The shard this run executed as (nullopt = every cell). */
+    std::optional<ShardSpec> shard;
+
+    /**
+     * Global indices of the cells this run owned, in submission
+     * order — every index when unsharded. Shard reports serialize
+     * exactly these slots.
+     */
+    std::vector<std::size_t> ownedCells;
 
     bool ok() const { return failures.empty(); }
 
@@ -105,6 +179,7 @@ class BatchRunner
         : threads_(threads == 0 ? 1 : threads)
     {
         policy_.inject = faultInjectionFromEnv();
+        policy_.shard = shardFromEnv();
     }
 
     /** Queue @p cell; @return its index into run()'s result vector. */
@@ -112,11 +187,21 @@ class BatchRunner
     add(BatchCell cell)
     {
         fatal_if(!cell.dataset, "BatchRunner cell without a dataset");
+        fatal_if(!cell.workload, "BatchRunner cell without a workload");
         cells_.push_back(std::move(cell));
         return cells_.size() - 1;
     }
 
     /** Convenience overload building the cell in place. */
+    std::size_t
+    add(const Workload &workload,
+        std::shared_ptr<const genomics::PairDataset> dataset,
+        const RunOptions &options)
+    {
+        return add(BatchCell{workload, std::move(dataset), options});
+    }
+
+    /** Legacy convenience overload keyed by AlgoKind. */
     std::size_t
     add(AlgoKind kind,
         std::shared_ptr<const genomics::PairDataset> dataset,
@@ -142,6 +227,12 @@ class BatchRunner
     void setFaultInjection(std::optional<FaultInjection> inject)
     {
         policy_.inject = std::move(inject);
+    }
+
+    /** Override the shard (tests/tools; QZ_BENCH_SHARD is the default). */
+    void setShard(std::optional<ShardSpec> shard)
+    {
+        policy_.shard = shard;
     }
 
     /**

@@ -232,28 +232,46 @@ hexDigest(std::uint64_t value)
 } // namespace
 
 std::string
-cellKey(AlgoKind kind, const genomics::PairDataset &dataset,
+cellKey(std::string_view workload, const genomics::PairDataset &dataset,
         const RunOptions &options)
 {
-    return qformat(
+    std::string key = qformat(
         "{}/{}/{}#pairs={};maxPairs={};maxLen={};alphabet={};"
         "ssThreshold={};traceback={};verify={};budget={},{},{}",
-        algoName(kind), variantName(options.variant), dataset.name,
+        workload, variantName(options.variant), dataset.name,
         dataset.pairs.size(), options.maxPairs, options.maxLen,
         genomics::name(options.alphabet), options.ssThreshold,
         options.traceback ? 1 : 0, options.verify ? 1 : 0,
         options.budget.maxWaveBytes, options.budget.maxSteps,
         options.budget.fallbackLag);
+    if (!dataset.params.empty()) {
+        key += ";params=";
+        bool first = true;
+        for (const auto &[name, value] : dataset.params) {
+            key += qformat(first ? "{}:{}" : ",{}:{}", name, value);
+            first = false;
+        }
+    }
+    return key;
 }
 
 std::string
-cellHash(AlgoKind kind, const genomics::PairDataset &dataset,
+cellKey(AlgoKind kind, const genomics::PairDataset &dataset,
+        const RunOptions &options)
+{
+    return cellKey(algoName(kind), dataset, options);
+}
+
+std::string
+cellHash(std::string_view workload, const genomics::PairDataset &dataset,
          const RunOptions &options)
 {
     Fnv fnv;
-    fnv.mix(cellKey(kind, dataset, options));
+    fnv.mix(cellKey(workload, dataset, options));
     // Dataset content: the key only names it, but resumed results are
-    // only valid when the actual pairs are unchanged too.
+    // only valid when the actual pairs are unchanged too. (Kernel
+    // datasets carry no pairs; their content is fully determined by
+    // the params already in the key.)
     fnv.mix(dataset.readLength);
     fnv.mix(dataset.errorRate);
     for (const auto &pair : dataset.pairs) {
@@ -263,6 +281,13 @@ cellHash(AlgoKind kind, const genomics::PairDataset &dataset,
     }
     mixSystem(fnv, options.system);
     return hexDigest(fnv.value());
+}
+
+std::string
+cellHash(AlgoKind kind, const genomics::PairDataset &dataset,
+         const RunOptions &options)
+{
+    return cellHash(algoName(kind), dataset, options);
 }
 
 } // namespace quetzal::algos

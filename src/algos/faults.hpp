@@ -107,20 +107,33 @@ std::optional<FaultInjection> faultInjectionFromEnv();
 
 /**
  * Canonical human-readable identity of one evaluation cell:
- * "ALGO/VARIANT/DATASET#pairs=N;..." covering every RunOptions field
- * that changes the simulated outcome.
+ * "WORKLOAD/VARIANT/DATASET#pairs=N;..." covering every RunOptions
+ * field that changes the simulated outcome, plus any dataset params
+ * (kernel workloads). @p workload is the registry display name.
  */
+std::string cellKey(std::string_view workload,
+                    const genomics::PairDataset &dataset,
+                    const RunOptions &options);
+
+/** Legacy overload keyed by the AlgoKind's registered name. */
 std::string cellKey(AlgoKind kind,
                     const genomics::PairDataset &dataset,
                     const RunOptions &options);
 
 /**
  * Stable 64-bit FNV-1a digest (16 hex chars) of the full cell
- * identity: the key string, every dataset pair's content, and all
- * simulated-system parameters. Two cells with equal hashes produce
- * bitwise-identical RunResults, which is what makes checkpoint reuse
- * sound (cells are pure functions of their identity).
+ * identity: the key string (which covers dataset params), every
+ * dataset pair's content, and all simulated-system parameters. Two
+ * cells with equal hashes produce bitwise-identical RunResults, which
+ * is what makes checkpoint reuse sound (cells are pure functions of
+ * their identity). The hash is shard-invariant: QZ_BENCH_SHARD
+ * changes which process runs a cell, never the cell's identity.
  */
+std::string cellHash(std::string_view workload,
+                     const genomics::PairDataset &dataset,
+                     const RunOptions &options);
+
+/** Legacy overload keyed by the AlgoKind's registered name. */
 std::string cellHash(AlgoKind kind,
                      const genomics::PairDataset &dataset,
                      const RunOptions &options);

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Other-domain kernels (Fig. 15b) as registry workloads: histogram
+ * and CSR SpMV run through the same Workload interface — and hence
+ * the same BatchRunner, JSON, checkpoint, and fault-isolation
+ * machinery — as the genomics algorithms.
+ *
+ * A kernel dataset is a PairDataset with no pairs: its content is
+ * fully described by the named params (sizes, seeds), and run()
+ * regenerates the input deterministically from them. That keeps
+ * checkpoint cell hashes sound without storing the raw arrays.
+ */
+#include "algos/workload.hpp"
+
+#include "common/logging.hpp"
+#include "kernels/histogram.hpp"
+#include "kernels/spmv.hpp"
+
+namespace quetzal::algos {
+
+namespace {
+
+using genomics::PairDataset;
+
+/** Shared scaffolding: one self-named dataset, three timed variants. */
+class KernelWorkload : public Workload
+{
+  public:
+    std::vector<Variant>
+    variants() const override
+    {
+        // The kernels have no count-ALU variant: QUETZAL+C would
+        // measure the same code as QUETZAL.
+        return {Variant::Base, Variant::Vec, Variant::Qz};
+    }
+
+    std::vector<std::string>
+    datasetNames() const override
+    {
+        return {std::string(name())};
+    }
+
+  protected:
+    /** Identity fields + the Ref-variant guard every run() starts with. */
+    RunResult
+    startRun(const PairDataset &dataset,
+             const RunOptions &options) const
+    {
+        fatal_if(options.variant == Variant::Ref,
+                 "workloads measure timed variants; Ref is the golden "
+                 "model they verify against");
+        RunResult out;
+        out.algo = name();
+        out.variant = std::string(variantName(options.variant));
+        out.dataset = dataset.name;
+        return out;
+    }
+
+    void
+    checkDatasetName(std::string_view dataset) const
+    {
+        fatal_if(dataset != name(),
+                 "workload '{}' has no dataset '{}'", name(), dataset);
+    }
+};
+
+class HistogramWorkload final : public KernelWorkload
+{
+  public:
+    std::string_view name() const override { return "histogram"; }
+
+    PairDataset
+    makeDataset(std::string_view dataset, double scale) const override
+    {
+        checkDatasetName(dataset);
+        PairDataset ds;
+        ds.name = std::string(name());
+        ds.params = {
+            {"count",
+             std::max<std::uint64_t>(
+                 1, static_cast<std::uint64_t>(60000 * scale))},
+            {"bins", 1024},
+            {"seed", 33},
+        };
+        return ds;
+    }
+
+    RunResult
+    run(const PairDataset &dataset,
+        const RunOptions &options) const override
+    {
+        RunResult out = startRun(dataset, options);
+        const auto input = kernels::makeHistogramInput(
+            dataset.param("count", 60000),
+            static_cast<std::uint32_t>(dataset.param("bins", 1024)),
+            dataset.param("seed", 33));
+
+        WorkloadCore core(systemFor(options));
+        const auto got = kernels::histogram(options.variant, input,
+                                            &core.vpu, core.qzPtr());
+        out.pairs = 1;
+        out.dpCells = input.data.size();
+        // Positional checksum so a single swapped bin shows up in the
+        // score, not just in outputsMatch.
+        for (std::size_t b = 0; b < got.size(); ++b)
+            out.totalScore += static_cast<std::int64_t>(got[b]) *
+                              static_cast<std::int64_t>(b + 1);
+        if (options.verify) {
+            const auto want =
+                kernels::histogram(Variant::Ref, input);
+            out.outputsMatch = got == want;
+        }
+        harvestCore(out, core);
+        return out;
+    }
+};
+
+class SpmvWorkload final : public KernelWorkload
+{
+  public:
+    std::string_view name() const override { return "spmv"; }
+
+    PairDataset
+    makeDataset(std::string_view dataset, double scale) const override
+    {
+        checkDatasetName(dataset);
+        PairDataset ds;
+        ds.name = std::string(name());
+        ds.params = {
+            {"rows",
+             std::max<std::uint64_t>(
+                 1, static_cast<std::uint64_t>(1500 * scale))},
+            {"cols", 2000},
+            {"nnz_per_row", 16},
+            {"seed", 55},
+        };
+        return ds;
+    }
+
+    RunResult
+    run(const PairDataset &dataset,
+        const RunOptions &options) const override
+    {
+        RunResult out = startRun(dataset, options);
+        const auto matrix = kernels::makeSparseMatrix(
+            dataset.param("rows", 1500), dataset.param("cols", 2000),
+            static_cast<unsigned>(dataset.param("nnz_per_row", 16)),
+            dataset.param("seed", 55));
+        std::vector<std::int64_t> x(matrix.cols);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = static_cast<std::int64_t>((i * 7) % 127) - 63;
+
+        WorkloadCore core(systemFor(options));
+        const auto got = kernels::spmv(options.variant, matrix, x,
+                                       &core.vpu, core.qzPtr());
+        out.pairs = 1;
+        out.dpCells = matrix.nnz();
+        for (std::size_t r = 0; r < got.size(); ++r)
+            out.totalScore +=
+                got[r] * static_cast<std::int64_t>(r + 1);
+        if (options.verify) {
+            const auto want = kernels::spmv(Variant::Ref, matrix, x);
+            out.outputsMatch = got == want;
+        }
+        harvestCore(out, core);
+        return out;
+    }
+};
+
+const WorkloadRegistrar kernelRegistrars[] = {
+    WorkloadRegistrar{std::make_unique<HistogramWorkload>()},
+    WorkloadRegistrar{std::make_unique<SpmvWorkload>()},
+};
+
+} // namespace
+
+namespace detail {
+
+void
+anchorKernelWorkloads()
+{
+}
+
+} // namespace detail
+
+} // namespace quetzal::algos

@@ -10,32 +10,14 @@
 #include "algos/swg.hpp"
 #include "algos/wfa.hpp"
 #include "algos/wfa_engine.hpp"
+#include "algos/workload.hpp"
 #include "common/logging.hpp"
+#include "genomics/datasets.hpp"
 
 namespace quetzal::algos {
 
 using genomics::ElementSize;
 using genomics::PairDataset;
-
-const char *
-algoName(AlgoKind kind)
-{
-    switch (kind) {
-      case AlgoKind::Wfa:
-        return "WFA";
-      case AlgoKind::BiWfa:
-        return "BiWFA";
-      case AlgoKind::SneakySnake:
-        return "SS";
-      case AlgoKind::Nw:
-        return "NW";
-      case AlgoKind::Swg:
-        return "SW";
-      case AlgoKind::SsWfa:
-        return "SS+WFA";
-    }
-    return "?";
-}
 
 namespace {
 
@@ -47,46 +29,327 @@ esizeFor(genomics::AlphabetKind alphabet)
                : ElementSize::Bits2;
 }
 
-/** Everything a run needs on the simulated-core side. */
-struct CoreRig
+/**
+ * Shared pair-loop of the genomics workloads: fresh core, per-pair
+ * memory epochs, maxLen truncation, and the final counter harvest are
+ * identical across algorithms; only runPair() differs.
+ */
+class GenomicsWorkload : public Workload
 {
-    sim::SimContext ctx;
-    isa::VectorUnit vpu;
-    std::optional<accel::QzUnit> qz;
-
-    explicit CoreRig(const sim::SystemParams &params)
-        : ctx(params), vpu(ctx.pipeline())
+  public:
+    GenomicsWorkload(const char *name, AlgoKind kind)
+        : name_(name), kind_(kind)
     {
-        if (params.quetzal.present)
-            qz.emplace(vpu, params.quetzal);
     }
 
-    accel::QzUnit *qzPtr() { return qz ? &*qz : nullptr; }
+    std::string_view name() const override { return name_; }
+    std::optional<AlgoKind> kind() const override { return kind_; }
+
+    std::vector<std::string>
+    datasetNames() const override
+    {
+        std::vector<std::string> names;
+        for (const auto &spec : genomics::datasetCatalog())
+            names.push_back(spec.name);
+        return names;
+    }
+
+    PairDataset
+    makeDataset(std::string_view dataset, double scale) const override
+    {
+        return genomics::makeDataset(dataset, scale);
+    }
+
+    RunResult
+    run(const PairDataset &dataset,
+        const RunOptions &options) const override
+    {
+        RunResult out;
+        out.algo = name_;
+        out.variant = std::string(variantName(options.variant));
+        out.dataset = dataset.name;
+
+        fatal_if(options.variant == Variant::Ref,
+                 "workloads measure timed variants; Ref is the golden "
+                 "model they verify against");
+
+        PairRig rig(dataset, options);
+        const std::size_t limit = std::min<std::size_t>(
+            options.maxPairs, dataset.pairs.size());
+        for (std::size_t idx = 0; idx < limit; ++idx) {
+            // Pairs are independent work items; remap recycled host
+            // memory so cycle counts don't depend on allocator state.
+            rig.core.ctx.mem().newEpoch();
+            const auto &pair = dataset.pairs[idx];
+            std::string_view pattern = pair.pattern;
+            std::string_view text = pair.text;
+            if (pattern.size() > options.maxLen)
+                pattern = pattern.substr(0, options.maxLen);
+            if (text.size() > options.maxLen)
+                text = text.substr(0, options.maxLen);
+            ++out.pairs;
+            runPair(rig, pattern, text, options, out);
+        }
+
+        harvestCore(out, rig.core);
+        return out;
+    }
+
+  protected:
+    /** Per-run simulated core plus the engines every algorithm shares. */
+    struct PairRig
+    {
+        WorkloadCore core;
+        ElementSize esize;
+        std::unique_ptr<WfaEngine> engine;    //!< timed, budgeted
+        std::unique_ptr<WfaEngine> refEngine; //!< untimed golden model
+        std::unique_ptr<SsEngine> ssEngine;
+        std::unique_ptr<SsEngine> ssRef;
+        SsConfig ssConfig;
+
+        PairRig(const PairDataset &dataset, const RunOptions &options)
+            : core(systemFor(options)),
+              esize(esizeFor(options.alphabet))
+        {
+            // Variant under test and untimed golden model. Only the
+            // timed engine gets the resource budget: the golden model
+            // must stay exact so degraded pairs can still be
+            // sanity-checked.
+            engine = makeWfaEngine(options.variant, &core.vpu,
+                                   core.qzPtr());
+            engine->setBudget(options.budget);
+            refEngine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
+            ssEngine = makeSsEngine(options.variant, &core.vpu,
+                                    core.qzPtr());
+            ssRef = makeSsEngine(Variant::Ref, nullptr, nullptr);
+            ssConfig.editThreshold =
+                options.ssThreshold > 0
+                    ? options.ssThreshold
+                    : defaultSsThreshold(dataset.readLength,
+                                         dataset.errorRate);
+        }
+    };
+
+    virtual void runPair(PairRig &rig, std::string_view pattern,
+                         std::string_view text,
+                         const RunOptions &options,
+                         RunResult &out) const = 0;
+
+  private:
+    const char *name_;
+    AlgoKind kind_;
 };
 
-sim::SystemParams
-systemFor(const RunOptions &options)
+class WfaWorkload final : public GenomicsWorkload
 {
-    sim::SystemParams params = options.system;
-    if (needsQuetzal(options.variant) && !params.quetzal.present)
-        params = sim::SystemParams::withQuetzal();
-    return params;
-}
+  public:
+    WfaWorkload() : GenomicsWorkload("WFA", AlgoKind::Wfa) {}
 
-void
-harvest(RunResult &out, CoreRig &rig)
+  protected:
+    void
+    runPair(PairRig &rig, std::string_view pattern,
+            std::string_view text, const RunOptions &options,
+            RunResult &out) const override
+    {
+        const AlignResult got = wfaAlign(*rig.engine, pattern, text,
+                                         options.traceback, rig.esize);
+        out.totalScore += got.score;
+        out.dpCells += wfaCellCount(got.score);
+        out.degradedPairs += got.degraded ? 1 : 0;
+        if (options.verify && !got.degraded) {
+            const AlignResult want = wfaAlign(*rig.refEngine, pattern,
+                                              text, options.traceback);
+            out.outputsMatch &= got.score == want.score;
+            if (options.traceback) {
+                out.outputsMatch &=
+                    got.cigar.ops == want.cigar.ops &&
+                    validateCigar(pattern, text, got.cigar);
+            }
+        } else if (options.verify && options.traceback) {
+            // Degraded pairs: the score is no longer guaranteed
+            // optimal, but the CIGAR must still replay cleanly.
+            out.outputsMatch &= validateCigar(pattern, text, got.cigar);
+        }
+    }
+};
+
+class BiWfaWorkload final : public GenomicsWorkload
 {
-    out.cycles = rig.ctx.pipeline().totalCycles();
-    out.instructions = rig.ctx.pipeline().instructions();
-    out.memRequests = rig.ctx.mem().totalRequests();
-    out.dramBytes = rig.ctx.mem().dramBytes();
-    for (std::size_t k = 0;
-         k < static_cast<std::size_t>(sim::StallKind::NumKinds); ++k)
-        out.stalls[k] = rig.ctx.pipeline().stallCycles(
-            static_cast<sim::StallKind>(k));
-}
+  public:
+    BiWfaWorkload() : GenomicsWorkload("BiWFA", AlgoKind::BiWfa) {}
+
+  protected:
+    void
+    runPair(PairRig &rig, std::string_view pattern,
+            std::string_view text, const RunOptions &options,
+            RunResult &out) const override
+    {
+        const AlignResult got = biwfaAlign(*rig.engine, pattern, text,
+                                           options.traceback, rig.esize);
+        out.totalScore += got.score;
+        out.dpCells += wfaCellCount(got.score);
+        out.degradedPairs += got.degraded ? 1 : 0;
+        if (options.verify && !got.degraded) {
+            const std::int64_t want =
+                wfaScore(*rig.refEngine, pattern, text);
+            out.outputsMatch &= got.score == want;
+            if (options.traceback) {
+                out.outputsMatch &=
+                    got.cigar.edits() == want &&
+                    validateCigar(pattern, text, got.cigar);
+            }
+        } else if (options.verify && options.traceback) {
+            out.outputsMatch &= validateCigar(pattern, text, got.cigar);
+        }
+    }
+};
+
+class SneakySnakeWorkload final : public GenomicsWorkload
+{
+  public:
+    SneakySnakeWorkload()
+        : GenomicsWorkload("SS", AlgoKind::SneakySnake)
+    {
+    }
+
+  protected:
+    void
+    runPair(PairRig &rig, std::string_view pattern,
+            std::string_view text, const RunOptions &options,
+            RunResult &out) const override
+    {
+        const SsResult got = sneakySnake(*rig.ssEngine, pattern, text,
+                                         rig.ssConfig, rig.esize);
+        out.totalScore += got.editBound;
+        out.accepted += got.accepted ? 1 : 0;
+        if (options.verify) {
+            const SsResult want =
+                sneakySnake(*rig.ssRef, pattern, text, rig.ssConfig);
+            out.outputsMatch &= got.accepted == want.accepted &&
+                                got.editBound == want.editBound;
+        }
+    }
+};
+
+class NwWorkload final : public GenomicsWorkload
+{
+  public:
+    NwWorkload() : GenomicsWorkload("NW", AlgoKind::Nw) {}
+
+  protected:
+    void
+    runPair(PairRig &rig, std::string_view pattern,
+            std::string_view text, const RunOptions &options,
+            RunResult &out) const override
+    {
+        const AlignResult got =
+            nwAlign(options.variant, pattern, text, &rig.core.vpu,
+                    rig.core.qzPtr(), options.traceback);
+        out.totalScore += got.score;
+        out.dpCells +=
+            static_cast<std::uint64_t>(pattern.size()) * text.size();
+        if (options.verify) {
+            const AlignResult want =
+                nwAlign(Variant::Ref, pattern, text, nullptr, nullptr,
+                        options.traceback);
+            out.outputsMatch &= got.score == want.score;
+            if (options.traceback)
+                out.outputsMatch &= got.cigar.ops == want.cigar.ops;
+        }
+    }
+};
+
+class SwgWorkload final : public GenomicsWorkload
+{
+  public:
+    SwgWorkload() : GenomicsWorkload("SW", AlgoKind::Swg) {}
+
+  protected:
+    void
+    runPair(PairRig &rig, std::string_view pattern,
+            std::string_view text, const RunOptions &options,
+            RunResult &out) const override
+    {
+        const SwgResult got =
+            swgAlign(options.variant, pattern, text, SwgParams{},
+                     &rig.core.vpu, rig.core.qzPtr(),
+                     options.traceback);
+        out.totalScore += got.score;
+        out.dpCells +=
+            static_cast<std::uint64_t>(pattern.size() + text.size()) *
+            31;
+        if (options.verify) {
+            const SwgResult want =
+                swgAlign(Variant::Ref, pattern, text, SwgParams{},
+                         nullptr, nullptr, options.traceback);
+            out.outputsMatch &= got.score == want.score;
+            if (options.traceback)
+                out.outputsMatch &= got.cigar.ops == want.cigar.ops;
+        }
+    }
+};
+
+class SsWfaWorkload final : public GenomicsWorkload
+{
+  public:
+    SsWfaWorkload() : GenomicsWorkload("SS+WFA", AlgoKind::SsWfa) {}
+
+  protected:
+    void
+    runPair(PairRig &rig, std::string_view pattern,
+            std::string_view text, const RunOptions &options,
+            RunResult &out) const override
+    {
+        const SsResult filter = sneakySnake(*rig.ssEngine, pattern,
+                                            text, rig.ssConfig,
+                                            rig.esize);
+        if (options.verify) {
+            const SsResult want =
+                sneakySnake(*rig.ssRef, pattern, text, rig.ssConfig);
+            out.outputsMatch &= filter.accepted == want.accepted;
+        }
+        if (filter.accepted) {
+            ++out.accepted;
+            const AlignResult got = wfaAlign(
+                *rig.engine, pattern, text, options.traceback,
+                rig.esize);
+            out.totalScore += got.score;
+            out.dpCells += wfaCellCount(got.score);
+            out.degradedPairs += got.degraded ? 1 : 0;
+            if (options.verify && !got.degraded) {
+                const AlignResult want = wfaAlign(
+                    *rig.refEngine, pattern, text, options.traceback);
+                out.outputsMatch &= got.score == want.score;
+            }
+        }
+    }
+};
+
+const WorkloadRegistrar genomicsRegistrars[] = {
+    WorkloadRegistrar{std::make_unique<WfaWorkload>()},
+    WorkloadRegistrar{std::make_unique<BiWfaWorkload>()},
+    WorkloadRegistrar{std::make_unique<SneakySnakeWorkload>()},
+    WorkloadRegistrar{std::make_unique<NwWorkload>()},
+    WorkloadRegistrar{std::make_unique<SwgWorkload>()},
+    WorkloadRegistrar{std::make_unique<SsWfaWorkload>()},
+};
 
 } // namespace
+
+namespace detail {
+
+void
+anchorAlgoWorkloads()
+{
+}
+
+} // namespace detail
+
+std::string_view
+algoName(AlgoKind kind)
+{
+    return workloadFor(kind).name();
+}
 
 PairDataset
 mixWithDecoys(const PairDataset &dataset)
@@ -105,171 +368,7 @@ RunResult
 runAlgorithm(AlgoKind kind, const PairDataset &dataset,
              const RunOptions &options)
 {
-    RunResult out;
-    out.algo = algoName(kind);
-    out.variant = std::string(variantName(options.variant));
-    out.dataset = dataset.name;
-
-    fatal_if(options.variant == Variant::Ref,
-             "runAlgorithm measures timed variants; Ref is the golden "
-             "model it verifies against");
-
-    CoreRig rig(systemFor(options));
-    const ElementSize esize = esizeFor(options.alphabet);
-
-    // Variant under test and untimed golden model. Only the timed
-    // engine gets the resource budget: the golden model must stay
-    // exact so degraded pairs can still be sanity-checked.
-    auto engine = makeWfaEngine(options.variant, &rig.vpu, rig.qzPtr());
-    engine->setBudget(options.budget);
-    auto refEngine = makeWfaEngine(Variant::Ref, nullptr, nullptr);
-    auto ssEngine = makeSsEngine(options.variant, &rig.vpu, rig.qzPtr());
-    auto ssRef = makeSsEngine(Variant::Ref, nullptr, nullptr);
-
-    SsConfig ssConfig;
-    ssConfig.editThreshold =
-        options.ssThreshold > 0
-            ? options.ssThreshold
-            : defaultSsThreshold(dataset.readLength, dataset.errorRate);
-
-    const std::size_t limit =
-        std::min<std::size_t>(options.maxPairs, dataset.pairs.size());
-    for (std::size_t idx = 0; idx < limit; ++idx) {
-        // Pairs are independent work items; remap recycled host
-        // memory so cycle counts don't depend on allocator state.
-        rig.ctx.mem().newEpoch();
-        const auto &pair = dataset.pairs[idx];
-        std::string_view pattern = pair.pattern;
-        std::string_view text = pair.text;
-        if (pattern.size() > options.maxLen)
-            pattern = pattern.substr(0, options.maxLen);
-        if (text.size() > options.maxLen)
-            text = text.substr(0, options.maxLen);
-        ++out.pairs;
-
-        switch (kind) {
-          case AlgoKind::Wfa: {
-            const AlignResult got = wfaAlign(*engine, pattern, text,
-                                             options.traceback, esize);
-            out.totalScore += got.score;
-            out.dpCells += wfaCellCount(got.score);
-            out.degradedPairs += got.degraded ? 1 : 0;
-            if (options.verify && !got.degraded) {
-                const AlignResult want =
-                    wfaAlign(*refEngine, pattern, text,
-                             options.traceback);
-                out.outputsMatch &= got.score == want.score;
-                if (options.traceback) {
-                    out.outputsMatch &=
-                        got.cigar.ops == want.cigar.ops &&
-                        validateCigar(pattern, text, got.cigar);
-                }
-            } else if (options.verify && options.traceback) {
-                // Degraded pairs: the score is no longer guaranteed
-                // optimal, but the CIGAR must still replay cleanly.
-                out.outputsMatch &=
-                    validateCigar(pattern, text, got.cigar);
-            }
-            break;
-          }
-          case AlgoKind::BiWfa: {
-            const AlignResult got = biwfaAlign(*engine, pattern, text,
-                                               options.traceback, esize);
-            out.totalScore += got.score;
-            out.dpCells += wfaCellCount(got.score);
-            out.degradedPairs += got.degraded ? 1 : 0;
-            if (options.verify && !got.degraded) {
-                const std::int64_t want =
-                    wfaScore(*refEngine, pattern, text);
-                out.outputsMatch &= got.score == want;
-                if (options.traceback) {
-                    out.outputsMatch &=
-                        got.cigar.edits() == want &&
-                        validateCigar(pattern, text, got.cigar);
-                }
-            } else if (options.verify && options.traceback) {
-                out.outputsMatch &=
-                    validateCigar(pattern, text, got.cigar);
-            }
-            break;
-          }
-          case AlgoKind::SneakySnake: {
-            const SsResult got =
-                sneakySnake(*ssEngine, pattern, text, ssConfig, esize);
-            out.totalScore += got.editBound;
-            out.accepted += got.accepted ? 1 : 0;
-            if (options.verify) {
-                const SsResult want =
-                    sneakySnake(*ssRef, pattern, text, ssConfig);
-                out.outputsMatch &=
-                    got.accepted == want.accepted &&
-                    got.editBound == want.editBound;
-            }
-            break;
-          }
-          case AlgoKind::Nw: {
-            const AlignResult got =
-                nwAlign(options.variant, pattern, text, &rig.vpu,
-                        rig.qzPtr(), options.traceback);
-            out.totalScore += got.score;
-            out.dpCells += static_cast<std::uint64_t>(pattern.size()) *
-                           text.size();
-            if (options.verify) {
-                const AlignResult want = nwAlign(
-                    Variant::Ref, pattern, text, nullptr, nullptr,
-                    options.traceback);
-                out.outputsMatch &= got.score == want.score;
-                if (options.traceback)
-                    out.outputsMatch &= got.cigar.ops == want.cigar.ops;
-            }
-            break;
-          }
-          case AlgoKind::Swg: {
-            const SwgResult got =
-                swgAlign(options.variant, pattern, text, SwgParams{},
-                         &rig.vpu, rig.qzPtr(), options.traceback);
-            out.totalScore += got.score;
-            out.dpCells +=
-                static_cast<std::uint64_t>(pattern.size() + text.size()) *
-                31;
-            if (options.verify) {
-                const SwgResult want =
-                    swgAlign(Variant::Ref, pattern, text, SwgParams{},
-                             nullptr, nullptr, options.traceback);
-                out.outputsMatch &= got.score == want.score;
-                if (options.traceback)
-                    out.outputsMatch &= got.cigar.ops == want.cigar.ops;
-            }
-            break;
-          }
-          case AlgoKind::SsWfa: {
-            const SsResult filter =
-                sneakySnake(*ssEngine, pattern, text, ssConfig, esize);
-            if (options.verify) {
-                const SsResult want =
-                    sneakySnake(*ssRef, pattern, text, ssConfig);
-                out.outputsMatch &= filter.accepted == want.accepted;
-            }
-            if (filter.accepted) {
-                ++out.accepted;
-                const AlignResult got = wfaAlign(
-                    *engine, pattern, text, options.traceback, esize);
-                out.totalScore += got.score;
-                out.dpCells += wfaCellCount(got.score);
-                out.degradedPairs += got.degraded ? 1 : 0;
-                if (options.verify && !got.degraded) {
-                    const AlignResult want = wfaAlign(
-                        *refEngine, pattern, text, options.traceback);
-                    out.outputsMatch &= got.score == want.score;
-                }
-            }
-            break;
-          }
-        }
-    }
-
-    harvest(out, rig);
-    return out;
+    return workloadFor(kind).run(dataset, options);
 }
 
 } // namespace quetzal::algos

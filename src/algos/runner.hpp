@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 
 #include "algos/variant.hpp"
 #include "algos/wfa_engine.hpp"
@@ -33,8 +34,12 @@ enum class AlgoKind
     SsWfa, //!< SneakySnake filter + WFA alignment pipeline (Fig. 14b)
 };
 
-/** Display name matching the paper. */
-const char *algoName(AlgoKind kind);
+/**
+ * Display name matching the paper — the registered workload's name
+ * (see algos/workload.hpp; the registry is the single source of
+ * truth for display names).
+ */
+std::string_view algoName(AlgoKind kind);
 
 /** Runner knobs. */
 struct RunOptions
@@ -113,7 +118,11 @@ struct RunResult
     }
 };
 
-/** Run @p kind / options over @p dataset on a fresh simulated core. */
+/**
+ * Run @p kind / options over @p dataset on a fresh simulated core.
+ * Thin wrapper over the workload registry (algos/workload.hpp):
+ * dispatch is workloadFor(kind).run(dataset, options).
+ */
 RunResult runAlgorithm(AlgoKind kind,
                        const genomics::PairDataset &dataset,
                        const RunOptions &options);

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "genomics/alphabet.hpp"
@@ -49,7 +51,26 @@ struct PairDataset
     std::size_t readLength = 0;      //!< nominal read length in bases
     double errorRate = 0.0;          //!< simulator per-base edit rate
 
+    /**
+     * Named numeric parameters for workloads whose input is not a
+     * pair list (the other-domain kernels: histogram bin/sample
+     * counts, SpMV dimensions, RNG seeds). Ordered so the dataset
+     * identity — and the checkpoint cell key built from it — is
+     * deterministic.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> params;
+
     std::size_t size() const { return pairs.size(); }
+
+    /** Value of parameter @p key, or @p fallback when absent. */
+    std::uint64_t
+    param(std::string_view key, std::uint64_t fallback = 0) const
+    {
+        for (const auto &[name, value] : params)
+            if (name == key)
+                return value;
+        return fallback;
+    }
 
     /** Total bases across all patterns (used for throughput metrics). */
     std::size_t

@@ -156,22 +156,17 @@ std::vector<std::uint64_t>
 histogram(Variant variant, const HistogramInput &input,
           isa::VectorUnit *vpu, accel::QzUnit *qz)
 {
-    switch (variant) {
-      case Variant::Ref:
+    // Cell dispatch lives in the workload registry; this maps only
+    // the variant axis (Qz and QzC share the QBUFFER implementation).
+    if (variant == Variant::Ref)
         return histogramRef(input);
-      case Variant::Base:
-        panic_if_not(vpu != nullptr, "Base histogram needs a VPU");
+    panic_if_not(vpu != nullptr, "timed histogram needs a VPU");
+    if (variant == Variant::Base)
         return histogramBase(input, *vpu);
-      case Variant::Vec:
-        panic_if_not(vpu != nullptr, "Vec histogram needs a VPU");
+    if (variant == Variant::Vec)
         return histogramVec(input, *vpu);
-      case Variant::Qz:
-      case Variant::QzC:
-        panic_if_not(vpu != nullptr && qz != nullptr,
-                     "Qz histogram needs a VPU and a QzUnit");
-        return histogramQz(input, *vpu, *qz);
-    }
-    panic("unknown Variant");
+    panic_if_not(qz != nullptr, "Qz histogram needs a QzUnit");
+    return histogramQz(input, *vpu, *qz);
 }
 
 } // namespace quetzal::kernels

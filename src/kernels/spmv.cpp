@@ -107,15 +107,21 @@ spmvQz(const CsrMatrix &a, const std::vector<std::int64_t> &x,
 
     // Stage the dense vector: first half in buffer 0, rest in buffer 1
     // (Section VII-F: "stores segments from the input vector").
+    // Both staging copies must outlive the row loop: every host buffer
+    // the simulator touches has to stay allocated for the whole
+    // SimContext, or a later allocation (y below) could reuse its
+    // freed block and inherit already-translated paragraphs, making
+    // the metrics depend on host heap history.
     const std::size_t half = std::min(a.cols, cap);
     qz.qzconf(half, a.cols > half ? a.cols - half : 0,
               genomics::ElementSize::Bits64);
-    std::vector<std::uint64_t> seg0(
+    const std::vector<std::uint64_t> seg0(
         reinterpret_cast<const std::uint64_t *>(x.data()),
         reinterpret_cast<const std::uint64_t *>(x.data()) + half);
     qz.stageWords64(accel::QzSel::Buf0, seg0);
+    std::vector<std::uint64_t> seg1;
     if (a.cols > half) {
-        std::vector<std::uint64_t> seg1(
+        seg1.assign(
             reinterpret_cast<const std::uint64_t *>(x.data()) + half,
             reinterpret_cast<const std::uint64_t *>(x.data()) + a.cols);
         qz.stageWords64(accel::QzSel::Buf1, seg1);
@@ -202,22 +208,17 @@ spmv(Variant variant, const CsrMatrix &matrix,
     fatal_if(x.size() != matrix.cols,
              "dense vector length {} != matrix cols {}", x.size(),
              matrix.cols);
-    switch (variant) {
-      case Variant::Ref:
+    // Cell dispatch lives in the workload registry; this maps only
+    // the variant axis (Qz and QzC share the QBUFFER implementation).
+    if (variant == Variant::Ref)
         return spmvRef(matrix, x);
-      case Variant::Base:
-        panic_if_not(vpu != nullptr, "Base SpMV needs a VPU");
+    panic_if_not(vpu != nullptr, "timed SpMV needs a VPU");
+    if (variant == Variant::Base)
         return spmvBase(matrix, x, *vpu);
-      case Variant::Vec:
-        panic_if_not(vpu != nullptr, "Vec SpMV needs a VPU");
+    if (variant == Variant::Vec)
         return spmvVec(matrix, x, *vpu);
-      case Variant::Qz:
-      case Variant::QzC:
-        panic_if_not(vpu != nullptr && qz != nullptr,
-                     "Qz SpMV needs a VPU and a QzUnit");
-        return spmvQz(matrix, x, *vpu, *qz);
-    }
-    panic("unknown Variant");
+    panic_if_not(qz != nullptr, "Qz SpMV needs a QzUnit");
+    return spmvQz(matrix, x, *vpu, *qz);
 }
 
 } // namespace quetzal::kernels

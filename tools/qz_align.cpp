@@ -8,10 +8,12 @@
  *   qz-align long_pairs.txt --window 30000      # tiled ultra-long
  *   qz-align pairs.txt --threads 8              # shard across workers
  */
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
 
+#include "algos/batch.hpp"
 #include "algos/biwfa.hpp"
 #include "algos/wfa_affine.hpp"
 #include "algos/nw.hpp"
@@ -21,6 +23,7 @@
 #include "algos/tiled.hpp"
 #include "algos/wfa.hpp"
 #include "algos/wfa_engine.hpp"
+#include "algos/workload.hpp"
 #include "cli_common.hpp"
 #include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
@@ -70,6 +73,10 @@ main(int argc, char **argv)
 {
     try {
         const cli::Args args(argc, argv);
+        if (args.has("list")) {
+            std::cout << algos::workloadListing();
+            return 0;
+        }
         if (args.has("help") || args.positional().empty()) {
             std::cout
                 << "qz-align PAIRFILE [options]\n"
@@ -82,10 +89,14 @@ main(int argc, char **argv)
                    "  --lag N        adaptive wavefront reduction "
                    "(WFA heuristic)\n"
                    "  --sam FILE     write alignments as SAM\n"
-                   "  --threads N    shard pairs across N simulated "
+                   "  --threads N    split pairs across N simulated "
                    "cores (default 1)\n"
+                   "  --shard K/N    align only pairs with index % N "
+                   "== K-1 (multi-process runs)\n"
+                   "  --list         print the registered workloads "
+                   "and exit\n"
                    "  --json         print an instruction profile as "
-                   "JSON (one per shard)\n";
+                   "JSON (one per worker)\n";
             return args.has("help") ? 0 : 2;
         }
 
@@ -105,9 +116,23 @@ main(int argc, char **argv)
                                : genomics::ElementSize::Bits2;
         const long threadsOpt = args.getInt("threads", 1);
         fatal_if(threadsOpt < 1, "--threads must be at least 1");
-        const unsigned threads = static_cast<unsigned>(
-            std::min<std::size_t>(static_cast<std::size_t>(threadsOpt),
-                                  pairs.size()));
+
+        // --shard K/N: this process owns every pair whose index i
+        // satisfies i % N == K-1 (same round-robin partitioning as the
+        // batch engine's QZ_BENCH_SHARD, so a sweep can be split
+        // across machines deterministically).
+        const std::optional<algos::ShardSpec> shard =
+            algos::parseShardSpec(args.get("shard", ""));
+        std::vector<std::size_t> ownedPairs;
+        for (std::size_t i = 0; i < pairs.size(); ++i)
+            if (!shard || shard->owns(i))
+                ownedPairs.push_back(i);
+
+        const unsigned threads = static_cast<unsigned>(std::max<
+            std::size_t>(
+            1, std::min<std::size_t>(
+                   static_cast<std::size_t>(threadsOpt),
+                   ownedPairs.size())));
 
         // Align pair @p i on @p rig (each worker owns its rig).
         auto alignPair = [&](ShardRig &rig,
@@ -166,7 +191,7 @@ main(int argc, char **argv)
             fatal("unknown algorithm '{}'", algo);
         };
 
-        // Shard the pair list into contiguous ranges, one simulated
+        // Split the owned pairs into contiguous ranges, one simulated
         // core per worker; per-pair results keep their input index so
         // output order (and the --threads 1 output itself) is
         // identical to a serial run. A failing pair is recorded and
@@ -177,15 +202,16 @@ main(int argc, char **argv)
                                   : genomics::AlphabetKind::Dna;
         std::vector<algos::AlignResult> results(pairs.size());
         std::vector<std::string> pairErrors(pairs.size());
-        std::vector<ShardStats> shards(threads);
-        const std::size_t perShard =
-            (pairs.size() + threads - 1) / threads;
+        std::vector<ShardStats> workers(threads);
+        const std::size_t perWorker =
+            (ownedPairs.size() + threads - 1) / threads;
         parallelFor(threads, threads, [&](std::size_t s) {
-            const std::size_t lo = s * perShard;
+            const std::size_t lo = s * perWorker;
             const std::size_t hi =
-                std::min(pairs.size(), lo + perShard);
+                std::min(ownedPairs.size(), lo + perWorker);
             ShardRig rig(variant);
-            for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t j = lo; j < hi; ++j) {
+                const std::size_t i = ownedPairs[j];
                 rig.core.mem().newEpoch();
                 try {
                     genomics::validatePair(pairs[i], alphabet, i,
@@ -195,10 +221,11 @@ main(int argc, char **argv)
                     pairErrors[i] = e.what();
                 }
             }
-            shards[s].cycles = rig.core.pipeline().totalCycles();
-            shards[s].instructions = rig.core.pipeline().instructions();
-            shards[s].memRequests = rig.core.mem().totalRequests();
-            shards[s].profileJson =
+            workers[s].cycles = rig.core.pipeline().totalCycles();
+            workers[s].instructions =
+                rig.core.pipeline().instructions();
+            workers[s].memRequests = rig.core.mem().totalRequests();
+            workers[s].profileJson =
                 algos::instructionProfileJson(rig.core.pipeline());
         });
 
@@ -213,7 +240,7 @@ main(int argc, char **argv)
 
         std::int64_t totalScore = 0;
         std::size_t failedPairs = 0;
-        for (std::size_t i = 0; i < pairs.size(); ++i) {
+        for (const std::size_t i : ownedPairs) {
             if (!pairErrors[i].empty()) {
                 ++failedPairs;
                 std::cout << "pair " << i << ": FAILED ("
@@ -241,13 +268,18 @@ main(int argc, char **argv)
         }
 
         std::uint64_t cycles = 0, instructions = 0, memRequests = 0;
-        for (const auto &shard : shards) {
-            cycles += shard.cycles;
-            instructions += shard.instructions;
-            memRequests += shard.memRequests;
+        for (const auto &worker : workers) {
+            cycles += worker.cycles;
+            instructions += worker.instructions;
+            memRequests += worker.memRequests;
         }
-        std::cout << "\naligned " << (pairs.size() - failedPairs)
-                  << " / " << pairs.size() << " pairs, total "
+        std::cout << "\n";
+        if (shard)
+            std::cout << "shard " << algos::shardName(*shard) << ": "
+                      << ownedPairs.size() << " of " << pairs.size()
+                      << " pair(s) owned\n";
+        std::cout << "aligned " << (ownedPairs.size() - failedPairs)
+                  << " / " << ownedPairs.size() << " pairs, total "
                   << (algo == "sw" ? "alignment score " : "edits ")
                   << totalScore << "\n"
                   << "simulated cycles: " << cycles << " ("
@@ -259,18 +291,18 @@ main(int argc, char **argv)
         std::cout << ")\n";
         if (args.has("json")) {
             if (threads == 1) {
-                std::cout << shards.front().profileJson << "\n";
+                std::cout << workers.front().profileJson << "\n";
             } else {
                 std::cout << "[";
-                for (std::size_t s = 0; s < shards.size(); ++s)
+                for (std::size_t s = 0; s < workers.size(); ++s)
                     std::cout << (s ? "," : "")
-                              << shards[s].profileJson;
+                              << workers[s].profileJson;
                 std::cout << "]\n";
             }
         }
         if (failedPairs > 0) {
             std::cerr << "error: " << failedPairs << " of "
-                      << pairs.size()
+                      << ownedPairs.size()
                       << " pair(s) failed (see FAILED lines above)\n";
             return 1;
         }

@@ -6,12 +6,15 @@
  *   qz-filter pairs.txt --variant vec --accepted kept.txt
  *   qz-filter pairs.txt --threads 8    # shard across workers
  */
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
 
+#include "algos/batch.hpp"
 #include "algos/shouji.hpp"
 #include "algos/sneakysnake.hpp"
+#include "algos/workload.hpp"
 #include "cli_common.hpp"
 #include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
@@ -26,6 +29,10 @@ main(int argc, char **argv)
     using algos::Variant;
     try {
         const cli::Args args(argc, argv);
+        if (args.has("list")) {
+            std::cout << algos::workloadListing();
+            return 0;
+        }
         if (args.has("help") || args.positional().empty()) {
             std::cout
                 << "qz-filter PAIRFILE [options]\n"
@@ -35,8 +42,12 @@ main(int argc, char **argv)
                    "  --filter F      sneakysnake|shouji (default "
                    "sneakysnake)\n"
                    "  --accepted F    write accepted pairs to F\n"
-                   "  --threads N     shard pairs across N simulated "
+                   "  --threads N     split pairs across N simulated "
                    "cores (default 1)\n"
+                   "  --shard K/N     filter only pairs with index % N "
+                   "== K-1 (multi-process runs)\n"
+                   "  --list          print the registered workloads "
+                   "and exit\n"
                    "  --verbose       per-pair verdicts\n";
             return args.has("help") ? 0 : 2;
         }
@@ -52,9 +63,21 @@ main(int argc, char **argv)
         const bool useShouji = args.get("filter") == "shouji";
         const long threadsOpt = args.getInt("threads", 1);
         fatal_if(threadsOpt < 1, "--threads must be at least 1");
-        const unsigned threads = static_cast<unsigned>(
-            std::min<std::size_t>(static_cast<std::size_t>(threadsOpt),
-                                  pairs.size()));
+
+        // --shard K/N: same round-robin pair ownership as qz-align
+        // and the batch engine's QZ_BENCH_SHARD.
+        const std::optional<algos::ShardSpec> shard =
+            algos::parseShardSpec(args.get("shard", ""));
+        std::vector<std::size_t> ownedPairs;
+        for (std::size_t i = 0; i < pairs.size(); ++i)
+            if (!shard || shard->owns(i))
+                ownedPairs.push_back(i);
+
+        const unsigned threads = static_cast<unsigned>(std::max<
+            std::size_t>(
+            1, std::min<std::size_t>(
+                   static_cast<std::size_t>(threadsOpt),
+                   ownedPairs.size())));
 
         struct Verdict
         {
@@ -64,17 +87,18 @@ main(int argc, char **argv)
         };
         std::vector<Verdict> verdicts(pairs.size());
         std::vector<std::string> pairErrors(pairs.size());
-        std::vector<std::uint64_t> shardCycles(threads, 0);
+        std::vector<std::uint64_t> workerCycles(threads, 0);
 
-        // Contiguous shards, one fresh simulated core per worker;
-        // verdicts keep their pair index so the report (and the
-        // --threads 1 output itself) matches the serial run.
-        const std::size_t perShard =
-            (pairs.size() + threads - 1) / threads;
+        // Contiguous ranges of the owned pairs, one fresh simulated
+        // core per worker; verdicts keep their pair index so the
+        // report (and the --threads 1 output itself) matches the
+        // serial run.
+        const std::size_t perWorker =
+            (ownedPairs.size() + threads - 1) / threads;
         parallelFor(threads, threads, [&](std::size_t s) {
-            const std::size_t lo = s * perShard;
+            const std::size_t lo = s * perWorker;
             const std::size_t hi =
-                std::min(pairs.size(), lo + perShard);
+                std::min(ownedPairs.size(), lo + perWorker);
             sim::SimContext core(algos::needsQuetzal(variant)
                                      ? sim::SystemParams::withQuetzal()
                                      : sim::SystemParams::baseline());
@@ -87,7 +111,8 @@ main(int argc, char **argv)
 
             // A failing pair is recorded and filtered out (rejected);
             // the remaining pairs still get verdicts.
-            for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t j = lo; j < hi; ++j) {
+                const std::size_t i = ownedPairs[j];
                 core.mem().newEpoch();
                 Verdict &v = verdicts[i];
                 try {
@@ -119,12 +144,12 @@ main(int argc, char **argv)
                     v.ok = false;
                 }
             }
-            shardCycles[s] = core.pipeline().totalCycles();
+            workerCycles[s] = core.pipeline().totalCycles();
         });
 
         std::vector<genomics::SequencePair> accepted;
         std::size_t failedPairs = 0;
-        for (std::size_t i = 0; i < pairs.size(); ++i) {
+        for (const std::size_t i : ownedPairs) {
             const Verdict &v = verdicts[i];
             if (!pairErrors[i].empty()) {
                 ++failedPairs;
@@ -142,10 +167,14 @@ main(int argc, char **argv)
         }
 
         std::uint64_t cycles = 0;
-        for (const auto c : shardCycles)
+        for (const auto c : workerCycles)
             cycles += c;
+        if (shard)
+            std::cout << "shard " << algos::shardName(*shard) << ": "
+                      << ownedPairs.size() << " of " << pairs.size()
+                      << " pair(s) owned\n";
         std::cout << "accepted " << accepted.size() << " / "
-                  << pairs.size() << " pairs (" << cycles
+                  << ownedPairs.size() << " pairs (" << cycles
                   << " simulated cycles";
         if (threads > 1)
             std::cout << " summed over " << threads
@@ -161,7 +190,7 @@ main(int argc, char **argv)
         }
         if (failedPairs > 0) {
             std::cerr << "error: " << failedPairs << " of "
-                      << pairs.size()
+                      << ownedPairs.size()
                       << " pair(s) failed (see FAILED lines above)\n";
             return 1;
         }
