@@ -23,6 +23,11 @@
  *                     byte-identically (docs/SIMULATOR.md)
  *  - QZ_BENCH_LIST    =1: print every registered workload with its
  *                     variants/datasets and exit
+ *  - QZ_BENCH_HOSTPERF =1: record host wall-clock per cell into the
+ *                     JSON report ("host_ns" on each result). Off by
+ *                     default so reports stay byte-identical across
+ *                     machines and serial/parallel/sharded runs
+ *                     (docs/SIMULATOR.md, "Host performance")
  */
 #ifndef QUETZAL_BENCH_BENCH_COMMON_HPP
 #define QUETZAL_BENCH_BENCH_COMMON_HPP

@@ -61,6 +61,13 @@ shardName(const ShardSpec &shard)
     return qformat("{}/{}", shard.index, shard.count);
 }
 
+bool
+hostPerfFromEnv()
+{
+    const char *env = std::getenv("QZ_BENCH_HOSTPERF");
+    return env && *env && std::string_view(env) != "0";
+}
+
 namespace {
 
 /**
@@ -213,8 +220,21 @@ BatchRunner::run()
                     if (fire)
                         throwInjectedFault(*policy_.inject);
                 }
+                // Host wall-clock is measured right around the
+                // simulation and only when asked for: the timestamp
+                // never influences control flow, so simulated metrics
+                // are identical with it on or off.
+                const auto started =
+                    hostPerf_ ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
                 RunResult result =
                     cell.workload->run(*cell.dataset, cell.options);
+                if (hostPerf_)
+                    result.hostNanos = static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - started)
+                            .count());
                 {
                     std::lock_guard<std::mutex> lock(recordMutex);
                     retries += attempt - 1;

@@ -58,6 +58,10 @@ class StatGroup
      * registration falls back to the name as description; a later
      * registration that does carry a description wins, so the order
      * components first touch a shared counter doesn't lose it.
+     *
+     * This is a string-keyed map lookup — call it at construction
+     * and cache the returned Stat& (as memsystem/cache/prefetcher
+     * do), never inside a per-access or per-lane loop.
      */
     Stat &
     stat(const std::string &name, const std::string &desc = "")

@@ -15,89 +15,97 @@ Cache::Cache(std::string name, const CacheParams &params)
     fatal_if(lines % params.associativity != 0,
              "cache size {} not divisible into {}-way sets",
              params.sizeBytes, params.associativity);
+    fatal_if(params.associativity > 255,
+             "associativity {} exceeds the per-set occupancy counter",
+             params.associativity);
     numSets_ = lines / params.associativity;
-    ways_.resize(lines);
+    tags_.resize(lines);
+    valid_.resize(numSets_, 0);
     hits_ = &stats_.stat("hits", "demand accesses that hit");
     misses_ = &stats_.stat("misses", "demand accesses that missed");
 }
 
-Cache::Way *
-Cache::find(std::uint64_t line)
+unsigned
+Cache::touch(std::size_t set, std::uint64_t line)
 {
-    const std::size_t set = setOf(line);
-    for (unsigned w = 0; w < params_.associativity; ++w) {
-        Way &way = ways_[set * params_.associativity + w];
-        if (way.valid && way.tag == line)
-            return &way;
+    std::uint64_t *tags = tags_.data() + set * params_.associativity;
+    const unsigned count = valid_[set];
+    // MRU fast path: the line touched last dominates the access stream
+    // (sequential scans, the paragraph walk in MemorySystem::access,
+    // gather bursts over one table), and it needs no reordering.
+    if (count > 0 && tags[0] == line)
+        return 0;
+    for (unsigned i = 1; i < count; ++i) {
+        if (tags[i] == line) {
+            // Rotate [0, i] right by one: the hit line moves to the
+            // MRU slot, everything more recent ages by one place.
+            for (unsigned j = i; j > 0; --j)
+                tags[j] = tags[j - 1];
+            tags[0] = line;
+            return i;
+        }
     }
-    return nullptr;
+    return kMiss;
 }
 
-const Cache::Way *
-Cache::find(std::uint64_t line) const
+void
+Cache::insert(std::size_t set, std::uint64_t line)
 {
-    return const_cast<Cache *>(this)->find(line);
-}
-
-Cache::Way &
-Cache::victim(std::uint64_t line)
-{
-    const std::size_t set = setOf(line);
-    Way *lru = &ways_[set * params_.associativity];
-    for (unsigned w = 0; w < params_.associativity; ++w) {
-        Way &way = ways_[set * params_.associativity + w];
-        if (!way.valid)
-            return way;
-        if (way.lastUse < lru->lastUse)
-            lru = &way;
-    }
-    return *lru;
+    std::uint64_t *tags = tags_.data() + set * params_.associativity;
+    unsigned count = valid_[set];
+    if (count < params_.associativity)
+        valid_[set] = static_cast<std::uint8_t>(++count);
+    // Shift the survivors down one recency place; when the set was
+    // full the LRU tag falls off the end — O(1) victim selection, and
+    // the same line timestamp-LRU would have evicted.
+    for (unsigned j = count - 1; j > 0; --j)
+        tags[j] = tags[j - 1];
+    tags[0] = line;
 }
 
 bool
 Cache::access(Addr addr)
 {
-    ++useClock_;
     const std::uint64_t line = lineOf(addr);
-    if (Way *way = find(line)) {
-        way->lastUse = useClock_;
+    const std::size_t set = setOf(line);
+    if (touch(set, line) != kMiss) {
         ++*hits_;
         return true;
     }
     ++*misses_;
-    Way &way = victim(line);
-    way.valid = true;
-    way.tag = line;
-    way.lastUse = useClock_;
+    insert(set, line);
     return false;
 }
 
 bool
 Cache::contains(Addr addr) const
 {
-    return find(lineOf(addr)) != nullptr;
+    const std::uint64_t line = lineOf(addr);
+    const std::size_t set = setOf(line);
+    const std::uint64_t *tags =
+        tags_.data() + set * params_.associativity;
+    const unsigned count = valid_[set];
+    for (unsigned i = 0; i < count; ++i)
+        if (tags[i] == line)
+            return true;
+    return false;
 }
 
 void
 Cache::fill(Addr addr)
 {
-    ++useClock_;
     const std::uint64_t line = lineOf(addr);
-    if (Way *way = find(line)) {
-        way->lastUse = useClock_;
-        return;
-    }
-    Way &way = victim(line);
-    way.valid = true;
-    way.tag = line;
-    way.lastUse = useClock_;
+    const std::size_t set = setOf(line);
+    if (touch(set, line) != kMiss)
+        return; // already resident; the touch refreshed its recency
+    insert(set, line);
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &way : ways_)
-        way.valid = false;
+    for (auto &count : valid_)
+        count = 0;
 }
 
 } // namespace quetzal::sim

@@ -1,11 +1,22 @@
 /**
  * @file
- * Tag-only set-associative cache timing model with LRU replacement.
+ * Tag-only set-associative cache timing model with exact LRU
+ * replacement.
  *
  * Functional data lives in host memory (the algorithms operate on their
  * real arrays); the cache model only tracks which lines would be
  * resident, gem5-classic style, so timing and functional state stay
  * decoupled.
+ *
+ * LRU is implemented as an intrusively MRU-ordered per-set way list
+ * instead of per-way timestamps: victim selection is O(1) (the list
+ * tail), the tag array is contiguous per set for the probe scan, and
+ * re-touching the MRU line — the overwhelmingly common case on the
+ * simulator hot path — is a single compare with no set walk. The
+ * replacement decisions are bit-identical to scanning 8-byte
+ * timestamps (tests/test_sim.cpp, ExactLruEquivalence, drives both
+ * policies with a randomized trace and asserts identical hit/miss/
+ * eviction sequences).
  */
 #ifndef QUETZAL_SIM_CACHE_HPP
 #define QUETZAL_SIM_CACHE_HPP
@@ -55,27 +66,39 @@ class Cache
     StatGroup &stats() { return stats_; }
 
   private:
-    struct Way
-    {
-        Addr tag = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
-
     std::uint64_t lineOf(Addr addr) const { return addr / params_.lineBytes; }
     std::size_t setOf(std::uint64_t line) const { return line % numSets_; }
 
-    /** Find the way holding @p line in its set, or nullptr. */
-    Way *find(std::uint64_t line);
-    const Way *find(std::uint64_t line) const;
+    /**
+     * Probe the set for @p line and, on a hit, rotate it to the MRU
+     * slot. @return the pre-rotation MRU position, or kMiss.
+     */
+    unsigned touch(std::size_t set, std::uint64_t line);
 
-    /** Victim selection: invalid way first, else LRU. */
-    Way &victim(std::uint64_t line);
+    /**
+     * Insert @p line at the MRU slot of @p set after a probe miss.
+     * While the set has unfilled ways the occupancy grows (matching
+     * timestamp-LRU's first-invalid-way victim choice); once full, the
+     * LRU slot — the set's last valid entry — falls off the end.
+     */
+    void insert(std::size_t set, std::uint64_t line);
+
+    static constexpr unsigned kMiss = ~0u;
 
     CacheParams params_;
     std::size_t numSets_;
-    std::vector<Way> ways_;       //!< numSets_ x associativity
-    std::uint64_t useClock_ = 0;  //!< LRU timestamp source
+
+    /**
+     * Line tags, numSets_ x associativity, each set's tags contiguous
+     * and kept in MRU->LRU order: tags_[set*assoc] is the set's MRU
+     * line and tags_[set*assoc + valid_[set] - 1] its LRU (= victim).
+     * Re-touching the MRU line is therefore a single compare, probes
+     * scan forward over recency-sorted tags, and victim selection
+     * reads the last valid slot.
+     */
+    std::vector<std::uint64_t> tags_;
+    /** Valid (resident) lines per set. */
+    std::vector<std::uint8_t> valid_;
 
     StatGroup stats_;
     Stat *hits_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.hpp"
+
 namespace quetzal::sim {
 
 MemorySystem::MemorySystem(const SystemParams &params)
@@ -13,22 +15,91 @@ MemorySystem::MemorySystem(const SystemParams &params)
     dramRequests_ = &stats_.stat("dram_requests",
                                  "requests that reached DRAM");
     dramBytes_ = &stats_.stat("dram_bytes", "bytes fetched from DRAM");
+    translateFast_ = &stats_.stat(
+        "translate_fast", "translations served by the MRU entry");
+    directory_.resize(64, nullptr);
 }
 
 namespace {
-/** malloc's alignment guarantee: host offsets below this granularity
- *  are deterministic, everything above is normalized away. */
-constexpr Addr kParagraphBytes = 16;
+
+/** Finalizer-style mix (splitmix64) for the chunk directory. */
+inline std::uint64_t
+mixChunkIndex(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
 } // namespace
+
+void
+MemorySystem::growDirectory()
+{
+    std::vector<Chunk *> grown(directory_.size() * 2, nullptr);
+    const std::size_t mask = grown.size() - 1;
+    for (const auto &chunk : chunks_) {
+        std::size_t slot = mixChunkIndex(chunk->base) & mask;
+        while (grown[slot] != nullptr)
+            slot = (slot + 1) & mask;
+        grown[slot] = chunk.get();
+    }
+    directory_ = std::move(grown);
+}
+
+MemorySystem::Chunk *
+MemorySystem::chunkFor(Addr chunkIdx)
+{
+    if (mruChunk_ != nullptr && mruChunk_->base == chunkIdx)
+        return mruChunk_;
+    const std::size_t mask = directory_.size() - 1;
+    std::size_t slot = mixChunkIndex(chunkIdx) & mask;
+    while (Chunk *c = directory_[slot]) {
+        if (c->base == chunkIdx) {
+            mruChunk_ = c;
+            return c;
+        }
+        slot = (slot + 1) & mask;
+    }
+    // First host access anywhere in this 16 KB span: allocate the
+    // chunk (zero stamps = every entry stale) and publish it.
+    auto owned = std::make_unique<Chunk>();
+    owned->base = chunkIdx;
+    Chunk *c = owned.get();
+    chunks_.push_back(std::move(owned));
+    directory_[slot] = c;
+    if (++directoryUsed_ * 4 >= directory_.size() * 3)
+        growDirectory();
+    mruChunk_ = c;
+    return c;
+}
 
 Addr
 MemorySystem::translate(Addr hostAddr)
 {
-    const auto [it, inserted] = paragraphMap_.try_emplace(
-        hostAddr / kParagraphBytes, nextParagraph_);
-    if (inserted)
-        ++nextParagraph_;
-    return it->second * kParagraphBytes + hostAddr % kParagraphBytes;
+    const Addr par = hostAddr / kParagraphBytes;
+    const Addr offset = hostAddr % kParagraphBytes;
+    // MRU translation cache: sequential streams re-touch the same
+    // paragraph for (up to) 16 consecutive byte addresses, and a
+    // gather burst over one table stays within a paragraph run.
+    if (par == mruPar_ && mruStamp_ == epoch_) {
+        ++*translateFast_;
+        return mruSimPar_ * kParagraphBytes + offset;
+    }
+    Chunk *chunk = chunkFor(par >> kChunkShift);
+    const std::size_t idx = par & (kChunkParagraphs - 1);
+    // First touch this epoch: hand out the next simulated paragraph,
+    // exactly as the retired hash map's try_emplace did. The stamp
+    // compare replaces membership in the per-epoch map.
+    if (chunk->stamp[idx] != epoch_) {
+        chunk->stamp[idx] = epoch_;
+        chunk->simPar[idx] = nextParagraph_++;
+    }
+    mruPar_ = par;
+    mruSimPar_ = chunk->simPar[idx];
+    mruStamp_ = epoch_;
+    return mruSimPar_ * kParagraphBytes + offset;
 }
 
 unsigned
@@ -80,6 +151,22 @@ MemorySystem::access(std::uint64_t pc, Addr addr, unsigned bytes,
         }
     }
     return worst;
+}
+
+void
+MemorySystem::accessVector(std::uint64_t pc, std::span<const Addr> addrs,
+                           unsigned elemBytes, bool write,
+                           std::span<unsigned> latencies)
+{
+    fatal_if(latencies.size() < addrs.size(),
+             "accessVector latency span ({}) shorter than lane count ({})",
+             latencies.size(), addrs.size());
+    // Lane order is the element-serial order executeIndexed used when
+    // it called access() per lane, so demand counts, prefetcher
+    // training, and recency updates are bit-identical; batching only
+    // keeps the translation/MRU fast paths warm across the burst.
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        latencies[i] = access(pc, addrs[i], elemBytes, write);
 }
 
 } // namespace quetzal::sim

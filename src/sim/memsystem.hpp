@@ -6,13 +6,26 @@
  * Returns load-to-use latencies for timing and counts requests and DRAM
  * traffic; DRAM byte counts feed the multicore bandwidth-contention
  * model (Fig. 13b) and the memory-request-reduction results (Fig. 14a).
+ *
+ * Address translation — the per-paragraph host->simulated mapping every
+ * access walks — is a two-level flat page table (a small open-addressed
+ * chunk directory over flat per-chunk arrays) fronted by a one-entry
+ * MRU translation cache, instead of a per-paragraph hash map: the
+ * sequential streams the genomics kernels generate resolve almost every
+ * paragraph in O(1) with no hashing, and epoch invalidation is a stamp
+ * bump instead of a rehash-churning clear(). Simulated metrics are
+ * unaffected by construction: the first-touch assignment order, and
+ * therefore every simulated address, is identical (docs/SIMULATOR.md,
+ * "Host performance").
  */
 #ifndef QUETZAL_SIM_MEMSYSTEM_HPP
 #define QUETZAL_SIM_MEMSYSTEM_HPP
 
+#include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <span>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "sim/cache.hpp"
@@ -38,6 +51,20 @@ class MemorySystem
      */
     unsigned access(std::uint64_t pc, Addr addr, unsigned bytes,
                     bool write);
+
+    /**
+     * Batched indexed access: translate and probe every lane of a
+     * gather/scatter burst in one pass. Element i's latency lands in
+     * latencies[i]. The elements are processed in lane order with the
+     * exact per-element semantics of access() — same demand counts,
+     * same prefetcher observations, same recency updates — so cycles
+     * and stats are bit-identical to element-serial access() calls;
+     * the burst just keeps the translation and MRU-way fast paths hot
+     * across lanes instead of re-entering them per element.
+     */
+    void accessVector(std::uint64_t pc, std::span<const Addr> addrs,
+                      unsigned elemBytes, bool write,
+                      std::span<unsigned> latencies);
 
     /** Total demand requests sent to the L1 (the Fig. 14a numerator). */
     std::uint64_t totalRequests() const { return requests_->value(); }
@@ -66,11 +93,15 @@ class MemorySystem
      * whether the host allocator recycles one item's buffers for the
      * next depends on allocator state the simulation must not observe,
      * so recycled memory is remapped fresh instead.
+     *
+     * O(1): entries carry the epoch that stamped them, so bumping the
+     * epoch invalidates every assignment at once — no table clear, no
+     * rehash churn on the next pair's first touches.
      */
     void
     newEpoch()
     {
-        paragraphMap_.clear();
+        ++epoch_;
     }
 
     /** Bytes transferred from DRAM (for bandwidth contention). */
@@ -84,6 +115,30 @@ class MemorySystem
     StatGroup &stats() { return stats_; }
 
   private:
+    /** Translation granularity: malloc's 16-byte alignment guarantee. */
+    static constexpr Addr kParagraphBytes = 16;
+    /** log2(paragraphs per chunk): 1024 paragraphs = 16 KB of host. */
+    static constexpr unsigned kChunkShift = 10;
+    static constexpr std::size_t kChunkParagraphs =
+        std::size_t{1} << kChunkShift;
+
+    /**
+     * Second translation level: the assignments for one aligned run
+     * of kChunkParagraphs host paragraphs, as flat arrays indexed by
+     * the paragraph's offset within the chunk. An entry is live only
+     * when its stamp equals the current epoch.
+     */
+    struct Chunk
+    {
+        Addr base = 0; //!< host paragraph index >> kChunkShift
+        std::array<std::uint64_t, kChunkParagraphs> stamp{};
+        std::array<Addr, kChunkParagraphs> simPar{};
+    };
+
+    /** Directory lookup (first level); creates the chunk on a miss. */
+    Chunk *chunkFor(Addr chunkIdx);
+    void growDirectory();
+
     unsigned accessLine(std::uint64_t pc, Addr addr);
 
     SystemParams params_;
@@ -91,15 +146,27 @@ class MemorySystem
     Cache l2_;
     StridePrefetcher l1Prefetcher_;
 
-    /** First-touch map: host paragraph -> simulated paragraph. */
-    std::unordered_map<Addr, Addr> paragraphMap_;
+    /** Owning store of every allocated chunk. */
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    /** Open-addressed chunk directory (power-of-two, linear probing). */
+    std::vector<Chunk *> directory_;
+    std::size_t directoryUsed_ = 0;
+
+    /** One-entry MRU caches: last chunk, last paragraph translated. */
+    Chunk *mruChunk_ = nullptr;
+    Addr mruPar_ = 0;
+    Addr mruSimPar_ = 0;
+    std::uint64_t mruStamp_ = 0; //!< epoch mruPar_/mruSimPar_ belong to
+
     Addr nextParagraph_ = 1;
+    std::uint64_t epoch_ = 1; //!< current stamp; 0 marks never-assigned
 
     StatGroup stats_;
     Stat *requests_;
     Stat *l2Requests_;
     Stat *dramRequests_;
     Stat *dramBytes_;
+    Stat *translateFast_;
 };
 
 } // namespace quetzal::sim

@@ -249,14 +249,12 @@ Pipeline::executeIndexed(OpClass cls, std::uint64_t pc,
     // entry until the instruction completes.
     unitOccupy(aguPipes_, issue, addrs.size());
 
-    Cycle worst = issue;
     const bool write = cls == OpClass::VecScatter;
-    for (std::size_t i = 0; i < addrs.size(); ++i) {
-        const Cycle aguCycle = issue + i;
-        const unsigned latency = mem_.access(pc, addrs[i], elemBytes,
-                                             write);
-        worst = std::max(worst, aguCycle + latency);
-    }
+    laneLatencies_.resize(addrs.size());
+    mem_.accessVector(pc, addrs, elemBytes, write, laneLatencies_);
+    Cycle worst = issue;
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        worst = std::max(worst, issue + i + laneLatencies_[i]);
     Cycle completion = std::max(worst, issue + core.gatherMinLatency);
     Cycle lsqDone = 0;
     if (write) {

@@ -212,6 +212,10 @@ class Pipeline
     std::deque<RobEntry> rob_;
     std::deque<Cycle> lsq_;
 
+    /** Scratch lane-latency buffer for executeIndexed (reused across
+     *  bursts so gathers do not allocate per instruction). */
+    std::vector<unsigned> laneLatencies_;
+
     Cycle maxCompletion_ = 0;
     bool maxCompletionFromMem_ = false;
 

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Golden-metrics regression: the tiny perf-matrix sweep's BenchReport
+ * JSON must be byte-identical to the snapshot in tests/data/ —
+ * pinning every simulated metric (cycles, instructions, requests,
+ * DRAM bytes, scores, stall breakdowns) against drift from host-side
+ * optimization work. Host wall-clock fields are excluded by
+ * construction: they are only serialized when recorded, and this
+ * sweep never records them.
+ *
+ * Regenerate deliberately with QZ_UPDATE_GOLDEN=1 after a change that
+ * is *supposed* to alter simulated behavior, and say why in the PR.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "algos/batch.hpp"
+#include "algos/report.hpp"
+#include "../tools/perf_matrix.hpp"
+
+namespace quetzal {
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(QZ_TESTS_DATA_DIR) + "/golden_cells.json";
+}
+
+/** The exact bytes `qz-perf --tiny --metrics` writes (sans newline). */
+std::string
+tinyMatrixReportJson()
+{
+    algos::BatchRunner runner(1);
+    // The golden bytes must not depend on ambient QZ_* configuration.
+    runner.setShard(std::nullopt);
+    runner.setFaultInjection(std::nullopt);
+    runner.setHostPerf(false);
+    const std::size_t cells =
+        perf::addPerfMatrix(runner, perf::kTinyScale, /*tiny=*/true);
+    EXPECT_EQ(cells, 12u);
+    const algos::BatchOutcome outcome = runner.run();
+    EXPECT_TRUE(outcome.ok());
+    return algos::toJson(algos::makeBenchReport(
+        "qz-perf", perf::kTinyScale, 1, outcome));
+}
+
+TEST(GoldenMetrics, TinyMatrixIsByteIdenticalToSnapshot)
+{
+    const std::string json = tinyMatrixReportJson();
+
+    if (const char *update = std::getenv("QZ_UPDATE_GOLDEN");
+        update && *update && std::string_view(update) != "0") {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << json << "\n";
+        GTEST_SKIP() << "golden snapshot regenerated at "
+                     << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden snapshot " << goldenPath()
+                    << " (generate with QZ_UPDATE_GOLDEN=1)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), json + "\n")
+        << "simulated metrics drifted from tests/data/"
+           "golden_cells.json; if the change is intentional, "
+           "regenerate with QZ_UPDATE_GOLDEN=1 and explain why";
+}
+
+TEST(GoldenMetrics, HostTimingStaysOutOfDefaultReports)
+{
+    // The serializer must keep wall-clock out of untimed results (the
+    // byte-identity above, CI's shard-merge diff, and checkpoint
+    // replay all depend on it) and include it once recorded.
+    algos::RunResult result;
+    result.algo = "WFA";
+    result.variant = "BASE";
+    result.dataset = "d";
+    EXPECT_EQ(algos::toJson(result).find("host_ns"),
+              std::string::npos);
+    result.hostNanos = 123456789;
+    const std::string timed = algos::toJson(result);
+    EXPECT_NE(timed.find("\"host_ns\":123456789"), std::string::npos);
+    // And it round-trips through the checkpoint parser.
+    const auto parsed = parseJson(timed);
+    ASSERT_TRUE(parsed.has_value());
+    const auto back = algos::runResultFromJson(*parsed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->hostNanos, 123456789u);
+    EXPECT_NEAR(back->hostInstructionRate(), 0.0, 1e-12);
+}
+
+TEST(GoldenMetrics, HostRatesDeriveFromNanos)
+{
+    algos::RunResult result;
+    result.instructions = 2'000'000;
+    result.memRequests = 500'000;
+    EXPECT_EQ(result.hostInstructionRate(), 0.0);
+    EXPECT_EQ(result.hostAccessRate(), 0.0);
+    result.hostNanos = 1'000'000'000; // one second
+    EXPECT_DOUBLE_EQ(result.hostInstructionRate(), 2e6);
+    EXPECT_DOUBLE_EQ(result.hostAccessRate(), 5e5);
+}
+
+} // namespace
+} // namespace quetzal

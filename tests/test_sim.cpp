@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "common/logging.hpp"
 #include "sim/cache.hpp"
 #include "sim/context.hpp"
@@ -68,6 +70,146 @@ TEST(Cache, InvalidateAllDropsLines)
 TEST(Cache, RejectsBadGeometry)
 {
     EXPECT_THROW(Cache("c", CacheParams{1000, 3, 48, 1}), FatalError);
+}
+
+/**
+ * The retired replacement policy, kept verbatim as a reference model:
+ * per-way 8-byte timestamps, victim = first invalid way (in way-index
+ * order) else the minimum lastUse. The production Cache now keeps each
+ * set's tags in MRU order instead; this model is what it must match
+ * decision-for-decision.
+ */
+class TimestampLruModel
+{
+  public:
+    explicit TimestampLruModel(const CacheParams &params)
+        : params_(params),
+          numSets_(params.sizeBytes / params.lineBytes /
+                   params.associativity),
+          ways_(numSets_ * params.associativity)
+    {
+    }
+
+    bool
+    access(Addr addr)
+    {
+        const bool hit = touch(lineOf(addr));
+        if (hit)
+            ++hits_;
+        else
+            ++misses_;
+        return hit;
+    }
+
+    void fill(Addr addr) { touch(lineOf(addr)); }
+
+    bool
+    contains(Addr addr) const
+    {
+        const std::uint64_t line = lineOf(addr);
+        const Way *set = &ways_[(line % numSets_) *
+                                params_.associativity];
+        for (unsigned i = 0; i < params_.associativity; ++i)
+            if (set[i].valid && set[i].tag == line)
+                return true;
+        return false;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t lineOf(Addr addr) const
+    {
+        return addr / params_.lineBytes;
+    }
+
+    bool
+    touch(std::uint64_t line)
+    {
+        Way *set =
+            &ways_[(line % numSets_) * params_.associativity];
+        for (unsigned i = 0; i < params_.associativity; ++i) {
+            if (set[i].valid && set[i].tag == line) {
+                set[i].lastUse = ++useClock_;
+                return true;
+            }
+        }
+        Way *victim = nullptr;
+        for (unsigned i = 0; i < params_.associativity; ++i) {
+            if (!set[i].valid) {
+                victim = &set[i];
+                break;
+            }
+            if (!victim || set[i].lastUse < victim->lastUse)
+                victim = &set[i];
+        }
+        victim->tag = line;
+        victim->valid = true;
+        victim->lastUse = ++useClock_;
+        return false;
+    }
+
+    CacheParams params_;
+    std::size_t numSets_;
+    std::vector<Way> ways_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Proof-by-test for the MRU-list rewrite (see sim/cache.hpp): a
+ * randomized demand/fill trace must produce the identical hit/miss
+ * sequence AND the identical residency set after every step — which
+ * pins the eviction sequence too, since a divergent eviction would
+ * surface as a residency difference at that step.
+ */
+TEST(Cache, ExactLruEquivalence)
+{
+    for (const unsigned assoc : {1u, 4u, 16u}) {
+        const unsigned lineBytes = 64;
+        const std::size_t numSets = 8;
+        const CacheParams params{numSets * assoc * lineBytes, assoc,
+                                 lineBytes, 3};
+        Cache cache("equiv", params);
+        TimestampLruModel model(params);
+
+        // 3x overcommit per set forces constant eviction churn.
+        const std::uint64_t poolLines = numSets * assoc * 3;
+        std::mt19937 rng(0xC0FFEE ^ assoc);
+        std::uniform_int_distribution<std::uint64_t> pickLine(
+            0, poolLines - 1);
+        std::uniform_int_distribution<int> pickOp(0, 9);
+
+        for (int step = 0; step < 4000; ++step) {
+            const Addr addr = pickLine(rng) * lineBytes;
+            if (pickOp(rng) == 0) {
+                // Prefetch-style fill: no demand stats, same recency.
+                cache.fill(addr);
+                model.fill(addr);
+            } else {
+                ASSERT_EQ(cache.access(addr), model.access(addr))
+                    << "assoc " << assoc << " step " << step;
+            }
+            if (step % 8 == 0 || step > 3900) {
+                for (std::uint64_t l = 0; l < poolLines; ++l)
+                    ASSERT_EQ(cache.contains(l * lineBytes),
+                              model.contains(l * lineBytes))
+                        << "assoc " << assoc << " step " << step
+                        << " line " << l;
+            }
+        }
+        EXPECT_EQ(cache.hits(), model.hits());
+        EXPECT_EQ(cache.misses(), model.misses());
+    }
 }
 
 TEST(Prefetcher, TrainsOnStrideAndFillsAhead)
@@ -170,6 +312,71 @@ TEST(MemSystem, NewEpochRemapsRecycledMemory)
     mem.newEpoch();
     EXPECT_EQ(mem.access(1, 0x1000, 2 * params.l1d.lineBytes, false),
               params.dram.latencyCycles);
+}
+
+TEST(MemSystem, TranslateAssignsParagraphsInFirstTouchOrder)
+{
+    SystemParams params;
+    MemorySystem mem(params);
+    // Paragraph 1 goes to the first-touched host paragraph, 2 to the
+    // next distinct one; offsets below 16 B pass through; re-touches
+    // (including via the MRU fast path) return the same mapping.
+    EXPECT_EQ(mem.translate(0x5000), 1u * 16);
+    EXPECT_EQ(mem.translate(0x5007), 1u * 16 + 7);
+    EXPECT_EQ(mem.translate(0x9010), 2u * 16);
+    EXPECT_EQ(mem.translate(0x5008), 1u * 16 + 8);
+    // A new epoch remaps fresh, simulated space keeps advancing.
+    mem.newEpoch();
+    EXPECT_EQ(mem.translate(0x5000), 3u * 16);
+}
+
+TEST(MemSystem, TranslateSurvivesChunkDirectoryGrowth)
+{
+    // Touch paragraphs spread over far more 16 KB chunks than the
+    // directory's initial capacity, then verify every earlier mapping
+    // is still intact after the rehashes.
+    SystemParams params;
+    MemorySystem mem(params);
+    const unsigned spans = 500; // 500 chunks >> 64 initial slots
+    for (unsigned i = 0; i < spans; ++i)
+        EXPECT_EQ(mem.translate(static_cast<Addr>(i) * 16384),
+                  (i + 1) * Addr{16});
+    for (unsigned i = 0; i < spans; ++i)
+        EXPECT_EQ(mem.translate(static_cast<Addr>(i) * 16384),
+                  (i + 1) * Addr{16});
+}
+
+TEST(MemSystem, AccessVectorMatchesSerialAccesses)
+{
+    // accessVector must be observationally identical to calling
+    // access() per lane: same latencies, same demand counts, same
+    // DRAM traffic, same residency afterwards.
+    SystemParams params;
+    MemorySystem serial(params);
+    MemorySystem batched(params);
+
+    std::mt19937 rng(1234);
+    std::uniform_int_distribution<Addr> pick(0, 1 << 20);
+    for (int burst = 0; burst < 50; ++burst) {
+        std::vector<Addr> addrs(16);
+        for (Addr &a : addrs)
+            a = pick(rng);
+        const bool write = burst % 3 == 0;
+        const std::uint64_t pc = 100 + burst % 7;
+
+        std::vector<unsigned> serialLat;
+        for (const Addr a : addrs)
+            serialLat.push_back(serial.access(pc, a, 4, write));
+        std::vector<unsigned> batchedLat(addrs.size());
+        batched.accessVector(pc, addrs, 4, write, batchedLat);
+        EXPECT_EQ(serialLat, batchedLat) << "burst " << burst;
+    }
+    EXPECT_EQ(serial.totalRequests(), batched.totalRequests());
+    EXPECT_EQ(serial.dramBytes(), batched.dramBytes());
+    EXPECT_EQ(serial.l1d().hits(), batched.l1d().hits());
+    EXPECT_EQ(serial.l1d().misses(), batched.l1d().misses());
+    EXPECT_EQ(serial.l2().hits(), batched.l2().hits());
+    EXPECT_EQ(serial.l2().misses(), batched.l2().misses());
 }
 
 TEST(Pipeline, IssueWidthBoundsThroughput)

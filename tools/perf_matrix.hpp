@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The evaluation matrix the host-performance tooling sweeps, shared by
+ * the qz-perf harness, the golden-metrics regression test
+ * (tests/test_golden.cpp), and the CI perf-smoke job so all three agree
+ * on exactly which cells are measured.
+ *
+ * Two sizes:
+ *  - full: the Fig. 13a single-core matrix (every Table II dataset x
+ *    {WFA, BiWFA, SneakySnake, SWG, NW} x {BASE, VEC, QUETZAL,
+ *    QUETZAL+C}, plus the protein use case) — the sweep the host
+ *    wall-clock speedup claims are measured on;
+ *  - tiny: a fixed 12-cell short-read subset at a pinned scale, small
+ *    enough for unit tests and CI, whose simulated metrics are
+ *    snapshotted in tests/data/golden_cells.json.
+ *
+ * Deliberately self-contained on long-stable APIs (registry BatchRunner
+ * add(), RunOptions, dataset catalog) so the same file can be built
+ * against older revisions when baselining a host-side optimization.
+ */
+#ifndef QUETZAL_TOOLS_PERF_MATRIX_HPP
+#define QUETZAL_TOOLS_PERF_MATRIX_HPP
+
+#include <memory>
+
+#include "algos/batch.hpp"
+#include "genomics/datasets.hpp"
+#include "genomics/protein.hpp"
+
+namespace quetzal::perf {
+
+/** Pinned scale of the tiny matrix (golden metrics depend on it). */
+constexpr double kTinyScale = 0.1;
+
+/** Bench-style cell options: no verification, QUETZAL hw as needed. */
+inline algos::RunOptions
+perfCellOptions(algos::Variant variant,
+                std::size_t maxLen = ~std::size_t{0},
+                genomics::AlphabetKind alphabet =
+                    genomics::AlphabetKind::Dna)
+{
+    algos::RunOptions options;
+    options.variant = variant;
+    options.maxLen = maxLen;
+    options.alphabet = alphabet;
+    options.verify = false;
+    if (algos::needsQuetzal(variant))
+        options.system = sim::SystemParams::withQuetzal(8);
+    return options;
+}
+
+/** The protein use case (mirrors bench_common.hpp proteinDataset). */
+inline genomics::PairDataset
+perfProteinDataset(double scale)
+{
+    genomics::ProteinFamilyConfig config;
+    config.familyCount =
+        std::max<std::size_t>(1, static_cast<std::size_t>(2 * scale));
+    config.membersPerFamily = 4;
+    config.ancestorLength = 400;
+    genomics::PairDataset ds;
+    ds.name = "protein";
+    ds.readLength = config.ancestorLength;
+    ds.errorRate = config.divergence;
+    ds.pairs = genomics::proteinPairWorkload(config);
+    return ds;
+}
+
+/**
+ * Queue the host-performance evaluation matrix on @p runner.
+ * @param scale dataset scale for the full matrix (the tiny matrix is
+ *              pinned at kTinyScale regardless, so its golden metrics
+ *              never depend on caller configuration).
+ * @param tiny  queue the 12-cell golden subset instead of Fig. 13a.
+ * @return the number of cells queued.
+ */
+inline std::size_t
+addPerfMatrix(algos::BatchRunner &runner, double scale, bool tiny)
+{
+    using algos::AlgoKind;
+    using algos::Variant;
+    using DatasetPtr = std::shared_ptr<const genomics::PairDataset>;
+
+    std::size_t cells = 0;
+    auto dataset = [](std::string_view name, double s) {
+        return std::make_shared<const genomics::PairDataset>(
+            genomics::makeDataset(name, s));
+    };
+
+    if (tiny) {
+        for (const char *name : {"100bp_1", "250bp_1"}) {
+            const DatasetPtr ds = dataset(name, kTinyScale);
+            for (const AlgoKind kind :
+                 {AlgoKind::Wfa, AlgoKind::SneakySnake}) {
+                for (const Variant variant :
+                     {Variant::Base, Variant::Vec, Variant::QzC}) {
+                    runner.add(kind, ds, perfCellOptions(variant));
+                    ++cells;
+                }
+            }
+        }
+        return cells;
+    }
+
+    const std::size_t classicCap = 1000;
+    auto submit = [&](AlgoKind kind, const DatasetPtr &ds,
+                      std::size_t maxLen,
+                      genomics::AlphabetKind alphabet) {
+        for (const Variant variant : {Variant::Base, Variant::Vec,
+                                      Variant::Qz, Variant::QzC}) {
+            runner.add(kind, ds,
+                       perfCellOptions(variant, maxLen, alphabet));
+            ++cells;
+        }
+    };
+    for (const auto &spec : genomics::datasetCatalog()) {
+        const DatasetPtr ds = dataset(spec.name, scale);
+        submit(AlgoKind::Wfa, ds, ~std::size_t{0},
+               genomics::AlphabetKind::Dna);
+        submit(AlgoKind::BiWfa, ds, ~std::size_t{0},
+               genomics::AlphabetKind::Dna);
+        submit(AlgoKind::SneakySnake, ds, ~std::size_t{0},
+               genomics::AlphabetKind::Dna);
+        submit(AlgoKind::Swg, ds, ~std::size_t{0},
+               genomics::AlphabetKind::Dna);
+        submit(AlgoKind::Nw, ds, classicCap,
+               genomics::AlphabetKind::Dna);
+    }
+    const auto protein = std::make_shared<const genomics::PairDataset>(
+        perfProteinDataset(scale));
+    submit(AlgoKind::Wfa, protein, ~std::size_t{0},
+           genomics::AlphabetKind::Protein);
+    submit(AlgoKind::SneakySnake, protein, ~std::size_t{0},
+           genomics::AlphabetKind::Protein);
+    return cells;
+}
+
+} // namespace quetzal::perf
+
+#endif // QUETZAL_TOOLS_PERF_MATRIX_HPP

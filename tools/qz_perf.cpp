@@ -1,0 +1,228 @@
+/**
+ * @file
+ * qz-perf: host-throughput harness for the simulator itself.
+ *
+ * Sweeps the Fig. 13a evaluation matrix (or the pinned tiny subset)
+ * and reports how fast the *host* simulated it: wall-clock per cell,
+ * simulated instructions per second, memory accesses per second. The
+ * simulated metrics are untouched observables — the point of the
+ * harness is to pin them (via --metrics against the golden snapshot)
+ * while tracking host throughput across revisions in
+ * BENCH_hostperf.json (see docs/SIMULATOR.md, "Host performance").
+ *
+ * Usage:
+ *   qz-perf [--tiny] [--scale S] [--threads N] [--repeat R]
+ *           [--label NAME] [--out FILE] [--append]
+ *           [--metrics FILE]
+ *
+ *  --tiny     sweep the 12-cell golden subset instead of Fig. 13a
+ *  --scale    dataset scale for the full matrix (default 1.0)
+ *  --threads  harness workers (default 1: comparable measurements)
+ *  --repeat   time R sweeps and keep the fastest (default 1)
+ *  --label    name this run carries in the output (default "current")
+ *  --out      throughput record path (default BENCH_hostperf.json)
+ *  --append   add this run to --out's existing "runs" array, so one
+ *             file can hold baseline and current for comparison
+ *  --metrics  also write the sweep's BenchReport JSON (simulated
+ *             metrics only) for diffing against the golden snapshot
+ *
+ * Deliberately restricted to long-stable APIs so the same source can
+ * be compiled against an older revision to produce the baseline run.
+ */
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "algos/batch.hpp"
+#include "algos/report.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "cli_common.hpp"
+#include "perf_matrix.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+/** Serialize one run record (flat object, no trailing newline). */
+std::string
+runRecord(const std::string &label, const std::string &matrix,
+          double scale, unsigned threads, std::size_t cells,
+          unsigned repeat, std::uint64_t hostNs,
+          const algos::BatchOutcome &outcome)
+{
+    std::uint64_t instructions = 0, memRequests = 0, cycles = 0,
+                  dramBytes = 0;
+    for (const auto &result : outcome.results) {
+        instructions += result.instructions;
+        memRequests += result.memRequests;
+        cycles += result.cycles;
+        dramBytes += result.dramBytes;
+    }
+    const double seconds = static_cast<double>(hostNs) / 1e9;
+    JsonWriter json;
+    json.beginObject()
+        .field("label", label)
+        .field("matrix", matrix)
+        .field("scale", scale)
+        .field("threads", std::uint64_t{threads})
+        .field("repeat", std::uint64_t{repeat})
+        .field("cells", std::uint64_t{cells})
+        .field("host_ns", hostNs)
+        .field("ns_per_cell",
+               cells == 0 ? 0.0
+                          : static_cast<double>(hostNs) /
+                                static_cast<double>(cells))
+        .field("sim_cycles", cycles)
+        .field("sim_instructions", instructions)
+        .field("sim_mem_requests", memRequests)
+        .field("sim_dram_bytes", dramBytes)
+        .field("instructions_per_sec",
+               seconds == 0.0 ? 0.0
+                              : static_cast<double>(instructions) /
+                                    seconds)
+        .field("accesses_per_sec",
+               seconds == 0.0 ? 0.0
+                              : static_cast<double>(memRequests) /
+                                    seconds)
+        .endObject();
+    return json.str();
+}
+
+/**
+ * Write {"runs":[...]} to @p path. With @p append, splice the new
+ * record into the existing array (the file is always this tool's own
+ * fixed shape; anything else is a fatal diagnostic, not data loss —
+ * the original text is left untouched on failure).
+ */
+void
+writeRuns(const std::string &path, const std::string &record,
+          bool append)
+{
+    std::string text;
+    if (append) {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            text = buffer.str();
+        }
+    }
+    std::string out;
+    if (!text.empty()) {
+        const auto parsed = parseJson(text);
+        fatal_if(!parsed || !parsed->isObject() ||
+                     !parsed->find("runs") ||
+                     !parsed->find("runs")->isArray(),
+                 "'{}' is not a qz-perf runs file; refusing to append",
+                 path);
+        std::size_t end = text.find_last_of(']');
+        fatal_if(end == std::string::npos,
+                 "'{}' has no runs array to append to", path);
+        const bool empty = parsed->find("runs")->items().empty();
+        out = text.substr(0, end) + (empty ? "" : ",") + record +
+              text.substr(end);
+    } else {
+        JsonWriter json;
+        json.beginObject().beginArray("runs").rawValue(record)
+            .endArray().endObject();
+        out = json.str() + "\n";
+    }
+    std::ofstream file(path);
+    fatal_if(!file, "cannot open '{}' for writing", path);
+    file << out;
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace quetzal;
+    cli::Args args(argc, argv);
+
+    const bool tiny = args.has("tiny");
+    const double scale = args.getDouble("scale", 1.0);
+    const unsigned threads =
+        static_cast<unsigned>(args.getInt("threads", 1));
+    const unsigned repeat =
+        static_cast<unsigned>(args.getInt("repeat", 1));
+    const std::string label = args.get("label", "current");
+    const std::string outPath = args.get("out", "BENCH_hostperf.json");
+    const std::string metricsPath = args.get("metrics");
+    fatal_if(repeat == 0, "--repeat must be at least 1");
+
+    const double recordedScale = tiny ? perf::kTinyScale : scale;
+    const std::string matrix = tiny ? "tiny" : "fig13a";
+    std::cout << "qz-perf: sweeping the " << matrix << " matrix (scale "
+              << recordedScale << ", " << threads << " thread(s), "
+              << repeat << " repeat(s))\n";
+
+    algos::BatchRunner runner(threads);
+    // Host timing must measure this process's sweep, whole and alone:
+    // neutralize sharding and fault injection inherited from the
+    // environment.
+    runner.setShard(std::nullopt);
+    runner.setFaultInjection(std::nullopt);
+
+    std::uint64_t bestNs = ~std::uint64_t{0};
+    std::size_t cells = 0;
+    algos::BatchOutcome outcome;
+    for (unsigned r = 0; r < repeat; ++r) {
+        cells = perf::addPerfMatrix(runner, scale, tiny);
+        const auto started = std::chrono::steady_clock::now();
+        algos::BatchOutcome sweep = runner.run();
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count());
+        for (const auto &failure : sweep.failures)
+            warn("cell {} [{}] failed: {}", failure.cell, failure.key,
+                 failure.message);
+        if (ns < bestNs) {
+            bestNs = ns;
+            outcome = std::move(sweep);
+        }
+    }
+
+    const std::string record =
+        runRecord(label, matrix, recordedScale, threads, cells, repeat,
+                  bestNs, outcome);
+    std::uint64_t instructions = 0, memRequests = 0;
+    for (const auto &result : outcome.results) {
+        instructions += result.instructions;
+        memRequests += result.memRequests;
+    }
+    const double seconds = static_cast<double>(bestNs) / 1e9;
+    std::cout << "  cells:          " << cells << "\n"
+              << "  host time:      " << seconds << " s ("
+              << (cells == 0 ? 0.0
+                             : static_cast<double>(bestNs) /
+                                   static_cast<double>(cells) / 1e6)
+              << " ms/cell)\n"
+              << "  sim instr/sec:  "
+              << (seconds == 0.0
+                      ? 0.0
+                      : static_cast<double>(instructions) / seconds)
+              << "\n"
+              << "  sim access/sec: "
+              << (seconds == 0.0
+                      ? 0.0
+                      : static_cast<double>(memRequests) / seconds)
+              << "\n";
+    writeRuns(outPath, record, args.has("append"));
+
+    if (!metricsPath.empty()) {
+        const algos::BenchReport report = algos::makeBenchReport(
+            "qz-perf", recordedScale, threads, outcome);
+        std::ofstream file(metricsPath);
+        fatal_if(!file, "cannot open '{}' for writing", metricsPath);
+        file << algos::toJson(report) << "\n";
+        std::cout << "wrote simulated metrics to " << metricsPath
+                  << "\n";
+    }
+    return outcome.ok() ? 0 : 1;
+}
