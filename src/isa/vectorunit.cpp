@@ -1,10 +1,9 @@
 #include "isa/vectorunit.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <bit>
+#include <cstring>
 #include <limits>
-#include <vector>
 
 namespace quetzal::isa {
 
@@ -27,9 +26,9 @@ toAddr(const void *ptr)
 VReg
 VectorUnit::dup32(std::int32_t value)
 {
+    const std::uint32_t lane = static_cast<std::uint32_t>(value);
     VReg out;
-    for (unsigned i = 0; i < kLanes32; ++i)
-        out.setI32(i, value);
+    out.words.fill((std::uint64_t{lane} << 32) | lane);
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {});
     return out;
 }
@@ -38,8 +37,7 @@ VReg
 VectorUnit::dup64(std::uint64_t value)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, value);
+    out.words.fill(value);
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {});
     return out;
 }
@@ -47,9 +45,11 @@ VectorUnit::dup64(std::uint64_t value)
 VReg
 VectorUnit::index32(std::int32_t start, std::int32_t step)
 {
-    VReg out;
+    VReg::LanesI32 rs;
     for (unsigned i = 0; i < kLanes32; ++i)
-        out.setI32(i, start + static_cast<std::int32_t>(i) * step);
+        rs[i] = start + static_cast<std::int32_t>(i) * step;
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {});
     return out;
 }
@@ -72,9 +72,11 @@ VectorUnit::load8to32(SiteId site, const void *ptr, unsigned n,
 {
     panic_if_not(n <= kLanes32, "widening load of {} bytes", n);
     const auto *bytes = static_cast<const std::uint8_t *>(ptr);
-    VReg out;
+    VReg::Lanes32 rs{};
     for (unsigned i = 0; i < n; ++i)
-        out.setU32(i, bytes[i]);
+        rs[i] = bytes[i];
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeMem(OpClass::VecLoad, site, toAddr(ptr),
                                    n, {dep});
     return out;
@@ -96,18 +98,20 @@ VectorUnit::gather8(SiteId site, const void *base, const VReg &idx,
 {
     panic_if_not(n <= kLanes32, "gather8 over {} elements", n);
     const auto *bytes = static_cast<const std::uint8_t *>(base);
-    VReg out;
-    std::vector<Addr> addrs;
-    addrs.reserve(n);
+    const VReg::Lanes32 is = idx.lanesU32();
+    VReg::Lanes32 rs{};
+    std::size_t count = 0;
     for (unsigned i = 0; i < n; ++i) {
-        if (!p.active(i))
+        if (!((p.mask >> i) & 1))
             continue;
-        const std::uint32_t index = idx.u32(i);
-        out.setU32(i, bytes[index]);
-        addrs.push_back(toAddr(bytes + index));
+        rs[i] = bytes[is[i]];
+        addrScratch_[count++] = toAddr(bytes + is[i]);
     }
-    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 1,
-                                       {idx.tag, p.tag});
+    VReg out;
+    out.setLanes(rs);
+    out.tag = pipeline_.executeIndexed(
+        OpClass::VecGather, site, {addrScratch_.data(), count}, 1,
+        {idx.tag, p.tag});
     return out;
 }
 
@@ -116,18 +120,20 @@ VectorUnit::gather32(SiteId site, const std::int32_t *base,
                      const VReg &idx, const Pred &p, unsigned n)
 {
     panic_if_not(n <= kLanes32, "gather32 over {} elements", n);
-    VReg out;
-    std::vector<Addr> addrs;
-    addrs.reserve(n);
+    const VReg::Lanes32 is = idx.lanesU32();
+    VReg::LanesI32 rs{};
+    std::size_t count = 0;
     for (unsigned i = 0; i < n; ++i) {
-        if (!p.active(i))
+        if (!((p.mask >> i) & 1))
             continue;
-        const std::uint32_t index = idx.u32(i);
-        out.setI32(i, base[index]);
-        addrs.push_back(toAddr(base + index));
+        rs[i] = base[is[i]];
+        addrScratch_[count++] = toAddr(base + is[i]);
     }
-    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 4,
-                                       {idx.tag, p.tag});
+    VReg out;
+    out.setLanes(rs);
+    out.tag = pipeline_.executeIndexed(
+        OpClass::VecGather, site, {addrScratch_.data(), count}, 4,
+        {idx.tag, p.tag});
     return out;
 }
 
@@ -137,20 +143,22 @@ VectorUnit::gatherU32(SiteId site, const void *base, const VReg &idx,
 {
     panic_if_not(n <= kLanes32, "gatherU32 over {} elements", n);
     const auto *bytes = static_cast<const std::uint8_t *>(base);
-    VReg out;
-    std::vector<Addr> addrs;
-    addrs.reserve(n);
+    const VReg::LanesI32 is = idx.lanesI32();
+    VReg::Lanes32 rs{};
+    std::size_t count = 0;
     for (unsigned i = 0; i < n; ++i) {
-        if (!p.active(i))
+        if (!((p.mask >> i) & 1))
             continue;
-        const std::int32_t index = idx.i32(i);
         std::uint32_t word = 0;
-        std::memcpy(&word, bytes + index, 4);
-        out.setU32(i, word);
-        addrs.push_back(toAddr(bytes + index));
+        std::memcpy(&word, bytes + is[i], 4);
+        rs[i] = word;
+        addrScratch_[count++] = toAddr(bytes + is[i]);
     }
-    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 4,
-                                       {idx.tag, p.tag});
+    VReg out;
+    out.setLanes(rs);
+    out.tag = pipeline_.executeIndexed(
+        OpClass::VecGather, site, {addrScratch_.data(), count}, 4,
+        {idx.tag, p.tag});
     return out;
 }
 
@@ -160,17 +168,17 @@ VectorUnit::gather64(SiteId site, const std::uint64_t *base,
 {
     panic_if_not(n <= kLanes64, "gather64 over {} lanes", n);
     VReg out;
-    std::vector<Addr> addrs;
-    addrs.reserve(n);
+    std::size_t count = 0;
     for (unsigned i = 0; i < n; ++i) {
-        if (!p.active(i))
+        if (!((p.mask >> i) & 1))
             continue;
-        const std::uint64_t index = idx.u64(i);
-        out.setU64(i, base[index]);
-        addrs.push_back(toAddr(base + index));
+        const std::uint64_t index = idx.words[i];
+        out.words[i] = base[index];
+        addrScratch_[count++] = toAddr(base + index);
     }
-    out.tag = pipeline_.executeIndexed(OpClass::VecGather, site, addrs, 8,
-                                       {idx.tag, p.tag});
+    out.tag = pipeline_.executeIndexed(
+        OpClass::VecGather, site, {addrScratch_.data(), count}, 8,
+        {idx.tag, p.tag});
     return out;
 }
 
@@ -179,16 +187,17 @@ VectorUnit::scatter32(SiteId site, std::int32_t *base, const VReg &idx,
                       const VReg &value, const Pred &p, unsigned n)
 {
     panic_if_not(n <= kLanes32, "scatter32 over {} elements", n);
-    std::vector<Addr> addrs;
-    addrs.reserve(n);
+    const VReg::Lanes32 is = idx.lanesU32();
+    const VReg::LanesI32 vs = value.lanesI32();
+    std::size_t count = 0;
     for (unsigned i = 0; i < n; ++i) {
-        if (!p.active(i))
+        if (!((p.mask >> i) & 1))
             continue;
-        const std::uint32_t index = idx.u32(i);
-        base[index] = value.i32(i);
-        addrs.push_back(toAddr(base + index));
+        base[is[i]] = vs[i];
+        addrScratch_[count++] = toAddr(base + is[i]);
     }
-    pipeline_.executeIndexed(OpClass::VecScatter, site, addrs, 4,
+    pipeline_.executeIndexed(OpClass::VecScatter, site,
+                             {addrScratch_.data(), count}, 4,
                              {idx.tag, value.tag, p.tag});
 }
 
@@ -197,16 +206,16 @@ VectorUnit::scatter64(SiteId site, std::uint64_t *base, const VReg &idx,
                       const VReg &value, const Pred &p, unsigned n)
 {
     panic_if_not(n <= kLanes64, "scatter64 over {} lanes", n);
-    std::vector<Addr> addrs;
-    addrs.reserve(n);
+    std::size_t count = 0;
     for (unsigned i = 0; i < n; ++i) {
-        if (!p.active(i))
+        if (!((p.mask >> i) & 1))
             continue;
-        const std::uint64_t index = idx.u64(i);
-        base[index] = value.u64(i);
-        addrs.push_back(toAddr(base + index));
+        const std::uint64_t index = idx.words[i];
+        base[index] = value.words[i];
+        addrScratch_[count++] = toAddr(base + index);
     }
-    pipeline_.executeIndexed(OpClass::VecScatter, site, addrs, 8,
+    pipeline_.executeIndexed(OpClass::VecScatter, site,
+                             {addrScratch_.data(), count}, 8,
                              {idx.tag, value.tag, p.tag});
 }
 
@@ -221,9 +230,12 @@ VectorUnit::add32(const VReg &a, const VReg &b)
 VReg
 VectorUnit::add32i(const VReg &a, std::int32_t imm)
 {
-    VReg out;
+    const VReg::LanesI32 xs = a.lanesI32();
+    VReg::LanesI32 rs;
     for (unsigned i = 0; i < kLanes32; ++i)
-        out.setI32(i, a.i32(i) + imm);
+        rs[i] = xs[i] + imm;
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -255,10 +267,15 @@ VectorUnit::min32(const VReg &a, const VReg &b)
 VReg
 VectorUnit::addUnderPred32(const VReg &a, std::int32_t imm, const Pred &p)
 {
-    VReg out = a;
-    for (unsigned i = 0; i < kLanes32; ++i)
-        if (p.active(i))
-            out.setI32(i, a.i32(i) + imm);
+    const VReg::LanesI32 xs = a.lanesI32();
+    VReg::LanesI32 rs;
+    for (unsigned i = 0; i < kLanes32; ++i) {
+        const std::int32_t take =
+            -static_cast<std::int32_t>((p.mask >> i) & 1);
+        rs[i] = xs[i] + (imm & take);
+    }
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag, p.tag});
     return out;
 }
@@ -266,10 +283,16 @@ VectorUnit::addUnderPred32(const VReg &a, std::int32_t imm, const Pred &p)
 VReg
 VectorUnit::addvUnderPred32(const VReg &a, const VReg &b, const Pred &p)
 {
-    VReg out = a;
-    for (unsigned i = 0; i < kLanes32; ++i)
-        if (p.active(i))
-            out.setI32(i, a.i32(i) + b.i32(i));
+    const VReg::LanesI32 xs = a.lanesI32();
+    const VReg::LanesI32 ys = b.lanesI32();
+    VReg::LanesI32 rs;
+    for (unsigned i = 0; i < kLanes32; ++i) {
+        const std::int32_t take =
+            -static_cast<std::int32_t>((p.mask >> i) & 1);
+        rs[i] = xs[i] + (ys[i] & take);
+    }
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
     return out;
@@ -278,9 +301,13 @@ VectorUnit::addvUnderPred32(const VReg &a, const VReg &b, const Pred &p)
 VReg
 VectorUnit::sel32(const Pred &p, const VReg &a, const VReg &b)
 {
-    VReg out;
+    const VReg::LanesI32 xs = a.lanesI32();
+    const VReg::LanesI32 ys = b.lanesI32();
+    VReg::LanesI32 rs;
     for (unsigned i = 0; i < kLanes32; ++i)
-        out.setI32(i, p.active(i) ? a.i32(i) : b.i32(i));
+        rs[i] = ((p.mask >> i) & 1) ? xs[i] : ys[i];
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
     return out;
@@ -317,9 +344,10 @@ VectorUnit::max64(const VReg &a, const VReg &b)
 VReg
 VectorUnit::add64i(const VReg &a, std::int64_t imm)
 {
+    const std::uint64_t add = static_cast<std::uint64_t>(imm);
     VReg out;
     for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, a.u64(i) + static_cast<std::uint64_t>(imm));
+        out.words[i] = a.words[i] + add;
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -327,10 +355,13 @@ VectorUnit::add64i(const VReg &a, std::int64_t imm)
 VReg
 VectorUnit::addUnderPred64(const VReg &a, std::int64_t imm, const Pred &p)
 {
-    VReg out = a;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        if (p.active(i))
-            out.setU64(i, a.u64(i) + static_cast<std::uint64_t>(imm));
+    const std::uint64_t add = static_cast<std::uint64_t>(imm);
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i) {
+        const std::uint64_t take =
+            -static_cast<std::uint64_t>((p.mask >> i) & 1);
+        out.words[i] = a.words[i] + (add & take);
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag, p.tag});
     return out;
 }
@@ -338,10 +369,12 @@ VectorUnit::addUnderPred64(const VReg &a, std::int64_t imm, const Pred &p)
 VReg
 VectorUnit::addvUnderPred64(const VReg &a, const VReg &b, const Pred &p)
 {
-    VReg out = a;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        if (p.active(i))
-            out.setU64(i, a.u64(i) + b.u64(i));
+    VReg out;
+    for (unsigned i = 0; i < kLanes64; ++i) {
+        const std::uint64_t take =
+            -static_cast<std::uint64_t>((p.mask >> i) & 1);
+        out.words[i] = a.words[i] + (b.words[i] & take);
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
     return out;
@@ -351,8 +384,11 @@ VReg
 VectorUnit::sel64(const Pred &p, const VReg &a, const VReg &b)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, p.active(i) ? a.u64(i) : b.u64(i));
+    for (unsigned i = 0; i < kLanes64; ++i) {
+        const std::uint64_t take =
+            -static_cast<std::uint64_t>((p.mask >> i) & 1);
+        out.words[i] = b.words[i] ^ ((a.words[i] ^ b.words[i]) & take);
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
     return out;
@@ -397,10 +433,11 @@ VectorUnit::cmpgt64(const VReg &a, const VReg &b, const Pred &p,
 VReg
 VectorUnit::widenLo32to64(const VReg &v)
 {
+    const VReg::LanesI32 xs = v.lanesI32();
     VReg out;
     for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, static_cast<std::uint64_t>(
-                          static_cast<std::int64_t>(v.i32(i))));
+        out.words[i] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(xs[i]));
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
     return out;
 }
@@ -408,10 +445,11 @@ VectorUnit::widenLo32to64(const VReg &v)
 VReg
 VectorUnit::widenHi32to64(const VReg &v)
 {
+    const VReg::LanesI32 xs = v.lanesI32();
     VReg out;
     for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, static_cast<std::uint64_t>(
-                          static_cast<std::int64_t>(v.i32(8 + i))));
+        out.words[i] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(xs[kLanes64 + i]));
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
     return out;
 }
@@ -419,11 +457,13 @@ VectorUnit::widenHi32to64(const VReg &v)
 VReg
 VectorUnit::pack64to32(const VReg &lo, const VReg &hi)
 {
-    VReg out;
+    VReg::LanesI32 rs;
     for (unsigned i = 0; i < kLanes64; ++i) {
-        out.setI32(i, static_cast<std::int32_t>(lo.i64(i)));
-        out.setI32(8 + i, static_cast<std::int32_t>(hi.i64(i)));
+        rs[i] = static_cast<std::int32_t>(lo.words[i]);
+        rs[kLanes64 + i] = static_cast<std::int32_t>(hi.words[i]);
     }
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {lo.tag, hi.tag});
     return out;
 }
@@ -449,9 +489,11 @@ VectorUnit::punpkHi(const Pred &p)
 VReg
 VectorUnit::narrow64to32(const VReg &v)
 {
-    VReg out;
+    VReg::LanesI32 rs{};
     for (unsigned i = 0; i < kLanes64; ++i)
-        out.setI32(i, static_cast<std::int32_t>(v.i64(i)));
+        rs[i] = static_cast<std::int32_t>(v.words[i]);
+    VReg out;
+    out.setLanes(rs);
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
     return out;
 }
@@ -461,42 +503,28 @@ VectorUnit::reduceMax64(const VReg &v, const Pred &p, unsigned n)
 {
     pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
     std::int64_t best = std::numeric_limits<std::int64_t>::min();
-    for (unsigned i = 0; i < n && i < kLanes64; ++i)
-        if (p.active(i))
-            best = std::max(best, v.i64(i));
+    const unsigned lim = std::min(n, kLanes64);
+    for (unsigned i = 0; i < lim; ++i)
+        if ((p.mask >> i) & 1)
+            best = std::max(best,
+                            static_cast<std::int64_t>(v.words[i]));
     return best;
 }
-
-namespace {
-
-unsigned
-equalBytesFromBottom(std::uint32_t a, std::uint32_t b)
-{
-    unsigned count = 0;
-    while (count < 4 &&
-           ((a >> (8 * count)) & 0xFF) == ((b >> (8 * count)) & 0xFF))
-        ++count;
-    return count;
-}
-
-unsigned
-equalBytesFromTop(std::uint32_t a, std::uint32_t b)
-{
-    unsigned count = 0;
-    while (count < 4 && ((a >> (8 * (3 - count))) & 0xFF) ==
-                            ((b >> (8 * (3 - count))) & 0xFF))
-        ++count;
-    return count;
-}
-
-} // namespace
 
 VReg
 VectorUnit::matchBytes32(const VReg &a, const VReg &b)
 {
-    VReg out;
+    const VReg::Lanes32 xs = a.lanesU32();
+    const VReg::Lanes32 ys = b.lanesU32();
+    VReg::Lanes32 rs;
+    // countr_zero(0) == 32 makes the all-equal case fall out of the
+    // same >> 3: 32 / 8 == 4 matching bytes.
     for (unsigned i = 0; i < kLanes32; ++i)
-        out.setU32(i, equalBytesFromBottom(a.u32(i), b.u32(i)));
+        rs[i] = static_cast<std::uint32_t>(
+                    std::countr_zero(xs[i] ^ ys[i])) >>
+                3;
+    VReg out;
+    out.setLanes(rs);
     // Two dependent instructions: byte compare + break/count.
     const sim::Tag mid =
         pipeline_.executeOp(OpClass::VecCmp, {a.tag, b.tag});
@@ -507,9 +535,15 @@ VectorUnit::matchBytes32(const VReg &a, const VReg &b)
 VReg
 VectorUnit::matchBytes32Rev(const VReg &a, const VReg &b)
 {
-    VReg out;
+    const VReg::Lanes32 xs = a.lanesU32();
+    const VReg::Lanes32 ys = b.lanesU32();
+    VReg::Lanes32 rs;
     for (unsigned i = 0; i < kLanes32; ++i)
-        out.setU32(i, equalBytesFromTop(a.u32(i), b.u32(i)));
+        rs[i] = static_cast<std::uint32_t>(
+                    std::countl_zero(xs[i] ^ ys[i])) >>
+                3;
+    VReg out;
+    out.setLanes(rs);
     const sim::Tag mid =
         pipeline_.executeOp(OpClass::VecCmp, {a.tag, b.tag});
     out.tag = pipeline_.executeOp(OpClass::VecPred, {mid});
@@ -521,7 +555,8 @@ VectorUnit::ctz64(const VReg &a)
 {
     VReg out;
     for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, std::countr_zero(a.u64(i)));
+        out.words[i] = static_cast<std::uint64_t>(
+            std::countr_zero(a.words[i]));
     // rbit + clz on SVE: two instructions.
     const sim::Tag mid = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {mid});
@@ -533,7 +568,8 @@ VectorUnit::clz64(const VReg &a)
 {
     VReg out;
     for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, std::countl_zero(a.u64(i)));
+        out.words[i] = static_cast<std::uint64_t>(
+            std::countl_zero(a.words[i]));
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -574,8 +610,9 @@ VReg
 VectorUnit::shr64i(const VReg &a, unsigned shift)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, shift >= 64 ? 0 : a.u64(i) >> shift);
+    if (shift < 64)
+        for (unsigned i = 0; i < kLanes64; ++i)
+            out.words[i] = a.words[i] >> shift;
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -584,8 +621,9 @@ VReg
 VectorUnit::shl64i(const VReg &a, unsigned shift)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.setU64(i, shift >= 64 ? 0 : a.u64(i) << shift);
+    if (shift < 64)
+        for (unsigned i = 0; i < kLanes64; ++i)
+            out.words[i] = a.words[i] << shift;
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -639,8 +677,7 @@ VectorUnit::pTrue(unsigned n)
 {
     panic_if_not(n <= 64, "predicate width {} too large", n);
     Pred out;
-    out.mask = n >= 64 ? ~std::uint64_t{0}
-                       : (std::uint64_t{1} << n) - 1;
+    out.mask = lowMask(n);
     out.tag = pipeline_.executeOp(OpClass::VecPred, {});
     return out;
 }
@@ -649,9 +686,13 @@ Pred
 VectorUnit::whilelt(std::int64_t i, std::int64_t n, unsigned elems)
 {
     panic_if_not(elems <= 64, "predicate width {} too large", elems);
+    // Active elements are exactly those with i + e < n: a prefix of
+    // length clamp(n - i, 0, elems), so the mask is pure arithmetic.
+    const std::int64_t remaining = n - i;
+    const std::int64_t active = std::clamp<std::int64_t>(
+        remaining, 0, static_cast<std::int64_t>(elems));
     Pred out;
-    for (unsigned e = 0; e < elems; ++e)
-        out.set(e, i + static_cast<std::int64_t>(e) < n);
+    out.mask = lowMask(static_cast<unsigned>(active));
     out.tag = pipeline_.executeOp(OpClass::VecPred, {});
     return out;
 }
@@ -707,10 +748,12 @@ std::int32_t
 VectorUnit::reduceMax32(const VReg &v, const Pred &p, unsigned n)
 {
     pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
+    const VReg::LanesI32 xs = v.lanesI32();
     std::int32_t best = std::numeric_limits<std::int32_t>::min();
-    for (unsigned i = 0; i < n && i < kLanes32; ++i)
-        if (p.active(i))
-            best = std::max(best, v.i32(i));
+    const unsigned lim = std::min(n, kLanes32);
+    for (unsigned i = 0; i < lim; ++i)
+        if ((p.mask >> i) & 1)
+            best = std::max(best, xs[i]);
     return best;
 }
 
@@ -718,10 +761,12 @@ std::int32_t
 VectorUnit::reduceMin32(const VReg &v, const Pred &p, unsigned n)
 {
     pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
+    const VReg::LanesI32 xs = v.lanesI32();
     std::int32_t best = std::numeric_limits<std::int32_t>::max();
-    for (unsigned i = 0; i < n && i < kLanes32; ++i)
-        if (p.active(i))
-            best = std::min(best, v.i32(i));
+    const unsigned lim = std::min(n, kLanes32);
+    for (unsigned i = 0; i < lim; ++i)
+        if ((p.mask >> i) & 1)
+            best = std::min(best, xs[i]);
     return best;
 }
 
@@ -729,10 +774,11 @@ std::int64_t
 VectorUnit::reduceAdd32(const VReg &v, const Pred &p, unsigned n)
 {
     pipeline_.executeOp(OpClass::VecReduce, {v.tag, p.tag});
+    const VReg::LanesI32 xs = v.lanesI32();
     std::int64_t sum = 0;
-    for (unsigned i = 0; i < n && i < kLanes32; ++i)
-        if (p.active(i))
-            sum += v.i32(i);
+    const unsigned lim = std::min(n, kLanes32);
+    for (unsigned i = 0; i < lim; ++i)
+        sum += ((p.mask >> i) & 1) ? xs[i] : 0;
     return sum;
 }
 

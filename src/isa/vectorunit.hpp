@@ -11,10 +11,19 @@
  * Memory-touching methods take a SiteId: a stable per-call-site token
  * standing in for the program counter, which the stride prefetcher
  * uses for training.
+ *
+ * Host-performance rules for this layer (docs/SIMULATOR.md, "Host
+ * performance"): lane kernels run as flat, branch-poor loops over
+ * whole-register views (VReg::lanesU32()/words) so the host compiler
+ * can auto-vectorize them, and hot paths never allocate — indexed
+ * memory ops collect their element addresses into the reusable
+ * addrScratch_ member instead of a per-call std::vector.
  */
 #ifndef QUETZAL_ISA_VECTORUNIT_HPP
 #define QUETZAL_ISA_VECTORUNIT_HPP
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -211,27 +220,31 @@ class VectorUnit
     sim::Pipeline &pipeline() { return pipeline_; }
 
   private:
-    /** Elementwise 32-bit binary op helper. */
+    /** Elementwise 32-bit binary op helper (flat, auto-vectorizable). */
     template <typename F>
     VReg
     map32(const VReg &a, const VReg &b, F &&f)
     {
-        VReg out;
+        const VReg::LanesI32 xs = a.lanesI32();
+        const VReg::LanesI32 ys = b.lanesI32();
+        VReg::LanesI32 rs;
         for (unsigned i = 0; i < kLanes32; ++i)
-            out.setI32(i, f(a.i32(i), b.i32(i)));
+            rs[i] = f(xs[i], ys[i]);
+        VReg out;
+        out.setLanes(rs);
         out.tag = pipeline_.executeOp(sim::OpClass::VecAlu,
                                       {a.tag, b.tag});
         return out;
     }
 
-    /** Elementwise 64-bit binary op helper. */
+    /** Elementwise 64-bit binary op helper (flat, auto-vectorizable). */
     template <typename F>
     VReg
     map64(const VReg &a, const VReg &b, F &&f)
     {
         VReg out;
         for (unsigned i = 0; i < kLanes64; ++i)
-            out.setU64(i, f(a.u64(i), b.u64(i)));
+            out.words[i] = f(a.words[i], b.words[i]);
         out.tag = pipeline_.executeOp(sim::OpClass::VecAlu,
                                       {a.tag, b.tag});
         return out;
@@ -243,9 +256,15 @@ class VectorUnit
     compare64(const VReg &a, const VReg &b, const Pred &p, unsigned n,
               F &&f)
     {
+        std::uint64_t bits = 0;
+        const unsigned lim = std::min(n, kLanes64);
+        for (unsigned i = 0; i < lim; ++i)
+            bits |= std::uint64_t{
+                        f(static_cast<std::int64_t>(a.words[i]),
+                          static_cast<std::int64_t>(b.words[i]))}
+                    << i;
         Pred out;
-        for (unsigned i = 0; i < n && i < kLanes64; ++i)
-            out.set(i, p.active(i) && f(a.i64(i), b.i64(i)));
+        out.mask = bits & p.mask;
         out.tag = pipeline_.executeOp(sim::OpClass::VecCmp,
                                       {a.tag, b.tag, p.tag});
         return out;
@@ -257,15 +276,25 @@ class VectorUnit
     compare32(const VReg &a, const VReg &b, const Pred &p, unsigned n,
               F &&f)
     {
+        const VReg::LanesI32 xs = a.lanesI32();
+        const VReg::LanesI32 ys = b.lanesI32();
+        std::uint64_t bits = 0;
+        const unsigned lim = std::min(n, kLanes32);
+        for (unsigned i = 0; i < lim; ++i)
+            bits |= std::uint64_t{f(xs[i], ys[i])} << i;
         Pred out;
-        for (unsigned i = 0; i < n && i < kLanes32; ++i)
-            out.set(i, p.active(i) && f(a.i32(i), b.i32(i)));
+        out.mask = bits & p.mask;
         out.tag = pipeline_.executeOp(sim::OpClass::VecCmp,
                                       {a.tag, b.tag, p.tag});
         return out;
     }
 
     sim::Pipeline &pipeline_;
+
+    /** Reusable element-address buffer for gathers/scatters, so the
+     *  per-instruction hot path never allocates (kLanes32 is the
+     *  widest element count any indexed op can produce). */
+    std::array<sim::Addr, kLanes32> addrScratch_{};
 };
 
 } // namespace quetzal::isa

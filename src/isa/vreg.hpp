@@ -12,6 +12,7 @@
 #define QUETZAL_ISA_VREG_HPP
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 
@@ -34,6 +35,32 @@ struct VReg
 {
     std::array<std::uint64_t, kLanes64> words{};
     sim::Tag tag{};
+
+    // The whole-register lane views below reinterpret `words` as flat
+    // element arrays, which only matches the shift-based per-element
+    // accessors (element 0 in the low bits of word 0) on a
+    // little-endian host.
+    static_assert(std::endian::native == std::endian::little,
+                  "VReg lane views assume a little-endian host");
+
+    /** Flat 32-bit element views (for word-parallel lane kernels). */
+    using Lanes32 = std::array<std::uint32_t, kLanes32>;
+    using LanesI32 = std::array<std::int32_t, kLanes32>;
+
+    Lanes32 lanesU32() const { return std::bit_cast<Lanes32>(words); }
+    LanesI32 lanesI32() const { return std::bit_cast<LanesI32>(words); }
+
+    void
+    setLanes(const Lanes32 &v)
+    {
+        words = std::bit_cast<std::array<std::uint64_t, kLanes64>>(v);
+    }
+
+    void
+    setLanes(const LanesI32 &v)
+    {
+        words = std::bit_cast<std::array<std::uint64_t, kLanes64>>(v);
+    }
 
     // -- 64-bit element view ---------------------------------------
     std::uint64_t
@@ -104,6 +131,13 @@ struct VReg
         word |= std::uint64_t{value} << shift;
     }
 };
+
+/** Mask with the low @p n of 64 bits set (branch-free for n == 64). */
+inline constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
 
 /**
  * Predicate register: one bit per element (the user supplies the

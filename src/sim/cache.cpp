@@ -19,6 +19,8 @@ Cache::Cache(std::string name, const CacheParams &params)
              "associativity {} exceeds the per-set occupancy counter",
              params.associativity);
     numSets_ = lines / params.associativity;
+    lineShift_ = floorLog2(params.lineBytes);
+    setsPow2_ = isPowerOf2(numSets_);
     tags_.resize(lines);
     valid_.resize(numSets_, 0);
     hits_ = &stats_.stat("hits", "demand accesses that hit");

@@ -66,8 +66,15 @@ class Cache
     StatGroup &stats() { return stats_; }
 
   private:
-    std::uint64_t lineOf(Addr addr) const { return addr / params_.lineBytes; }
-    std::size_t setOf(std::uint64_t line) const { return line % numSets_; }
+    // Hot-path index math avoids hardware division: the line size is
+    // asserted a power of two (shift), and the set count is one for
+    // every realistic geometry (mask); the modulo fallback keeps odd
+    // set counts exact. Same quotients/remainders either way.
+    std::uint64_t lineOf(Addr addr) const { return addr >> lineShift_; }
+    std::size_t setOf(std::uint64_t line) const
+    {
+        return setsPow2_ ? (line & (numSets_ - 1)) : (line % numSets_);
+    }
 
     /**
      * Probe the set for @p line and, on a hit, rotate it to the MRU
@@ -87,6 +94,8 @@ class Cache
 
     CacheParams params_;
     std::size_t numSets_;
+    unsigned lineShift_;
+    bool setsPow2_;
 
     /**
      * Line tags, numSets_ x associativity, each set's tags contiguous

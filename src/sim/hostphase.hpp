@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Opt-in host-time phase attribution for the simulator's hot paths.
+ *
+ * `qz_perf --phase` needs to know where *host* wall-clock goes:
+ * memory-system modeling (translate + cache), the timing pipeline, or
+ * the functional ISA layer (everything else). Scopes are placed at the
+ * public entry points of Pipeline (kind Pipeline) and at
+ * MemorySystem::access/accessVector (kind Mem); since every memory
+ * access happens under a pipeline entry point, the pipeline-exclusive
+ * share is nanos(Pipeline) - nanos(Mem), and the functional share is
+ * the sweep's total wall time minus nanos(Pipeline).
+ *
+ * Disabled by default: each scope then costs a single predictable
+ * branch, so the instrumentation does not perturb the default
+ * benchmarking paths (BENCH_hostperf.json runs keep it off). Scopes
+ * nest (a burst fallback re-enters executeOp; accessVector calls
+ * access per lane): a thread-local depth counter per kind makes sure
+ * only the outermost scope of a kind accumulates, so no interval is
+ * double-counted. Accumulators are process-wide atomics so
+ * BatchRunner worker threads contribute too; `--phase` still requires
+ * a single-threaded sweep to make "total wall time" well defined.
+ *
+ * setEnabled()/reset() must not be called while any scope is open.
+ */
+#ifndef QUETZAL_SIM_HOSTPHASE_HPP
+#define QUETZAL_SIM_HOSTPHASE_HPP
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace quetzal::sim {
+
+class HostPhase
+{
+  public:
+    enum Kind : unsigned
+    {
+        Mem,      //!< MemorySystem::access/accessVector (translate+cache)
+        Pipeline, //!< Pipeline public entry points (includes Mem time)
+        NumKinds,
+    };
+
+    /** Turn attribution on/off (off by default). */
+    static void setEnabled(bool on) { enabled_ = on; }
+    static bool enabled() { return enabled_; }
+
+    /** Accumulated host nanoseconds attributed to @p kind. */
+    static std::uint64_t
+    nanos(Kind kind)
+    {
+        return ticks_[kind].load(std::memory_order_relaxed);
+    }
+
+    /** Zero all accumulators (e.g. between warmup and timed sweep). */
+    static void
+    reset()
+    {
+        for (auto &t : ticks_)
+            t.store(0, std::memory_order_relaxed);
+    }
+
+    /** RAII attribution scope; only the outermost per kind counts. */
+    class Scope
+    {
+      public:
+        explicit Scope(Kind kind) : kind_(kind)
+        {
+            if (!enabled_) [[likely]] {
+                state_ = Off;
+                return;
+            }
+            if (depth_[kind_]++ == 0) {
+                state_ = Outer;
+                start_ = now();
+            } else {
+                state_ = Nested;
+            }
+        }
+
+        ~Scope()
+        {
+            if (state_ == Off)
+                return;
+            --depth_[kind_];
+            if (state_ == Outer)
+                ticks_[kind_].fetch_add(now() - start_,
+                                        std::memory_order_relaxed);
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        enum State : unsigned char
+        {
+            Off,
+            Nested,
+            Outer,
+        };
+
+        Kind kind_;
+        State state_;
+        std::uint64_t start_ = 0;
+    };
+
+  private:
+    static std::uint64_t
+    now()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    static inline bool enabled_ = false;
+    static inline std::array<std::atomic<std::uint64_t>, NumKinds>
+        ticks_{};
+    static inline thread_local std::array<unsigned, NumKinds> depth_{};
+};
+
+} // namespace quetzal::sim
+
+#endif // QUETZAL_SIM_HOSTPHASE_HPP

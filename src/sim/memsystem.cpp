@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/bitutil.hpp"
 #include "common/logging.hpp"
+#include "sim/hostphase.hpp"
 
 namespace quetzal::sim {
 
@@ -17,6 +19,7 @@ MemorySystem::MemorySystem(const SystemParams &params)
     dramBytes_ = &stats_.stat("dram_bytes", "bytes fetched from DRAM");
     translateFast_ = &stats_.stat(
         "translate_fast", "translations served by the MRU entry");
+    l1LineShift_ = floorLog2(params.l1d.lineBytes);
     directory_.resize(64, nullptr);
 }
 
@@ -83,7 +86,9 @@ MemorySystem::translate(Addr hostAddr)
     // MRU translation cache: sequential streams re-touch the same
     // paragraph for (up to) 16 consecutive byte addresses, and a
     // gather burst over one table stays within a paragraph run.
-    if (par == mruPar_ && mruStamp_ == epoch_) {
+    // (mruPar_ is the kNoParagraph sentinel when invalid, so one
+    // compare covers both validity and match.)
+    if (par == mruPar_) {
         ++*translateFast_;
         return mruSimPar_ * kParagraphBytes + offset;
     }
@@ -98,7 +103,6 @@ MemorySystem::translate(Addr hostAddr)
     }
     mruPar_ = par;
     mruSimPar_ = chunk->simPar[idx];
-    mruStamp_ = epoch_;
     return mruSimPar_ * kParagraphBytes + offset;
 }
 
@@ -127,6 +131,14 @@ unsigned
 MemorySystem::access(std::uint64_t pc, Addr addr, unsigned bytes,
                      bool write)
 {
+    const HostPhase::Scope scope(HostPhase::Mem);
+    return accessOne(pc, addr, bytes, write);
+}
+
+unsigned
+MemorySystem::accessOne(std::uint64_t pc, Addr addr, unsigned bytes,
+                        bool write)
+{
     // Stores are write-allocate and, for timing purposes, behave like
     // loads (the LSQ hides store latency; the occupancy cost is modeled
     // in the pipeline).
@@ -135,18 +147,28 @@ MemorySystem::access(std::uint64_t pc, Addr addr, unsigned bytes,
     // granularity), probing each distinct simulated line once. The
     // line split is decided by simulated addresses so that it, too,
     // is independent of where the host allocator placed the data.
-    const unsigned line = l1d_.lineBytes();
-    unsigned worst = 0;
-    Addr prevLine = ~Addr{0};
+    // Line-index math is a shift (line size is a power of two): a
+    // hardware divide here would be the single hottest instruction of
+    // the whole simulator.
+    const unsigned shift = l1LineShift_;
     const Addr first = addr / kParagraphBytes;
     const Addr last =
         (addr + std::max(1u, bytes) - 1) / kParagraphBytes;
+    // Most requests (scalar loads/stores, gather elements) fit inside
+    // one paragraph: one translation, one line probe, no loop state.
+    if (first == last) {
+        const Addr simLine = translate(addr) >> shift;
+        return accessLine(pc, simLine << shift);
+    }
+    unsigned worst = 0;
+    Addr prevLine = ~Addr{0};
     for (Addr p = first; p <= last; ++p) {
         const Addr host =
             p == first ? addr : p * kParagraphBytes;
-        const Addr simLine = translate(host) / line;
+        const Addr simLine = translate(host) >> shift;
         if (simLine != prevLine) {
-            worst = std::max(worst, accessLine(pc, simLine * line));
+            worst = std::max(worst,
+                             accessLine(pc, simLine << shift));
             prevLine = simLine;
         }
     }
@@ -158,6 +180,7 @@ MemorySystem::accessVector(std::uint64_t pc, std::span<const Addr> addrs,
                            unsigned elemBytes, bool write,
                            std::span<unsigned> latencies)
 {
+    const HostPhase::Scope scope(HostPhase::Mem);
     fatal_if(latencies.size() < addrs.size(),
              "accessVector latency span ({}) shorter than lane count ({})",
              latencies.size(), addrs.size());
@@ -166,7 +189,7 @@ MemorySystem::accessVector(std::uint64_t pc, std::span<const Addr> addrs,
     // training, and recency updates are bit-identical; batching only
     // keeps the translation/MRU fast paths warm across the burst.
     for (std::size_t i = 0; i < addrs.size(); ++i)
-        latencies[i] = access(pc, addrs[i], elemBytes, write);
+        latencies[i] = accessOne(pc, addrs[i], elemBytes, write);
 }
 
 } // namespace quetzal::sim

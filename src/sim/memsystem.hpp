@@ -102,6 +102,10 @@ class MemorySystem
     newEpoch()
     {
         ++epoch_;
+        // The MRU translation belongs to the old epoch: point it at a
+        // paragraph no host address maps to, so the hot-path validity
+        // check stays a single compare instead of a stamp compare.
+        mruPar_ = kNoParagraph;
     }
 
     /** Bytes transferred from DRAM (for bandwidth contention). */
@@ -117,6 +121,9 @@ class MemorySystem
   private:
     /** Translation granularity: malloc's 16-byte alignment guarantee. */
     static constexpr Addr kParagraphBytes = 16;
+    /** MRU-invalid sentinel: no host address divides down to this
+     *  paragraph index (it would need addr >= 2^64 - 16). */
+    static constexpr Addr kNoParagraph = ~Addr{0};
     /** log2(paragraphs per chunk): 1024 paragraphs = 16 KB of host. */
     static constexpr unsigned kChunkShift = 10;
     static constexpr std::size_t kChunkParagraphs =
@@ -141,6 +148,11 @@ class MemorySystem
 
     unsigned accessLine(std::uint64_t pc, Addr addr);
 
+    /** access() body without the host-phase scope: accessVector opens
+     *  one scope for the whole burst and calls this per lane. */
+    unsigned accessOne(std::uint64_t pc, Addr addr, unsigned bytes,
+                       bool write);
+
     SystemParams params_;
     Cache l1d_;
     Cache l2_;
@@ -152,14 +164,17 @@ class MemorySystem
     std::vector<Chunk *> directory_;
     std::size_t directoryUsed_ = 0;
 
-    /** One-entry MRU caches: last chunk, last paragraph translated. */
+    /** One-entry MRU caches: last chunk, last paragraph translated.
+     *  mruPar_ is kNoParagraph whenever the entry is invalid (initial
+     *  state and after every newEpoch()), so validity and match are
+     *  one compare. */
     Chunk *mruChunk_ = nullptr;
-    Addr mruPar_ = 0;
+    Addr mruPar_ = kNoParagraph;
     Addr mruSimPar_ = 0;
-    std::uint64_t mruStamp_ = 0; //!< epoch mruPar_/mruSimPar_ belong to
 
     Addr nextParagraph_ = 1;
     std::uint64_t epoch_ = 1; //!< current stamp; 0 marks never-assigned
+    unsigned l1LineShift_ = 0; //!< log2(L1 line) — access() index math
 
     StatGroup stats_;
     Stat *requests_;

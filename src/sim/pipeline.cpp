@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "common/bitutil.hpp"
 #include "common/logging.hpp"
+#include "sim/hostphase.hpp"
 
 namespace quetzal::sim {
 
@@ -61,163 +61,160 @@ Pipeline::Pipeline(const SystemParams &params, MemorySystem &mem)
       aguPipes_(params.core.agus, 0)
 {
     panic_if_not(params.core.issueWidth > 0, "issue width must be > 0");
+    // One extra slot each: dispatch may momentarily hold capacity+1
+    // entries (the claim happens before the oldest retires), and a
+    // single indexed op can claim several LSQ slots at once.
+    rob_.reset(params.core.robEntries + 1);
+    lsq_.reset(params.core.lsqEntries + 1);
 }
 
-Cycle
-Pipeline::frontendAdvance()
+Pipeline::OpSpec
+Pipeline::opSpec(OpClass cls)
 {
-    if (++slotInCycle_ >= params_.core.issueWidth) {
-        slotInCycle_ = 0;
-        attribute(cycle_, cycle_ + 1, StallKind::Frontend);
-        ++cycle_;
+    const CoreParams &core = params_.core;
+    switch (cls) {
+      case OpClass::ScalarAlu:
+        return {core.scalarAluLatency, &scalarPipes_};
+      case OpClass::Branch:
+        return {core.branchLatency, &scalarPipes_};
+      case OpClass::VecAlu:
+        return {core.vectorAluLatency, &vecPipes_};
+      case OpClass::VecCmp:
+        return {core.vectorCmpLatency, &vecPipes_};
+      case OpClass::VecPred:
+        return {core.predOpLatency, &vecPipes_};
+      case OpClass::VecReduce:
+        return {core.reduceLatency, &vecPipes_};
+      default:
+        panic("executeOp: class {} needs a specialized path",
+              opClassName(cls));
     }
-    return cycle_;
-}
-
-Cycle
-Pipeline::unitFree(std::vector<Cycle> &pool, Cycle t) const
-{
-    Cycle best = ~Cycle{0};
-    for (Cycle free : pool)
-        best = std::min(best, std::max(free, t));
-    return best;
-}
-
-void
-Pipeline::unitOccupy(std::vector<Cycle> &pool, Cycle start, Cycle busy)
-{
-    // Pick the unit that allowed the earliest start.
-    auto it = std::min_element(pool.begin(), pool.end());
-    *it = std::max(*it, start) + busy;
-}
-
-void
-Pipeline::attribute(Cycle from, Cycle to, StallKind kind)
-{
-    if (to > from)
-        stalls_[static_cast<std::size_t>(kind)] += to - from;
-}
-
-Cycle
-Pipeline::resolveIssue(std::initializer_list<Tag> srcs,
-                       std::vector<Cycle> &pool, std::size_t lsqNeed,
-                       bool commitSerialized)
-{
-    const Cycle front = frontendAdvance();
-    Cycle t = front;
-
-    // In-order dispatch: a full ROB stalls the pointer until the
-    // oldest in-flight op retires; the stall is attributed to what
-    // that op was waiting on (memory -> cache access, else compute).
-    while (!rob_.empty() && rob_.front().done <= t)
-        rob_.pop_front();
-    while (rob_.size() + 1 > params_.core.robEntries && !rob_.empty()) {
-        const RobEntry head = rob_.front();
-        rob_.pop_front();
-        if (head.done > t) {
-            attribute(t, head.done,
-                      head.mem ? StallKind::Cache : StallKind::Compute);
-            t = head.done;
-        }
-    }
-    if (lsqNeed > 0) {
-        while (!lsq_.empty() && lsq_.front() <= t)
-            lsq_.pop_front();
-        while (lsq_.size() + lsqNeed > params_.core.lsqEntries &&
-               !lsq_.empty()) {
-            const Cycle head = lsq_.front();
-            lsq_.pop_front();
-            if (head > t) {
-                // A full LSQ means dispatch waits on an outstanding
-                // memory access: that is cache-access time (the
-                // gather/scatter occupancy effect of Section II-G).
-                attribute(t, head, StallKind::Cache);
-                t = head;
-            }
-        }
-    }
-    if (t > cycle_)
-        cycle_ = t;
-
-    // Out-of-order execution start: operands, functional unit, and
-    // commit-time serialization delay only this op (and its
-    // dependents), not the dispatch of younger instructions.
-    Tag dep{};
-    for (const Tag &src : srcs)
-        dep = Tag::join(dep, src);
-    Cycle start = std::max(t, dep.ready);
-    if (commitSerialized)
-        start = std::max(start, maxCompletion_);
-    start = unitFree(pool, start);
-    return start;
-}
-
-void
-Pipeline::finishOp(OpClass cls, Cycle completion, std::size_t lsqNeed,
-                   bool isMem, Cycle lsqCompletion)
-{
-    rob_.push_back(RobEntry{completion, isMem});
-    const Cycle lsqDone =
-        lsqCompletion ? lsqCompletion : completion;
-    for (std::size_t i = 0; i < lsqNeed; ++i)
-        lsq_.push_back(lsqDone);
-    if (completion > maxCompletion_) {
-        maxCompletion_ = completion;
-        maxCompletionFromMem_ = isMem;
-    }
-    ++opCounts_[static_cast<std::size_t>(cls)];
-    ++instructions_;
 }
 
 Tag
 Pipeline::executeOp(OpClass cls, std::initializer_list<Tag> srcs)
 {
-    const CoreParams &core = params_.core;
-    unsigned latency = core.scalarAluLatency;
-    std::vector<Cycle> *pool = &scalarPipes_;
-    switch (cls) {
-      case OpClass::ScalarAlu:
-        break;
-      case OpClass::Branch:
-        latency = core.branchLatency;
-        break;
-      case OpClass::VecAlu:
-        latency = core.vectorAluLatency;
-        pool = &vecPipes_;
-        break;
-      case OpClass::VecCmp:
-        latency = core.vectorCmpLatency;
-        pool = &vecPipes_;
-        break;
-      case OpClass::VecPred:
-        latency = core.predOpLatency;
-        pool = &vecPipes_;
-        break;
-      case OpClass::VecReduce:
-        latency = core.reduceLatency;
-        pool = &vecPipes_;
-        break;
-      default:
-        panic("executeOp: class {} needs a specialized path",
-              opClassName(cls));
-    }
-
-    const Cycle issue = resolveIssue(srcs, *pool, 0, false);
-    unitOccupy(*pool, issue, 1); // fully pipelined
-    const Cycle completion = issue + latency;
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    const OpSpec spec = opSpec(cls);
+    const Cycle issue = resolveIssue(srcs, *spec.pool, 1, 0);
+    const Cycle completion = issue + spec.latency;
     finishOp(cls, completion, 0, false);
     return Tag{completion, false};
+}
+
+void
+Pipeline::executeOpBurst(OpClass cls, unsigned count)
+{
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    if (count == 0)
+        return;
+    const OpSpec spec = opSpec(cls);
+    std::vector<Cycle> &pool = *spec.pool;
+    const std::uint64_t width = params_.core.issueWidth;
+    const std::uint64_t pipes = pool.size();
+    const Cycle c0 = cycle_;
+    const std::uint64_t s0 = slotInCycle_;
+    const Cycle firstFront = c0 + (s0 + 1) / width;
+
+    // Closed form requires a clean launch state: every unit idle by
+    // the first op's dispatch cycle and no chance of ROB back-pressure
+    // anywhere in the burst. Otherwise replay the verbatim loop.
+    bool clean = pipes > 0 &&
+                 rob_.size() + count <= params_.core.robEntries;
+    for (std::size_t i = 0; clean && i < pool.size(); ++i)
+        clean = pool[i] <= firstFront;
+    if (!clean) {
+        for (unsigned i = 0; i < count; ++i)
+            executeOp(cls, {});
+        return;
+    }
+    ++burstFastPaths_;
+
+    // N independent, source-free, 1-cycle-occupancy ops form a D/D/P
+    // queue fed by a W-wide frontend from an idle start. Its exact
+    // start schedule is
+    //   S_k = max(front_k, front_r + (k - r) / P),  r = (k-1) % P + 1
+    // with front_k = c0 + (s0 + k) / W: the unrolled recurrence
+    // S_k = max(front_k, S_{k-P} + 1) evaluated at its two endpoints
+    // (the intermediate terms are monotone between them).
+    const auto startOf = [&](std::uint64_t k) {
+        const std::uint64_t r = (k - 1) % pipes + 1;
+        return std::max<Cycle>(c0 + (s0 + k) / width,
+                               c0 + (s0 + r) / width + (k - r) / pipes);
+    };
+
+    // Frontend bookkeeping for all N slots at once.
+    const Cycle finalFront = c0 + (s0 + count) / width;
+    attribute(c0, finalFront, StallKind::Frontend);
+    cycle_ = finalFront;
+    slotInCycle_ = static_cast<unsigned>((s0 + count) % width);
+
+    // Pool rotation: each op replaces the pool minimum with a value
+    // larger than everything present, so after the burst the pool
+    // holds the last min(N, P) start+1 values (plus untouched slots
+    // when N < P, which keep the largest of the original values —
+    // here all equal candidates, so replacing any N slots is exact).
+    if (count >= pipes) {
+        for (std::uint64_t i = 0; i < pipes; ++i)
+            pool[i] = startOf(count - pipes + 1 + i) + 1;
+    } else {
+        for (std::uint64_t j = 1; j <= count; ++j) {
+            Cycle *best = pool.data();
+            for (std::size_t i = 1; i < pool.size(); ++i)
+                if (pool[i] < *best)
+                    best = &pool[i];
+            *best = startOf(j) + 1;
+        }
+    }
+
+    // Retire bookkeeping. The ROB prefix that a per-op loop would
+    // have drained is exactly the maximal front prefix with
+    // done <= finalFront (pops are prefix-only under a monotone
+    // dispatch pointer); burst entries behind a surviving older entry
+    // all survive with it.
+    const Cycle latency = spec.latency;
+    bool blocked = false;
+    while (!rob_.empty()) {
+        if (rob_.front().done > finalFront) {
+            blocked = true;
+            break;
+        }
+        rob_.pop();
+    }
+    // Surviving burst entries are [firstKept, N]: completions are
+    // nondecreasing in k, so the retired ones form a prefix — unless
+    // an older entry survived, which shields every burst entry.
+    std::uint64_t firstKept = count;
+    if (blocked) {
+        firstKept = 1;
+    } else {
+        while (firstKept > 1 &&
+               startOf(firstKept - 1) + latency > finalFront)
+            --firstKept;
+    }
+    for (std::uint64_t k = firstKept; k < count; ++k)
+        rob_.push(RobEntry{startOf(k) + latency, false});
+    rob_.push(RobEntry{startOf(count) + latency, false});
+
+    const Cycle lastCompletion = startOf(count) + latency;
+    if (lastCompletion > maxCompletion_) {
+        maxCompletion_ = lastCompletion;
+        maxCompletionFromMem_ = false;
+    }
+    opCounts_[static_cast<std::size_t>(cls)] += count;
+    instructions_ += count;
 }
 
 Tag
 Pipeline::executeMem(OpClass cls, std::uint64_t pc, Addr addr,
                      unsigned bytes, std::initializer_list<Tag> srcs)
 {
-    panic_if_not(isMemClass(cls), "executeMem: {} is not a memory class",
-                 opClassName(cls));
-    std::vector<Cycle> &pool = aguPipes_;
-    const Cycle issue = resolveIssue(srcs, pool, 1, false);
-    unitOccupy(pool, issue, 1);
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    // Diagnostics pass the raw enum: opClassName() is a switch the
+    // caller would otherwise evaluate on every call of this hot path.
+    panic_if_not(isMemClass(cls), "executeMem: class {} is not a memory class",
+                 static_cast<int>(cls));
+    const Cycle issue = resolveIssue(srcs, aguPipes_, 1, 1);
     const bool write = cls == OpClass::ScalarStore ||
                        cls == OpClass::VecStore;
     const unsigned latency = mem_.access(pc, addr, bytes, write);
@@ -234,12 +231,11 @@ Pipeline::executeIndexed(OpClass cls, std::uint64_t pc,
                          std::span<const Addr> addrs, unsigned elemBytes,
                          std::initializer_list<Tag> srcs)
 {
+    const HostPhase::Scope scope(HostPhase::Pipeline);
     panic_if_not(cls == OpClass::VecGather || cls == OpClass::VecScatter,
-                 "executeIndexed: bad class {}", opClassName(cls));
+                 "executeIndexed: bad class {}", static_cast<int>(cls));
     const CoreParams &core = params_.core;
     const std::size_t lsqNeed = std::max<std::size_t>(1, addrs.size());
-
-    const Cycle issue = resolveIssue(srcs, aguPipes_, lsqNeed, false);
 
     // Indexed accesses split into scalar element requests that flow
     // down one load pipe at one element per cycle (A64FX gathers are
@@ -247,7 +243,8 @@ Pipeline::executeIndexed(OpClass cls, std::uint64_t pc,
     // delaying later memory instructions on it (the pipeline-occupancy
     // effect the paper highlights), and every element holds an LSQ
     // entry until the instruction completes.
-    unitOccupy(aguPipes_, issue, addrs.size());
+    const Cycle issue =
+        resolveIssue(srcs, aguPipes_, addrs.size(), lsqNeed);
 
     const bool write = cls == OpClass::VecScatter;
     laneLatencies_.resize(addrs.size());
@@ -271,8 +268,8 @@ Tag
 Pipeline::executeQz(OpClass cls, unsigned latency,
                     std::initializer_list<Tag> srcs, bool commitSerialized)
 {
-    const Cycle issue = resolveIssue(srcs, vecPipes_, 0, false);
-    unitOccupy(vecPipes_, issue, 1);
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    const Cycle issue = resolveIssue(srcs, vecPipes_, 1, 0);
     // Commit-time execution (QBUFFER writes, Section IV-E): the op
     // waits in the issue queue until it is the oldest in flight, but
     // younger independent instructions keep issuing; only consumers of
@@ -285,15 +282,9 @@ Pipeline::executeQz(OpClass cls, unsigned latency,
 }
 
 void
-Pipeline::chargeScalarOps(unsigned count)
-{
-    for (unsigned i = 0; i < count; ++i)
-        executeOp(OpClass::ScalarAlu, {});
-}
-
-void
 Pipeline::bubble(unsigned cycles, StallKind kind)
 {
+    const HostPhase::Scope scope(HostPhase::Pipeline);
     attribute(cycle_, cycle_ + cycles, kind);
     cycle_ += cycles;
     slotInCycle_ = 0;

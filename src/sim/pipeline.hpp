@@ -18,13 +18,23 @@
  * causes, which directly produces the Fig. 4 execution-time breakdown:
  * frontend, compute dependency/FU, cache access (waiting on data from a
  * memory instruction), or structural ROB/LSQ back-pressure.
+ *
+ * Host-performance notes (docs/SIMULATOR.md, "Host performance"): the
+ * ROB and LSQ are fixed-capacity power-of-two ring buffers sized from
+ * robEntries/lsqEntries at construction, so the once-per-instruction
+ * dispatch path never allocates; independent same-class op runs go
+ * through a closed-form burst path (executeOpBurst) instead of N
+ * trips through executeOp. Both are proven observationally identical
+ * to the straightforward structures they replaced by randomized
+ * lockstep tests (tests/test_sim.cpp, RingRobLsqEquivalence /
+ * BurstMatchesSerialExecuteOps).
  */
 #ifndef QUETZAL_SIM_PIPELINE_HPP
 #define QUETZAL_SIM_PIPELINE_HPP
 
 #include <array>
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -34,6 +44,22 @@
 #include "sim/params.hpp"
 
 namespace quetzal::sim {
+
+/**
+ * Force-inline marker for the once-per-instruction dispatch helpers:
+ * at ~800M calls per full-matrix sweep the call overhead alone is
+ * measurable, and inlining lets the compiler specialize each call
+ * site on its constant busy/lsqNeed arguments (non-memory sites drop
+ * the whole LSQ block). The optimizer's own size heuristics decline
+ * these, so the hint is load-bearing — see docs/SIMULATOR.md.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define QZ_SIM_ALWAYS_INLINE __attribute__((always_inline)) inline
+#define QZ_SIM_NOINLINE_COLD __attribute__((noinline, cold))
+#else
+#define QZ_SIM_ALWAYS_INLINE inline
+#define QZ_SIM_NOINLINE_COLD
+#endif
 
 /** Simulated cycle count. */
 using Cycle = std::uint64_t;
@@ -89,6 +115,66 @@ enum class StallKind : std::uint8_t
     NumKinds,
 };
 
+/**
+ * Power-of-two FIFO ring buffer: the ROB/LSQ storage. push/pop/front
+ * are O(1) with free-running indices masked into a flat array, so the
+ * per-instruction dispatch path never allocates. Capacity is fixed at
+ * reset() (sized from robEntries/lsqEntries); the grow path exists
+ * only for the pathological case of a single op claiming more LSQ
+ * slots than the whole queue holds, and is never hit in steady state.
+ */
+template <typename T>
+class FifoRing
+{
+  public:
+    /** Size storage for at least @p minCapacity elements. */
+    void
+    reset(std::size_t minCapacity)
+    {
+        const std::size_t cap =
+            std::bit_ceil(std::max<std::size_t>(minCapacity, 2));
+        buf_.assign(cap, T{});
+        mask_ = cap - 1;
+        head_ = tail_ = 0;
+    }
+
+    QZ_SIM_ALWAYS_INLINE bool empty() const { return head_ == tail_; }
+    QZ_SIM_ALWAYS_INLINE std::size_t size() const { return tail_ - head_; }
+    QZ_SIM_ALWAYS_INLINE const T &front() const
+    {
+        return buf_[head_ & mask_];
+    }
+    QZ_SIM_ALWAYS_INLINE void pop() { ++head_; }
+
+    QZ_SIM_ALWAYS_INLINE void
+    push(const T &value)
+    {
+        if (size() > mask_) [[unlikely]]
+            grow();
+        buf_[tail_ & mask_] = value;
+        ++tail_;
+    }
+
+  private:
+    QZ_SIM_NOINLINE_COLD void
+    grow()
+    {
+        std::vector<T> wider((mask_ + 1) * 2);
+        const std::size_t count = size();
+        for (std::size_t i = 0; i < count; ++i)
+            wider[i] = buf_[(head_ + i) & mask_];
+        buf_ = std::move(wider);
+        mask_ = buf_.size() - 1;
+        head_ = 0;
+        tail_ = count;
+    }
+
+    std::vector<T> buf_{T{}, T{}};
+    std::size_t mask_ = 1;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+};
+
 /** The scoreboard core model. */
 class Pipeline
 {
@@ -97,6 +183,16 @@ class Pipeline
 
     /** Fixed-latency non-memory op. @return result tag. */
     Tag executeOp(OpClass cls, std::initializer_list<Tag> srcs);
+
+    /**
+     * Burst of @p count independent, source-free ops of non-memory
+     * class @p cls: observationally identical to calling
+     * executeOp(cls, {}) @p count times, but the frontend slots, pool
+     * rotation, and retire bookkeeping are computed in closed form
+     * when the machine state allows (idle pool, no ROB pressure),
+     * falling back to the per-op loop otherwise.
+     */
+    void executeOpBurst(OpClass cls, unsigned count);
 
     /**
      * Contiguous memory op covering [addr, addr+bytes).
@@ -124,7 +220,10 @@ class Pipeline
                   bool commitSerialized = false);
 
     /** Charge @p count trivial scalar ALU ops (loop overhead). */
-    void chargeScalarOps(unsigned count);
+    void chargeScalarOps(unsigned count)
+    {
+        executeOpBurst(OpClass::ScalarAlu, count);
+    }
 
     /**
      * Insert a frontend bubble of @p cycles (e.g. a branch-mispredict
@@ -156,18 +255,20 @@ class Pipeline
     /** Total dynamic instructions. */
     std::uint64_t instructions() const { return instructions_; }
 
+    /** Bursts the closed-form path handled (host-perf observability). */
+    std::uint64_t burstFastPaths() const { return burstFastPaths_; }
+
     MemorySystem &mem() { return mem_; }
     const SystemParams &params() const { return params_; }
 
   private:
-    /** Advance frontend by one instruction slot. */
-    Cycle frontendAdvance();
-
-    /** Earliest cycle a unit from @p pool is free at or after @p t. */
-    Cycle unitFree(std::vector<Cycle> &pool, Cycle t) const;
-
-    /** Occupy the pool unit chosen by unitFree for @p busy cycles. */
-    void unitOccupy(std::vector<Cycle> &pool, Cycle start, Cycle busy);
+    /** Latency and functional-unit pool of a non-memory op class. */
+    struct OpSpec
+    {
+        unsigned latency;
+        std::vector<Cycle> *pool;
+    };
+    OpSpec opSpec(OpClass cls);
 
     /** One in-flight instruction tracked for in-order retirement. */
     struct RobEntry
@@ -177,27 +278,122 @@ class Pipeline
     };
 
     /** Record an issue-pointer advance from @p from to @p to. */
-    void attribute(Cycle from, Cycle to, StallKind kind);
+    QZ_SIM_ALWAYS_INLINE void
+    attribute(Cycle from, Cycle to, StallKind kind)
+    {
+        if (to > from)
+            stalls_[static_cast<std::size_t>(kind)] += to - from;
+    }
+
+    /** Advance frontend by one instruction slot. */
+    QZ_SIM_ALWAYS_INLINE Cycle
+    frontendAdvance()
+    {
+        if (++slotInCycle_ >= params_.core.issueWidth) {
+            slotInCycle_ = 0;
+            attribute(cycle_, cycle_ + 1, StallKind::Frontend);
+            ++cycle_;
+        }
+        return cycle_;
+    }
 
     /**
      * In-order dispatch: claim a ROB slot (and @p lsqNeed LSQ slots),
      * stalling the dispatch pointer while the queues are full, then
      * return the out-of-order execution start cycle — the later of
-     * dispatch, operand readiness, functional-unit availability, and
-     * (for commit-serialized ops) all prior completions. Younger
+     * dispatch, operand readiness, and functional-unit availability.
+     * The chosen unit from @p pool is occupied for @p busy cycles in
+     * the same scan that found it (no second pool pass). Younger
      * independent instructions are NOT delayed by this op's operand
      * waits; only queue back-pressure moves the dispatch pointer.
      */
-    Cycle resolveIssue(std::initializer_list<Tag> srcs,
-                       std::vector<Cycle> &pool, std::size_t lsqNeed,
-                       bool commitSerialized);
+    QZ_SIM_ALWAYS_INLINE Cycle
+    resolveIssue(std::initializer_list<Tag> srcs,
+                 std::vector<Cycle> &pool, Cycle busy,
+                 std::size_t lsqNeed)
+    {
+        const Cycle front = frontendAdvance();
+        Cycle t = front;
+
+        // In-order dispatch: a full ROB stalls the pointer until the
+        // oldest in-flight op retires; the stall is attributed to what
+        // that op was waiting on (memory -> cache access, else
+        // compute).
+        while (!rob_.empty() && rob_.front().done <= t)
+            rob_.pop();
+        while (rob_.size() + 1 > params_.core.robEntries &&
+               !rob_.empty()) {
+            const RobEntry head = rob_.front();
+            rob_.pop();
+            if (head.done > t) {
+                attribute(t, head.done,
+                          head.mem ? StallKind::Cache
+                                   : StallKind::Compute);
+                t = head.done;
+            }
+        }
+        if (lsqNeed > 0) {
+            while (!lsq_.empty() && lsq_.front() <= t)
+                lsq_.pop();
+            while (lsq_.size() + lsqNeed > params_.core.lsqEntries &&
+                   !lsq_.empty()) {
+                const Cycle head = lsq_.front();
+                lsq_.pop();
+                if (head > t) {
+                    // A full LSQ means dispatch waits on an
+                    // outstanding memory access: that is cache-access
+                    // time (the gather/scatter occupancy effect of
+                    // Section II-G).
+                    attribute(t, head, StallKind::Cache);
+                    t = head;
+                }
+            }
+        }
+        if (t > cycle_)
+            cycle_ = t;
+
+        // Out-of-order execution start: operands and functional-unit
+        // availability delay only this op (and its dependents), not
+        // the dispatch of younger instructions.
+        Tag dep{};
+        for (const Tag &src : srcs)
+            dep = Tag::join(dep, src);
+        Cycle start = std::max(t, dep.ready);
+
+        // Reserve the earliest-free unit in one scan: the unit with
+        // the minimum free cycle both defines the start
+        // (max(free, start)) and is the one occupied, so finding and
+        // claiming it is fused.
+        Cycle *best = pool.data();
+        for (std::size_t i = 1; i < pool.size(); ++i)
+            if (pool[i] < *best)
+                best = &pool[i];
+        if (*best > start)
+            start = *best;
+        *best = start + busy;
+        return start;
+    }
 
     /**
      * Retire bookkeeping. @p lsqCompletion, when non-zero, lets a
      * store's LSQ (store-buffer) entry outlive its ROB retirement.
      */
-    void finishOp(OpClass cls, Cycle completion, std::size_t lsqNeed,
-                  bool isMem, Cycle lsqCompletion = 0);
+    QZ_SIM_ALWAYS_INLINE void
+    finishOp(OpClass cls, Cycle completion, std::size_t lsqNeed,
+             bool isMem, Cycle lsqCompletion = 0)
+    {
+        rob_.push(RobEntry{completion, isMem});
+        const Cycle lsqDone =
+            lsqCompletion ? lsqCompletion : completion;
+        for (std::size_t i = 0; i < lsqNeed; ++i)
+            lsq_.push(lsqDone);
+        if (completion > maxCompletion_) {
+            maxCompletion_ = completion;
+            maxCompletionFromMem_ = isMem;
+        }
+        ++opCounts_[static_cast<std::size_t>(cls)];
+        ++instructions_;
+    }
 
     SystemParams params_;
     MemorySystem &mem_;
@@ -209,8 +405,8 @@ class Pipeline
     std::vector<Cycle> scalarPipes_;
     std::vector<Cycle> aguPipes_;
 
-    std::deque<RobEntry> rob_;
-    std::deque<Cycle> lsq_;
+    FifoRing<RobEntry> rob_;
+    FifoRing<Cycle> lsq_;
 
     /** Scratch lane-latency buffer for executeIndexed (reused across
      *  bursts so gathers do not allocate per instruction). */
@@ -225,6 +421,7 @@ class Pipeline
                static_cast<std::size_t>(OpClass::NumClasses)>
         opCounts_{};
     std::uint64_t instructions_ = 0;
+    std::uint64_t burstFastPaths_ = 0;
 };
 
 /** True for classes that visit the cache hierarchy. */

@@ -1,5 +1,7 @@
 #include "sim/prefetcher.hpp"
 
+#include "common/bitutil.hpp"
+
 namespace quetzal::sim {
 
 StridePrefetcher::StridePrefetcher(const PrefetcherParams &params,
@@ -7,6 +9,8 @@ StridePrefetcher::StridePrefetcher(const PrefetcherParams &params,
     : params_(params), target_(target), table_(params.tableEntries),
       stats_("prefetcher")
 {
+    if (!table_.empty() && isPowerOf2(table_.size()))
+        tableMask_ = table_.size() - 1;
     issued_ = &stats_.stat("issued", "prefetch fills issued");
 }
 
@@ -16,7 +20,11 @@ StridePrefetcher::observe(std::uint64_t pc, Addr addr)
     if (!params_.enabled || table_.empty())
         return;
 
-    Entry &entry = table_[pc % table_.size()];
+    // Same slot as `pc % size`, but without a hardware divide on
+    // every demand access when the table size is a power of two.
+    const std::size_t slot =
+        tableMask_ ? (pc & tableMask_) : (pc % table_.size());
+    Entry &entry = table_[slot];
     if (!entry.valid || entry.pc != pc) {
         entry = Entry{pc, addr, 0, 0, true};
         return;

@@ -48,6 +48,8 @@ class StridePrefetcher
     PrefetcherParams params_;
     Cache &target_;
     std::vector<Entry> table_;
+    /** size-1 when the table size is a power of two, else 0. */
+    std::size_t tableMask_ = 0;
 
     StatGroup stats_;
     Stat *issued_;

@@ -25,20 +25,27 @@ namespace quetzal {
 namespace {
 
 std::string
-goldenPath()
+goldenPath(const char *file)
 {
-    return std::string(QZ_TESTS_DATA_DIR) + "/golden_cells.json";
+    return std::string(QZ_TESTS_DATA_DIR) + "/" + file;
+}
+
+/** A runner whose report bytes cannot depend on ambient QZ_* config. */
+algos::BatchRunner
+pinnedRunner()
+{
+    algos::BatchRunner runner(1);
+    runner.setShard(std::nullopt);
+    runner.setFaultInjection(std::nullopt);
+    runner.setHostPerf(false);
+    return runner;
 }
 
 /** The exact bytes `qz-perf --tiny --metrics` writes (sans newline). */
 std::string
 tinyMatrixReportJson()
 {
-    algos::BatchRunner runner(1);
-    // The golden bytes must not depend on ambient QZ_* configuration.
-    runner.setShard(std::nullopt);
-    runner.setFaultInjection(std::nullopt);
-    runner.setHostPerf(false);
+    algos::BatchRunner runner = pinnedRunner();
     const std::size_t cells =
         perf::addPerfMatrix(runner, perf::kTinyScale, /*tiny=*/true);
     EXPECT_EQ(cells, 12u);
@@ -48,28 +55,54 @@ tinyMatrixReportJson()
         "qz-perf", perf::kTinyScale, 1, outcome));
 }
 
-TEST(GoldenMetrics, TinyMatrixIsByteIdenticalToSnapshot)
+/** The exact bytes `qz-perf --kernels --metrics` writes. */
+std::string
+kernelMatrixReportJson()
 {
-    const std::string json = tinyMatrixReportJson();
+    algos::BatchRunner runner = pinnedRunner();
+    const std::size_t cells = perf::addKernelMatrix(runner);
+    EXPECT_EQ(cells, 6u);
+    const algos::BatchOutcome outcome = runner.run();
+    EXPECT_TRUE(outcome.ok());
+    return algos::toJson(algos::makeBenchReport(
+        "qz-perf", perf::kTinyScale, 1, outcome));
+}
 
+/** Byte-compare @p json against the snapshot file @p file. */
+void
+expectMatchesGolden(const std::string &json, const char *file)
+{
+    const std::string path = goldenPath(file);
     if (const char *update = std::getenv("QZ_UPDATE_GOLDEN");
         update && *update && std::string_view(update) != "0") {
-        std::ofstream out(goldenPath());
-        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
         out << json << "\n";
-        GTEST_SKIP() << "golden snapshot regenerated at "
-                     << goldenPath();
+        GTEST_SKIP() << "golden snapshot regenerated at " << path;
     }
 
-    std::ifstream in(goldenPath());
-    ASSERT_TRUE(in) << "missing golden snapshot " << goldenPath()
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden snapshot " << path
                     << " (generate with QZ_UPDATE_GOLDEN=1)";
     std::stringstream buffer;
     buffer << in.rdbuf();
     EXPECT_EQ(buffer.str(), json + "\n")
-        << "simulated metrics drifted from tests/data/"
-           "golden_cells.json; if the change is intentional, "
-           "regenerate with QZ_UPDATE_GOLDEN=1 and explain why";
+        << "simulated metrics drifted from tests/data/" << file
+        << "; if the change is intentional, regenerate with "
+           "QZ_UPDATE_GOLDEN=1 and explain why";
+}
+
+TEST(GoldenMetrics, TinyMatrixIsByteIdenticalToSnapshot)
+{
+    expectMatchesGolden(tinyMatrixReportJson(), "golden_cells.json");
+}
+
+TEST(GoldenMetrics, KernelMatrixIsByteIdenticalToSnapshot)
+{
+    // Histogram (scatter-heavy) and SpMV (gather-heavy) pin the
+    // Fig. 15b ISA-layer paths the genomics matrix exercises lightly.
+    expectMatchesGolden(kernelMatrixReportJson(),
+                        "golden_kernels.json");
 }
 
 TEST(GoldenMetrics, HostTimingStaysOutOfDefaultReports)

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <random>
 
 #include "common/logging.hpp"
@@ -579,6 +581,497 @@ TEST(Multicore, RejectsZeroCores)
     SystemParams params;
     EXPECT_THROW(multicoreSpeedup(CoreDemand{1, 1}, 0, params),
                  FatalError);
+}
+
+/**
+ * Verbatim transcription of the pre-ring-buffer scoreboard: std::deque
+ * ROB/LSQ, separate unitFree (scan) + unitOccupy (min_element rescan),
+ * per-op loop for scalar charges. The reference model for the
+ * RingRobLsqEquivalence and BurstMatchesSerialExecuteOps lockstep
+ * proofs — do not "improve" it; its value is being the old code.
+ */
+class DequeScoreboardModel
+{
+  public:
+    DequeScoreboardModel(const SystemParams &params, MemorySystem &mem)
+        : params_(params), mem_(mem),
+          vecPipes_(params.core.vectorPipes, 0),
+          scalarPipes_(params.core.scalarPipes, 0),
+          aguPipes_(params.core.agus, 0)
+    {
+    }
+
+    Tag
+    executeOp(OpClass cls, std::initializer_list<Tag> srcs)
+    {
+        unsigned latency = 0;
+        std::vector<Cycle> *pool = nullptr;
+        const CoreParams &core = params_.core;
+        switch (cls) {
+          case OpClass::ScalarAlu:
+            latency = core.scalarAluLatency;
+            pool = &scalarPipes_;
+            break;
+          case OpClass::Branch:
+            latency = core.branchLatency;
+            pool = &scalarPipes_;
+            break;
+          case OpClass::VecAlu:
+            latency = core.vectorAluLatency;
+            pool = &vecPipes_;
+            break;
+          case OpClass::VecCmp:
+            latency = core.vectorCmpLatency;
+            pool = &vecPipes_;
+            break;
+          case OpClass::VecPred:
+            latency = core.predOpLatency;
+            pool = &vecPipes_;
+            break;
+          case OpClass::VecReduce:
+            latency = core.reduceLatency;
+            pool = &vecPipes_;
+            break;
+          default:
+            ADD_FAILURE() << "model executeOp on specialized class";
+            return {};
+        }
+        const Cycle issue = resolveIssue(srcs, *pool, 0);
+        unitOccupy(*pool, issue, 1);
+        const Cycle completion = issue + latency;
+        finishOp(cls, completion, 0, false);
+        return Tag{completion, false};
+    }
+
+    Tag
+    executeMem(OpClass cls, std::uint64_t pc, Addr addr, unsigned bytes,
+               std::initializer_list<Tag> srcs)
+    {
+        const Cycle issue = resolveIssue(srcs, aguPipes_, 1);
+        unitOccupy(aguPipes_, issue, 1);
+        const bool write = cls == OpClass::ScalarStore ||
+                           cls == OpClass::VecStore;
+        const unsigned latency = mem_.access(pc, addr, bytes, write);
+        const Cycle completion = write ? issue + 1 : issue + latency;
+        finishOp(cls, completion, 1, true,
+                 write ? issue + latency : 0);
+        return Tag{completion, true};
+    }
+
+    Tag
+    executeIndexed(OpClass cls, std::uint64_t pc,
+                   std::span<const Addr> addrs, unsigned elemBytes,
+                   std::initializer_list<Tag> srcs)
+    {
+        const CoreParams &core = params_.core;
+        const std::size_t lsqNeed =
+            std::max<std::size_t>(1, addrs.size());
+        const Cycle issue = resolveIssue(srcs, aguPipes_, lsqNeed);
+        unitOccupy(aguPipes_, issue, addrs.size());
+        const bool write = cls == OpClass::VecScatter;
+        laneLatencies_.resize(addrs.size());
+        mem_.accessVector(pc, addrs, elemBytes, write, laneLatencies_);
+        Cycle worst = issue;
+        for (std::size_t i = 0; i < addrs.size(); ++i)
+            worst = std::max(worst, issue + i + laneLatencies_[i]);
+        Cycle completion =
+            std::max(worst, issue + core.gatherMinLatency);
+        Cycle lsqDone = 0;
+        if (write) {
+            lsqDone = completion;
+            completion = issue + addrs.size() + 1;
+        }
+        finishOp(cls, completion, lsqNeed, true, lsqDone);
+        return Tag{completion, true};
+    }
+
+    Tag
+    executeQz(OpClass cls, unsigned latency,
+              std::initializer_list<Tag> srcs, bool commitSerialized)
+    {
+        const Cycle issue = resolveIssue(srcs, vecPipes_, 0);
+        unitOccupy(vecPipes_, issue, 1);
+        const Cycle start =
+            commitSerialized ? std::max(issue, maxCompletion_) : issue;
+        const Cycle completion = start + latency;
+        finishOp(cls, completion, 0, false);
+        return Tag{completion, false};
+    }
+
+    void
+    chargeScalarOps(unsigned count)
+    {
+        for (unsigned i = 0; i < count; ++i)
+            executeOp(OpClass::ScalarAlu, {});
+    }
+
+    void
+    bubble(unsigned cycles, StallKind kind)
+    {
+        attribute(cycle_, cycle_ + cycles, kind);
+        cycle_ += cycles;
+        slotInCycle_ = 0;
+    }
+
+    Cycle now() const { return cycle_; }
+    Cycle totalCycles() const { return std::max(cycle_, maxCompletion_); }
+    Cycle stallCycles(StallKind kind) const
+    {
+        return stalls_[static_cast<std::size_t>(kind)];
+    }
+    std::uint64_t instructions() const { return instructions_; }
+    std::uint64_t opCount(OpClass cls) const
+    {
+        return opCounts_[static_cast<std::size_t>(cls)];
+    }
+
+  private:
+    struct RobEntry
+    {
+        Cycle done;
+        bool mem;
+    };
+
+    void
+    attribute(Cycle from, Cycle to, StallKind kind)
+    {
+        if (to > from)
+            stalls_[static_cast<std::size_t>(kind)] += to - from;
+    }
+
+    Cycle
+    frontendAdvance()
+    {
+        if (++slotInCycle_ >= params_.core.issueWidth) {
+            slotInCycle_ = 0;
+            attribute(cycle_, cycle_ + 1, StallKind::Frontend);
+            ++cycle_;
+        }
+        return cycle_;
+    }
+
+    static Cycle
+    unitFree(const std::vector<Cycle> &pool, Cycle t)
+    {
+        Cycle best = ~Cycle{0};
+        for (const Cycle free : pool)
+            best = std::min(best, std::max(free, t));
+        return best;
+    }
+
+    static void
+    unitOccupy(std::vector<Cycle> &pool, Cycle start, Cycle busy)
+    {
+        auto it = std::min_element(pool.begin(), pool.end());
+        *it = std::max(*it, start) + busy;
+    }
+
+    Cycle
+    resolveIssue(std::initializer_list<Tag> srcs,
+                 std::vector<Cycle> &pool, std::size_t lsqNeed)
+    {
+        const Cycle front = frontendAdvance();
+        Cycle t = front;
+        while (!rob_.empty() && rob_.front().done <= t)
+            rob_.pop_front();
+        while (rob_.size() + 1 > params_.core.robEntries &&
+               !rob_.empty()) {
+            const RobEntry head = rob_.front();
+            rob_.pop_front();
+            if (head.done > t) {
+                attribute(t, head.done,
+                          head.mem ? StallKind::Cache
+                                   : StallKind::Compute);
+                t = head.done;
+            }
+        }
+        if (lsqNeed > 0) {
+            while (!lsq_.empty() && lsq_.front() <= t)
+                lsq_.pop_front();
+            while (lsq_.size() + lsqNeed > params_.core.lsqEntries &&
+                   !lsq_.empty()) {
+                const Cycle head = lsq_.front();
+                lsq_.pop_front();
+                if (head > t) {
+                    attribute(t, head, StallKind::Cache);
+                    t = head;
+                }
+            }
+        }
+        if (t > cycle_)
+            cycle_ = t;
+        Tag dep{};
+        for (const Tag &src : srcs)
+            dep = Tag::join(dep, src);
+        Cycle start = std::max(t, dep.ready);
+        start = unitFree(pool, start);
+        return start;
+    }
+
+    void
+    finishOp(OpClass cls, Cycle completion, std::size_t lsqNeed,
+             bool isMem, Cycle lsqCompletion = 0)
+    {
+        rob_.push_back(RobEntry{completion, isMem});
+        const Cycle lsqDone =
+            lsqCompletion ? lsqCompletion : completion;
+        for (std::size_t i = 0; i < lsqNeed; ++i)
+            lsq_.push_back(lsqDone);
+        if (completion > maxCompletion_) {
+            maxCompletion_ = completion;
+            maxCompletionFromMem_ = isMem;
+        }
+        ++opCounts_[static_cast<std::size_t>(cls)];
+        ++instructions_;
+    }
+
+    SystemParams params_;
+    MemorySystem &mem_;
+    Cycle cycle_ = 0;
+    unsigned slotInCycle_ = 0;
+    std::vector<Cycle> vecPipes_;
+    std::vector<Cycle> scalarPipes_;
+    std::vector<Cycle> aguPipes_;
+    std::deque<RobEntry> rob_;
+    std::deque<Cycle> lsq_;
+    std::vector<unsigned> laneLatencies_;
+    Cycle maxCompletion_ = 0;
+    bool maxCompletionFromMem_ = false;
+    std::array<Cycle, static_cast<std::size_t>(StallKind::NumKinds)>
+        stalls_{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(OpClass::NumClasses)>
+        opCounts_{};
+    std::uint64_t instructions_ = 0;
+};
+
+/** One randomized mixed-trace step applied to both implementations. */
+template <typename A, typename B>
+void
+applyRandomOp(std::mt19937 &rng, A &a, B &b, Tag &tagA, Tag &tagB,
+              int step)
+{
+    std::uniform_int_distribution<int> pickOp(0, 11);
+    std::uniform_int_distribution<Addr> pickAddr(0, 1 << 18);
+    std::uniform_int_distribution<unsigned> pickLanes(0, 16);
+    std::uniform_int_distribution<unsigned> pickCount(0, 12);
+    const int op = pickOp(rng);
+    const bool chain = step % 3 == 0; // mix dependent and free ops
+    const std::uint64_t pc = 10 + step % 5;
+    switch (op) {
+      case 0:
+      case 1: {
+        tagA = a.executeOp(OpClass::ScalarAlu,
+                           chain ? std::initializer_list<Tag>{tagA}
+                                 : std::initializer_list<Tag>{});
+        tagB = b.executeOp(OpClass::ScalarAlu,
+                           chain ? std::initializer_list<Tag>{tagB}
+                                 : std::initializer_list<Tag>{});
+        break;
+      }
+      case 2:
+        tagA = a.executeOp(OpClass::VecAlu, {tagA});
+        tagB = b.executeOp(OpClass::VecAlu, {tagB});
+        break;
+      case 3:
+        tagA = a.executeOp(OpClass::VecReduce, {});
+        tagB = b.executeOp(OpClass::VecReduce, {});
+        break;
+      case 4: {
+        const Addr addr = pickAddr(rng);
+        tagA = a.executeMem(OpClass::ScalarLoad, pc, addr, 8, {tagA});
+        tagB = b.executeMem(OpClass::ScalarLoad, pc, addr, 8, {tagB});
+        break;
+      }
+      case 5: {
+        const Addr addr = pickAddr(rng);
+        tagA = a.executeMem(OpClass::VecStore, pc, addr, 64, {});
+        tagB = b.executeMem(OpClass::VecStore, pc, addr, 64, {});
+        break;
+      }
+      case 6:
+      case 7: {
+        // Gathers with 0..16 lanes: empty spans and LSQ overcommit
+        // (lane count > lsqEntries on the edge-sized configs) both
+        // included.
+        std::vector<Addr> addrs(pickLanes(rng));
+        for (Addr &x : addrs)
+            x = pickAddr(rng);
+        tagA = a.executeIndexed(OpClass::VecGather, pc, addrs, 4,
+                                {tagA});
+        tagB = b.executeIndexed(OpClass::VecGather, pc, addrs, 4,
+                                {tagB});
+        break;
+      }
+      case 8: {
+        std::vector<Addr> addrs(pickLanes(rng));
+        for (Addr &x : addrs)
+            x = pickAddr(rng);
+        tagA = a.executeIndexed(OpClass::VecScatter, pc, addrs, 4, {});
+        tagB = b.executeIndexed(OpClass::VecScatter, pc, addrs, 4, {});
+        break;
+      }
+      case 9: {
+        const bool serialized = step % 2 == 0;
+        tagA = a.executeQz(OpClass::QzMhm, 5, {tagA}, serialized);
+        tagB = b.executeQz(OpClass::QzMhm, 5, {tagB}, serialized);
+        break;
+      }
+      case 10:
+        a.bubble(3, StallKind::Frontend);
+        b.bubble(3, StallKind::Frontend);
+        break;
+      default: {
+        const unsigned count = pickCount(rng);
+        a.chargeScalarOps(count);
+        b.chargeScalarOps(count);
+        break;
+      }
+    }
+}
+
+template <typename A, typename B>
+void
+expectSameObservables(const A &a, const B &b, unsigned config,
+                      int step)
+{
+    ASSERT_EQ(a.now(), b.now()) << "config " << config << " step "
+                                << step;
+    ASSERT_EQ(a.totalCycles(), b.totalCycles())
+        << "config " << config << " step " << step;
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(StallKind::NumKinds); ++k)
+        ASSERT_EQ(a.stallCycles(static_cast<StallKind>(k)),
+                  b.stallCycles(static_cast<StallKind>(k)))
+            << "config " << config << " step " << step << " kind "
+            << k;
+    ASSERT_EQ(a.instructions(), b.instructions())
+        << "config " << config << " step " << step;
+}
+
+/**
+ * Proof-by-test for the ring-buffer ROB/LSQ and the fused
+ * reserve-and-occupy pool scan: a randomized mixed trace (dependent
+ * chains, gathers with 0..16 lanes, scatters, commit-serialized QZ
+ * ops, bubbles, scalar-charge bursts) must leave the new Pipeline and
+ * the verbatim deque model with identical observables after every op,
+ * across issue widths and ROB/LSQ edge sizes — including LSQ
+ * overcommit, where one gather claims more slots than the queue has.
+ */
+TEST(Pipeline, RingRobLsqEquivalence)
+{
+    struct Config
+    {
+        unsigned issueWidth, robEntries, lsqEntries;
+    };
+    const Config configs[] = {
+        {2, 4, 2},    // constant structural churn + LSQ overcommit
+        {4, 128, 40}, // the default A64FX-like shape
+        {8, 16, 8},   // wide frontend, shallow queues
+        {4, 1, 1},    // degenerate single-entry queues
+    };
+    unsigned configIdx = 0;
+    for (const Config &config : configs) {
+        SystemParams params;
+        params.core.issueWidth = config.issueWidth;
+        params.core.robEntries = config.robEntries;
+        params.core.lsqEntries = config.lsqEntries;
+
+        MemorySystem memRing(params);
+        MemorySystem memModel(params);
+        Pipeline ring(params, memRing);
+        DequeScoreboardModel model(params, memModel);
+
+        std::mt19937 rng(0x0B0E ^ configIdx);
+        Tag tagRing{}, tagModel{};
+        for (int step = 0; step < 3000; ++step) {
+            applyRandomOp(rng, ring, model, tagRing, tagModel, step);
+            ASSERT_EQ(tagRing.ready, tagModel.ready)
+                << "config " << configIdx << " step " << step;
+            ASSERT_EQ(tagRing.mem, tagModel.mem)
+                << "config " << configIdx << " step " << step;
+            expectSameObservables(ring, model, configIdx, step);
+        }
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(OpClass::NumClasses); ++c)
+            EXPECT_EQ(ring.opCount(static_cast<OpClass>(c)),
+                      model.opCount(static_cast<OpClass>(c)))
+                << "config " << configIdx << " class " << c;
+        EXPECT_EQ(memRing.totalRequests(), memModel.totalRequests());
+        ++configIdx;
+    }
+}
+
+/**
+ * Proof-by-test for the closed-form burst schedule: executeOpBurst(N)
+ * must be observationally identical to N serial executeOp calls, for
+ * every (issueWidth, pipe count) shape, from both clean launch states
+ * (where the arithmetic fast path runs) and dirty ones (busy pools,
+ * ROB pressure — the fallback loop). The fast path must actually be
+ * exercised, not just silently skipped.
+ */
+TEST(Pipeline, BurstMatchesSerialExecuteOps)
+{
+    unsigned configIdx = 0;
+    for (const unsigned issueWidth : {2u, 4u, 8u}) {
+        for (const unsigned pipes : {1u, 2u, 3u}) {
+            for (const unsigned robEntries : {6u, 128u}) {
+                SystemParams params;
+                params.core.issueWidth = issueWidth;
+                params.core.scalarPipes = pipes;
+                params.core.vectorPipes = pipes;
+                params.core.robEntries = robEntries;
+
+                MemorySystem memBurst(params);
+                MemorySystem memSerial(params);
+                Pipeline burst(params, memBurst);
+                Pipeline serial(params, memSerial);
+
+                std::mt19937 rng(0xB0057 + configIdx);
+                std::uniform_int_distribution<int> pickOp(0, 5);
+                std::uniform_int_distribution<unsigned> pickCount(0,
+                                                                  24);
+                std::uniform_int_distribution<Addr> pickAddr(
+                    0, 1 << 16);
+                for (int step = 0; step < 1500; ++step) {
+                    const int op = pickOp(rng);
+                    if (op <= 2) {
+                        const unsigned count = pickCount(rng);
+                        const OpClass cls = op == 2
+                                                ? OpClass::VecAlu
+                                                : OpClass::ScalarAlu;
+                        burst.executeOpBurst(cls, count);
+                        for (unsigned i = 0; i < count; ++i)
+                            serial.executeOp(cls, {});
+                    } else if (op == 3) {
+                        // Dirty the pools and the ROB with a
+                        // long-latency op so bursts launch from busy
+                        // states too.
+                        burst.executeOp(OpClass::VecReduce, {});
+                        serial.executeOp(OpClass::VecReduce, {});
+                    } else if (op == 4) {
+                        const Addr addr = pickAddr(rng);
+                        burst.executeMem(OpClass::ScalarLoad, 7, addr,
+                                         8, {});
+                        serial.executeMem(OpClass::ScalarLoad, 7,
+                                          addr, 8, {});
+                    } else {
+                        burst.bubble(2, StallKind::Frontend);
+                        serial.bubble(2, StallKind::Frontend);
+                    }
+                    expectSameObservables(burst, serial, configIdx,
+                                          step);
+                }
+                // The arithmetic path must have handled real bursts
+                // (the roomy-ROB configs can't have dodged it).
+                if (robEntries == 128) {
+                    EXPECT_GT(burst.burstFastPaths(), 0u)
+                        << "config " << configIdx;
+                }
+                ++configIdx;
+            }
+        }
+    }
 }
 
 } // namespace

@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "algos/batch.hpp"
+#include "algos/workload.hpp"
 #include "genomics/datasets.hpp"
 #include "genomics/protein.hpp"
 
@@ -132,6 +133,30 @@ addPerfMatrix(algos::BatchRunner &runner, double scale, bool tiny)
            genomics::AlphabetKind::Protein);
     submit(AlgoKind::SneakySnake, protein, ~std::size_t{0},
            genomics::AlphabetKind::Protein);
+    return cells;
+}
+
+/**
+ * Queue the Fig. 15b kernel-workload cells (histogram and SpMV, every
+ * registered variant) at kTinyScale, pinning the ISA-layer paths the
+ * genomics matrix exercises only lightly (scatter-heavy histogram
+ * updates, gather-heavy SpMV rows). Snapshotted in
+ * tests/data/golden_kernels.json alongside the genomics tiny matrix.
+ * @return the number of cells queued.
+ */
+inline std::size_t
+addKernelMatrix(algos::BatchRunner &runner)
+{
+    std::size_t cells = 0;
+    for (const char *name : {"histogram", "spmv"}) {
+        const algos::Workload &workload = algos::workloadByName(name);
+        const auto ds = std::make_shared<const genomics::PairDataset>(
+            workload.makeDataset(name, kTinyScale));
+        for (const algos::Variant variant : workload.variants()) {
+            runner.add(workload, ds, perfCellOptions(variant));
+            ++cells;
+        }
+    }
     return cells;
 }
 

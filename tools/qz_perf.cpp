@@ -11,11 +11,13 @@
  * BENCH_hostperf.json (see docs/SIMULATOR.md, "Host performance").
  *
  * Usage:
- *   qz-perf [--tiny] [--scale S] [--threads N] [--repeat R]
- *           [--label NAME] [--out FILE] [--append]
- *           [--metrics FILE]
+ *   qz-perf [--tiny | --kernels] [--scale S] [--threads N]
+ *           [--repeat R] [--label NAME] [--out FILE] [--append]
+ *           [--metrics FILE] [--phase]
  *
  *  --tiny     sweep the 12-cell golden subset instead of Fig. 13a
+ *  --kernels  sweep the Fig. 15b kernel cells (histogram/SpMV) at the
+ *             pinned tiny scale instead of Fig. 13a
  *  --scale    dataset scale for the full matrix (default 1.0)
  *  --threads  harness workers (default 1: comparable measurements)
  *  --repeat   time R sweeps and keep the fastest (default 1)
@@ -25,6 +27,11 @@
  *             file can hold baseline and current for comparison
  *  --metrics  also write the sweep's BenchReport JSON (simulated
  *             metrics only) for diffing against the golden snapshot
+ *  --phase    attribute host time to simulator phases (memory system /
+ *             rest of the timing pipeline / functional+harness) via
+ *             sim::HostPhase scopes; single-thread only, and the
+ *             breakdown is reported for the fastest sweep's phase
+ *             profile (phase_*_ns fields in the run record)
  *
  * Deliberately restricted to long-stable APIs so the same source can
  * be compiled against an older revision to produce the baseline run.
@@ -39,6 +46,7 @@
 #include "algos/report.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "sim/hostphase.hpp"
 #include "cli_common.hpp"
 #include "perf_matrix.hpp"
 
@@ -46,12 +54,38 @@ namespace {
 
 using namespace quetzal;
 
+/** Host-time phase profile of one sweep (see sim::HostPhase). */
+struct PhaseProfile
+{
+    std::uint64_t memNs = 0;      //!< MemorySystem access + translate
+    std::uint64_t pipelineNs = 0; //!< Pipeline entry points, minus mem
+    std::uint64_t otherNs = 0;    //!< functional ISA layer + harness
+};
+
+/** Snapshot the HostPhase counters against @p totalNs wall time. */
+PhaseProfile
+capturePhases(std::uint64_t totalNs)
+{
+    PhaseProfile prof;
+    prof.memNs = sim::HostPhase::nanos(sim::HostPhase::Mem);
+    const std::uint64_t pipeTotal =
+        sim::HostPhase::nanos(sim::HostPhase::Pipeline);
+    // Every MemorySystem access happens under a Pipeline entry point,
+    // so the exclusive pipeline share is the difference; clamp anyway
+    // so clock jitter can never wrap the unsigned subtraction.
+    prof.pipelineNs = pipeTotal > prof.memNs ? pipeTotal - prof.memNs : 0;
+    const std::uint64_t accounted = prof.memNs + prof.pipelineNs;
+    prof.otherNs = totalNs > accounted ? totalNs - accounted : 0;
+    return prof;
+}
+
 /** Serialize one run record (flat object, no trailing newline). */
 std::string
 runRecord(const std::string &label, const std::string &matrix,
           double scale, unsigned threads, std::size_t cells,
           unsigned repeat, std::uint64_t hostNs,
-          const algos::BatchOutcome &outcome)
+          const algos::BatchOutcome &outcome,
+          const PhaseProfile *phases)
 {
     std::uint64_t instructions = 0, memRequests = 0, cycles = 0,
                   dramBytes = 0;
@@ -86,8 +120,12 @@ runRecord(const std::string &label, const std::string &matrix,
         .field("accesses_per_sec",
                seconds == 0.0 ? 0.0
                               : static_cast<double>(memRequests) /
-                                    seconds)
-        .endObject();
+                                    seconds);
+    if (phases != nullptr)
+        json.field("phase_mem_ns", phases->memNs)
+            .field("phase_pipeline_ns", phases->pipelineNs)
+            .field("phase_functional_ns", phases->otherNs);
+    json.endObject();
     return json.str();
 }
 
@@ -145,6 +183,7 @@ main(int argc, char **argv)
     cli::Args args(argc, argv);
 
     const bool tiny = args.has("tiny");
+    const bool kernels = args.has("kernels");
     const double scale = args.getDouble("scale", 1.0);
     const unsigned threads =
         static_cast<unsigned>(args.getInt("threads", 1));
@@ -153,10 +192,17 @@ main(int argc, char **argv)
     const std::string label = args.get("label", "current");
     const std::string outPath = args.get("out", "BENCH_hostperf.json");
     const std::string metricsPath = args.get("metrics");
+    const bool phase = args.has("phase");
     fatal_if(repeat == 0, "--repeat must be at least 1");
+    fatal_if(tiny && kernels, "--tiny and --kernels are exclusive");
+    fatal_if(phase && threads != 1,
+             "--phase needs --threads 1: the functional share is "
+             "derived from single-threaded wall time");
 
-    const double recordedScale = tiny ? perf::kTinyScale : scale;
-    const std::string matrix = tiny ? "tiny" : "fig13a";
+    const double recordedScale =
+        (tiny || kernels) ? perf::kTinyScale : scale;
+    const std::string matrix =
+        kernels ? "kernels" : (tiny ? "tiny" : "fig13a");
     std::cout << "qz-perf: sweeping the " << matrix << " matrix (scale "
               << recordedScale << ", " << threads << " thread(s), "
               << repeat << " repeat(s))\n";
@@ -168,11 +214,15 @@ main(int argc, char **argv)
     runner.setShard(std::nullopt);
     runner.setFaultInjection(std::nullopt);
 
+    sim::HostPhase::setEnabled(phase);
     std::uint64_t bestNs = ~std::uint64_t{0};
     std::size_t cells = 0;
     algos::BatchOutcome outcome;
+    PhaseProfile phases;
     for (unsigned r = 0; r < repeat; ++r) {
-        cells = perf::addPerfMatrix(runner, scale, tiny);
+        cells = kernels ? perf::addKernelMatrix(runner)
+                        : perf::addPerfMatrix(runner, scale, tiny);
+        sim::HostPhase::reset();
         const auto started = std::chrono::steady_clock::now();
         algos::BatchOutcome sweep = runner.run();
         const auto ns = static_cast<std::uint64_t>(
@@ -185,12 +235,14 @@ main(int argc, char **argv)
         if (ns < bestNs) {
             bestNs = ns;
             outcome = std::move(sweep);
+            if (phase)
+                phases = capturePhases(ns);
         }
     }
 
     const std::string record =
         runRecord(label, matrix, recordedScale, threads, cells, repeat,
-                  bestNs, outcome);
+                  bestNs, outcome, phase ? &phases : nullptr);
     std::uint64_t instructions = 0, memRequests = 0;
     for (const auto &result : outcome.results) {
         instructions += result.instructions;
@@ -213,6 +265,23 @@ main(int argc, char **argv)
                       ? 0.0
                       : static_cast<double>(memRequests) / seconds)
               << "\n";
+    if (phase) {
+        auto pct = [&](std::uint64_t ns) {
+            return bestNs == 0 ? 0.0
+                               : 100.0 * static_cast<double>(ns) /
+                                     static_cast<double>(bestNs);
+        };
+        std::cout << "  phase breakdown (fastest sweep):\n"
+                  << "    memory system:   "
+                  << static_cast<double>(phases.memNs) / 1e9 << " s ("
+                  << pct(phases.memNs) << "%)\n"
+                  << "    timing pipeline: "
+                  << static_cast<double>(phases.pipelineNs) / 1e9
+                  << " s (" << pct(phases.pipelineNs) << "%)\n"
+                  << "    functional+rest: "
+                  << static_cast<double>(phases.otherNs) / 1e9
+                  << " s (" << pct(phases.otherNs) << "%)\n";
+    }
     writeRuns(outPath, record, args.has("append"));
 
     if (!metricsPath.empty()) {
