@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -66,6 +68,37 @@ hostPerfFromEnv()
 {
     const char *env = std::getenv("QZ_BENCH_HOSTPERF");
     return env && *env && std::string_view(env) != "0";
+}
+
+std::size_t
+truncateTornCheckpointTail(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0; // first run: the file does not exist yet
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    if (content.empty() || content.back() == '\n')
+        return 0; // clean tail: every line is complete
+    const std::size_t lastNewline = content.find_last_of('\n');
+    const std::size_t keep =
+        lastNewline == std::string::npos ? 0 : lastNewline + 1;
+    const std::size_t dropped = content.size() - keep;
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep, ec);
+    if (ec) {
+        warn("checkpoint '{}': cannot truncate {} torn trailing "
+             "byte(s) ({}); resume will skip the partial line but a "
+             "subsequent append would corrupt it further",
+             path, dropped, ec.message());
+        return 0;
+    }
+    warn("checkpoint '{}': truncated {} byte(s) of torn trailing "
+         "line (writer killed mid-record); the affected cell will "
+         "re-simulate",
+         path, dropped);
+    return dropped;
 }
 
 namespace {
@@ -176,6 +209,11 @@ BatchRunner::run()
         for (std::size_t i = 0; i < cells.size(); ++i)
             hashes[i] = cellHash(cells[i].workload->name(),
                                  *cells[i].dataset, cells[i].options);
+        // A writer killed mid-record leaves a torn trailing line.
+        // Drop it before opening for append: appending after a line
+        // with no '\n' would concatenate the new record onto the
+        // partial one and poison both on the next resume.
+        truncateTornCheckpointTail(policy_.checkpointPath);
         const auto cache = loadCheckpoint(policy_.checkpointPath);
         for (std::size_t i = 0; i < cells.size(); ++i) {
             if (!owned[i])
@@ -197,9 +235,12 @@ BatchRunner::run()
     // One mutex covers every shared record: the failure list, the
     // checkpoint stream, the retry counter, and the injection budget.
     // Cells are coarse (whole simulations), so contention is noise.
+    // Worker-process-level injection kinds (crash/hang) only fire
+    // inside qz-serve workers; the in-process engine arms Throw only.
     std::mutex recordMutex;
-    unsigned injectionsLeft =
-        policy_.inject ? policy_.inject->times : 0;
+    const bool injectHere =
+        policy_.inject && policy_.inject->action == FaultAction::Throw;
+    unsigned injectionsLeft = injectHere ? policy_.inject->times : 0;
     std::uint64_t retries = 0;
 
     parallelFor(threads_, cells.size(), [&](std::size_t i) {
@@ -208,7 +249,7 @@ BatchRunner::run()
         const BatchCell &cell = cells[i];
         for (unsigned attempt = 1;; ++attempt) {
             try {
-                if (policy_.inject && policy_.inject->cell == i) {
+                if (injectHere && policy_.inject->cell == i) {
                     bool fire = false;
                     {
                         std::lock_guard<std::mutex> lock(recordMutex);

@@ -168,6 +168,18 @@ struct BatchOutcome
 bool hostPerfFromEnv();
 
 /**
+ * Repair a JSONL checkpoint whose writer was killed mid-line: when
+ * the file does not end in '\n', drop the bytes after the last
+ * newline (truncate-and-warn) so a subsequent append cannot
+ * concatenate a fresh record onto the torn tail and poison both.
+ * Complete-but-unparseable lines are left alone — the loader skips
+ * them. Returns the number of bytes dropped (0 for a missing or
+ * clean file). Shared by BatchRunner and the per-pair checkpoints of
+ * qz-align/qz-filter.
+ */
+std::size_t truncateTornCheckpointTail(const std::string &path);
+
+/**
  * Collects evaluation cells and runs them on a worker pool.
  *
  * Usage: add() every cell (the returned index identifies its slot),

@@ -71,6 +71,20 @@ exceptionMessage(std::exception_ptr error)
     }
 }
 
+std::string_view
+faultActionName(FaultAction action)
+{
+    switch (action) {
+      case FaultAction::Throw:
+        return "throw";
+      case FaultAction::Crash:
+        return "crash";
+      case FaultAction::Hang:
+        return "hang";
+    }
+    return "?";
+}
+
 std::optional<FaultInjection>
 parseFaultSpec(std::string_view spec)
 {
@@ -101,10 +115,24 @@ parseFaultSpec(std::string_view spec)
              "fault spec cell '{}' is not a non-negative integer",
              cellField);
 
-    const auto kind = failureKindFromName(kindField);
+    // "crash" and "hang" are worker-process-level kinds: they pick a
+    // FaultAction rather than an exception type. The FailureKind they
+    // carry is what the service reports when recovery is exhausted
+    // (Panic for repeated deaths, Resource for repeated timeouts).
+    FaultAction action = FaultAction::Throw;
+    std::optional<FailureKind> kind;
+    if (kindField == "crash") {
+        action = FaultAction::Crash;
+        kind = FailureKind::Panic;
+    } else if (kindField == "hang") {
+        action = FaultAction::Hang;
+        kind = FailureKind::Resource;
+    } else {
+        kind = failureKindFromName(kindField);
+    }
     fatal_if(!kind,
              "fault spec kind '{}' unknown (want "
-             "fatal|panic|transient|resource|unknown)",
+             "fatal|panic|transient|resource|unknown|crash|hang)",
              kindField);
 
     unsigned long long times = 1;
@@ -119,6 +147,7 @@ parseFaultSpec(std::string_view spec)
     inject.cell = static_cast<std::size_t>(cell);
     inject.kind = *kind;
     inject.times = static_cast<unsigned>(times);
+    inject.action = action;
     return inject;
 }
 

@@ -79,18 +79,41 @@ struct RetryPolicy
 };
 
 /**
+ * How an injected fault manifests. Throw raises the taxonomy
+ * exception matching FaultInjection::kind in-process — the batch
+ * engine's path. Crash and Hang are worker-process-level kinds that
+ * only fire inside qz-serve workers (src/serve/worker.cpp): Crash
+ * abort()s the worker mid-request, Hang sleeps far past any sane
+ * per-request deadline, so the service's respawn and deadline-kill
+ * recovery paths are deterministically testable. The in-process
+ * batch engine ignores non-Throw injections.
+ */
+enum class FaultAction
+{
+    Throw,
+    Crash,
+    Hang,
+};
+
+/** Lower-case action name as used in the QZ_FAULT_INJECT spec. */
+std::string_view faultActionName(FaultAction action);
+
+/**
  * Deterministic fault injection: cell @p cell throws a @p kind
  * failure on its first @p times executions (attempts count, so a
  * transient injection with times < RetryPolicy::maxAttempts is healed
  * by the retry path). Spec syntax: "CELL:KIND[:TIMES]" with KIND one
- * of fatal|panic|transient|resource|unknown, TIMES defaulting to 1 —
- * e.g. QZ_FAULT_INJECT=3:transient:2.
+ * of fatal|panic|transient|resource|unknown|crash|hang, TIMES
+ * defaulting to 1 — e.g. QZ_FAULT_INJECT=3:transient:2. The crash and
+ * hang kinds select a worker-process-level FaultAction instead of an
+ * exception kind; under qz-serve, CELL is the request id.
  */
 struct FaultInjection
 {
     std::size_t cell = 0;
     FailureKind kind = FailureKind::Fatal;
     unsigned times = 1;
+    FaultAction action = FaultAction::Throw;
 };
 
 /**

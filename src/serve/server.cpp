@@ -1,0 +1,604 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ostream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "algos/report.hpp"
+#include "common/logging.hpp"
+#include "serve/worker.hpp"
+
+namespace quetzal::serve {
+
+std::string_view
+workerStateName(WorkerState state)
+{
+    switch (state) {
+      case WorkerState::Idle:
+        return "idle";
+      case WorkerState::Working:
+        return "working";
+      case WorkerState::Draining:
+        return "draining";
+      case WorkerState::Dead:
+        return "dead";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Upper bound on one poll(2) sleep so stop flags are noticed. */
+constexpr int kMaxPollMs = 200;
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        while (::close(fd) < 0 && errno == EINTR) {
+        }
+        fd = -1;
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    fatal_if(flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0,
+             "qz-serve: fcntl(O_NONBLOCK): {}", std::strerror(errno));
+}
+
+} // namespace
+
+AlignService::AlignService(ServeConfig config, ResponseSink sink)
+    : config_(std::move(config)), sink_(std::move(sink))
+{
+    fatal_if(!sink_, "AlignService needs a response sink");
+    if (config_.workers == 0)
+        config_.workers = 1;
+    if (config_.maxDispatchAttempts == 0)
+        config_.maxDispatchAttempts = 1;
+    // A worker death between poll() rounds must surface as EPIPE from
+    // writeFrame, not a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    workers_.resize(config_.workers);
+    for (Worker &worker : workers_)
+        spawn(worker);
+}
+
+AlignService::~AlignService()
+{
+    shutdown();
+}
+
+bool
+AlignService::stopping() const
+{
+    if (stop_.load(std::memory_order_relaxed))
+        return true;
+    return config_.stopFlag &&
+           config_.stopFlag->load(std::memory_order_relaxed) != 0;
+}
+
+void
+AlignService::spawn(Worker &worker)
+{
+    int request[2];
+    int response[2];
+    fatal_if(::pipe(request) != 0, "qz-serve: pipe(): {}",
+             std::strerror(errno));
+    fatal_if(::pipe(response) != 0, "qz-serve: pipe(): {}",
+             std::strerror(errno));
+
+    const pid_t pid = ::fork();
+    fatal_if(pid < 0, "qz-serve: fork(): {}", std::strerror(errno));
+
+    if (pid == 0) {
+        // Child. Drop every parent-side fd, including the pipes of
+        // the *other* workers this child inherited — holding a copy
+        // of a sibling's request-pipe write end would mask the EOF
+        // that tells that sibling to drain.
+        ::close(request[1]);
+        ::close(response[0]);
+        for (const Worker &other : workers_) {
+            if (other.toChild >= 0)
+                ::close(other.toChild);
+            if (other.fromChild >= 0)
+                ::close(other.fromChild);
+        }
+        if (config_.workerCommand.empty()) {
+            // Fork-only mode (tests): run the worker loop in the
+            // forked image. _exit skips parent-owned atexit state.
+            ::_exit(workerMain(request[0], response[1],
+                               config_.inject));
+        }
+        // Fork/exec mode: the worker binary speaks frames on
+        // stdin/stdout (it re-reads QZ_FAULT_INJECT from the
+        // inherited environment).
+        ::dup2(request[0], STDIN_FILENO);
+        ::dup2(response[1], STDOUT_FILENO);
+        if (request[0] > STDERR_FILENO)
+            ::close(request[0]);
+        if (response[1] > STDERR_FILENO)
+            ::close(response[1]);
+        std::vector<char *> argv;
+        argv.reserve(config_.workerCommand.size() + 1);
+        for (const std::string &arg : config_.workerCommand)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+
+    // Parent.
+    ::close(request[0]);
+    ::close(response[1]);
+    setNonBlocking(response[0]);
+    worker.pid = pid;
+    worker.toChild = request[1];
+    worker.fromChild = response[0];
+    worker.state = WorkerState::Idle;
+    worker.hasInflight = false;
+    worker.rx = FrameDecoder{};
+}
+
+void
+AlignService::emit(const ServeResponse &response)
+{
+    switch (response.status) {
+      case ResponseStatus::Ok:
+        ++stats_.served;
+        break;
+      case ResponseStatus::Error:
+        ++stats_.errors;
+        break;
+      case ResponseStatus::Overloaded:
+        ++stats_.shed;
+        break;
+      case ResponseStatus::Shutdown:
+        ++stats_.shutdownShed;
+        break;
+    }
+    sink_(response);
+}
+
+bool
+AlignService::submit(ServeRequest request)
+{
+    request.attempt = 1;
+    ServeResponse rejection;
+    rejection.id = request.id;
+    rejection.attempts = 0;
+    if (stopping()) {
+        rejection.status = ResponseStatus::Shutdown;
+        rejection.message = "service is draining";
+        emit(rejection);
+        return false;
+    }
+    if (queue_.size() >= config_.queueBound) {
+        rejection.status = ResponseStatus::Overloaded;
+        rejection.message =
+            qformat("queue at its bound of {}", config_.queueBound);
+        emit(rejection);
+        return false;
+    }
+    queue_.push_back(std::move(request));
+    return true;
+}
+
+void
+AlignService::shedQueueForShutdown()
+{
+    while (!queue_.empty()) {
+        ServeResponse response;
+        response.id = queue_.front().id;
+        response.status = ResponseStatus::Shutdown;
+        response.attempts = queue_.front().attempt - 1;
+        response.message = "shed during graceful drain";
+        queue_.pop_front();
+        emit(response);
+    }
+}
+
+void
+AlignService::dispatchIdle()
+{
+    for (Worker &worker : workers_) {
+        if (queue_.empty() || stopping())
+            return;
+        if (worker.state != WorkerState::Idle)
+            continue;
+        worker.inflight = std::move(queue_.front());
+        queue_.pop_front();
+        worker.hasInflight = true;
+        if (!writeFrame(worker.toChild, toJson(worker.inflight))) {
+            // The worker died while idle; its pipe is gone. Recover
+            // (which re-queues or finalizes the request) and let the
+            // respawned worker pick it up on the next pass.
+            warn("qz-serve: worker {} died while idle; respawning",
+                 worker.pid);
+            recoverDeadWorker(worker, /*timedOut=*/false);
+            continue;
+        }
+        worker.state = WorkerState::Working;
+        if (config_.deadlineMs > 0)
+            worker.deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(config_.deadlineMs);
+    }
+}
+
+bool
+AlignService::handleResponseFrame(Worker &worker,
+                                  const std::string &payload)
+{
+    const auto json = parseJson(payload);
+    std::optional<ServeResponse> response =
+        json ? responseFromJson(*json) : std::nullopt;
+    if (!response || !worker.hasInflight ||
+        response->id != worker.inflight.id)
+        return false; // protocol violation; the caller decides
+    response->attempts = worker.inflight.attempt;
+    worker.hasInflight = false;
+    if (worker.state != WorkerState::Dead)
+        worker.state = WorkerState::Idle;
+    emit(*response);
+    return true;
+}
+
+void
+AlignService::readFromWorker(Worker &worker)
+{
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n =
+            ::read(worker.fromChild, chunk, sizeof chunk);
+        if (n > 0) {
+            worker.rx.feed(chunk, static_cast<std::size_t>(n));
+            std::string payload;
+            while (worker.rx.next(payload)) {
+                if (!handleResponseFrame(worker, payload)) {
+                    // A worker that breaks the protocol cannot be
+                    // trusted with its in-flight request; treat it
+                    // like a crash.
+                    warn("qz-serve: worker {} sent an unexpected "
+                         "frame; killing",
+                         worker.pid);
+                    ::kill(worker.pid, SIGKILL);
+                    recoverDeadWorker(worker, /*timedOut=*/false);
+                    return;
+                }
+            }
+            if (worker.rx.corrupt()) {
+                warn("qz-serve: worker {} sent a corrupt frame; "
+                     "killing",
+                     worker.pid);
+                ::kill(worker.pid, SIGKILL);
+                recoverDeadWorker(worker, /*timedOut=*/false);
+                return;
+            }
+            continue;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return; // drained what poll() surfaced
+            warn("qz-serve: read from worker {}: {}", worker.pid,
+                 std::strerror(errno));
+        }
+        // EOF (or a read error): the worker is gone. Complete frames
+        // already handled above were honored first, so a response
+        // that raced the death is never dropped or duplicated.
+        recoverDeadWorker(worker, /*timedOut=*/false);
+        return;
+    }
+}
+
+void
+AlignService::recoverDeadWorker(Worker &worker, bool timedOut)
+{
+    // Reap first: after waitpid returns, every byte the worker ever
+    // wrote is in the pipe and its write end is closed, so the
+    // salvage read below terminates at a true EOF instead of racing
+    // a still-dying process. The extra SIGKILL is a no-op for an
+    // already-dead child and guarantees waitpid cannot block on one
+    // that is merely wounded.
+    if (worker.pid > 0) {
+        ::kill(worker.pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(worker.pid, &status, 0) < 0 &&
+               errno == EINTR) {
+        }
+        worker.pid = -1;
+    }
+
+    // Honor any complete response frames that raced the death. The
+    // pipe survives the child (the parent holds the read end), so
+    // everything the worker wrote before dying is still readable.
+    if (worker.fromChild >= 0) {
+        char chunk[4096];
+        for (;;) {
+            const ssize_t n =
+                ::read(worker.fromChild, chunk, sizeof chunk);
+            if (n > 0) {
+                worker.rx.feed(chunk,
+                               static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            break; // EOF, EAGAIN, or error: nothing more to salvage
+        }
+        std::string payload;
+        while (worker.hasInflight && worker.rx.next(payload)) {
+            if (!handleResponseFrame(worker, payload)) {
+                // The worker is already dead; a bad salvaged frame
+                // just means the rest of its stream is untrustable.
+                warn("qz-serve: discarding torn output of dead "
+                     "worker {}",
+                     worker.pid);
+                break;
+            }
+        }
+    }
+
+    const bool lostRequest = worker.hasInflight;
+    ServeRequest lost;
+    if (lostRequest) {
+        lost = std::move(worker.inflight);
+        worker.hasInflight = false;
+    }
+
+    closeFd(worker.toChild);
+    closeFd(worker.fromChild);
+    worker.pid = -1;
+    worker.state = WorkerState::Dead;
+    worker.rx = FrameDecoder{};
+
+    if (lostRequest) {
+        if (stopping()) {
+            // Graceful drain: a request lost to a dying worker is
+            // shed, not retried — stop means stop.
+            ServeResponse response;
+            response.id = lost.id;
+            response.status = ResponseStatus::Shutdown;
+            response.attempts = lost.attempt;
+            response.message = "worker lost during graceful drain";
+            emit(response);
+        } else if (lost.attempt >= config_.maxDispatchAttempts) {
+            ServeResponse response;
+            response.id = lost.id;
+            response.status = ResponseStatus::Error;
+            response.attempts = lost.attempt;
+            response.kind = timedOut ? algos::FailureKind::Resource
+                                     : algos::FailureKind::Panic;
+            response.message =
+                timedOut
+                    ? qformat("deadline of {} ms exceeded on all {} "
+                              "deliveries; worker killed each time",
+                              config_.deadlineMs, lost.attempt)
+                    : qformat("worker process died on all {} "
+                              "deliveries",
+                              lost.attempt);
+            emit(response);
+        } else {
+            // Front of the queue: a request that already lost a
+            // worker should not also wait behind the backlog.
+            lost.attempt += 1;
+            ++stats_.redispatches;
+            queue_.push_front(std::move(lost));
+        }
+    }
+
+    if (!stopping()) {
+        ++stats_.respawns;
+        spawn(worker);
+    }
+}
+
+void
+AlignService::killExpiredWorkers()
+{
+    if (config_.deadlineMs == 0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    for (Worker &worker : workers_) {
+        if ((worker.state != WorkerState::Working &&
+             worker.state != WorkerState::Draining) ||
+            now < worker.deadline)
+            continue;
+        warn("qz-serve: worker {} blew the {} ms deadline on "
+             "request {}; killing",
+             worker.pid, config_.deadlineMs, worker.inflight.id);
+        ++stats_.deadlineKills;
+        ::kill(worker.pid, SIGKILL);
+        recoverDeadWorker(worker, /*timedOut=*/true);
+    }
+}
+
+bool
+AlignService::anyInflight() const
+{
+    return std::any_of(workers_.begin(), workers_.end(),
+                       [](const Worker &w) { return w.hasInflight; });
+}
+
+void
+AlignService::step()
+{
+    if (stopping()) {
+        shedQueueForShutdown();
+        for (Worker &worker : workers_)
+            if (worker.state == WorkerState::Working)
+                worker.state = WorkerState::Draining;
+    }
+    killExpiredWorkers();
+    dispatchIdle();
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> index;
+    int timeoutMs = kMaxPollMs;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const Worker &worker = workers_[i];
+        if (worker.fromChild < 0)
+            continue;
+        fds.push_back(pollfd{worker.fromChild, POLLIN, 0});
+        index.push_back(i);
+        if (config_.deadlineMs > 0 && worker.hasInflight) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    worker.deadline - now)
+                    .count();
+            timeoutMs = std::clamp(
+                static_cast<int>(std::max<long long>(left, 0)), 0,
+                timeoutMs);
+        }
+    }
+    if (fds.empty())
+        return;
+
+    const int ready =
+        ::poll(fds.data(), fds.size(), timeoutMs);
+    if (ready < 0) {
+        fatal_if(errno != EINTR, "qz-serve: poll(): {}",
+                 std::strerror(errno));
+        return; // a signal landed; the next pass sees the stop flag
+    }
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+        if (fds[k].revents == 0)
+            continue;
+        Worker &worker = workers_[index[k]];
+        // The fd may have been closed by an earlier recovery in this
+        // same pass (recoverDeadWorker compacts nothing; indices
+        // stay stable, but the fd goes to -1).
+        if (worker.fromChild == fds[k].fd)
+            readFromWorker(worker);
+    }
+}
+
+void
+AlignService::drain()
+{
+    while (!queue_.empty() || anyInflight())
+        step();
+    if (stopping())
+        shedQueueForShutdown();
+}
+
+void
+AlignService::serveAll(std::vector<ServeRequest> requests)
+{
+    std::deque<ServeRequest> input(
+        std::make_move_iterator(requests.begin()),
+        std::make_move_iterator(requests.end()));
+    while (!input.empty() || !queue_.empty() || anyInflight()) {
+        if (stopping()) {
+            // The not-yet-admitted tail is shed exactly like the
+            // queue; in-flight work still finishes via step().
+            while (!input.empty()) {
+                ServeResponse response;
+                response.id = input.front().id;
+                response.status = ResponseStatus::Shutdown;
+                response.attempts = 0;
+                response.message = "shed during graceful drain";
+                input.pop_front();
+                emit(response);
+            }
+        }
+        // Backpressure: feed the queue only to its bound, so the
+        // service's memory stays flat however long the request list.
+        while (!input.empty() &&
+               queue_.size() < config_.queueBound) {
+            ServeRequest request = std::move(input.front());
+            input.pop_front();
+            request.attempt = 1;
+            queue_.push_back(std::move(request));
+        }
+        step();
+    }
+    drain();
+}
+
+void
+AlignService::shutdown()
+{
+    if (shutdownDone_)
+        return;
+    shutdownDone_ = true;
+    // A worker still holding a request here (stop during flight, or
+    // shutdown without drain) will not exit on EOF promptly; don't
+    // wait out a hang.
+    for (Worker &worker : workers_)
+        if (worker.pid > 0 && worker.hasInflight)
+            ::kill(worker.pid, SIGKILL);
+    for (Worker &worker : workers_)
+        closeFd(worker.toChild); // EOF: idle workers drain and exit
+    for (Worker &worker : workers_) {
+        if (worker.pid > 0) {
+            int status = 0;
+            while (::waitpid(worker.pid, &status, 0) < 0 &&
+                   errno == EINTR) {
+            }
+            worker.pid = -1;
+        }
+        closeFd(worker.fromChild);
+        worker.state = WorkerState::Dead;
+    }
+}
+
+bool
+serveRoundTripCheck(const ServeRequest &request, std::ostream &out)
+{
+    ServeConfig config;
+    config.workers = 1;
+    config.inject = algos::faultInjectionFromEnv();
+    std::optional<ServeResponse> served;
+    AlignService service(
+        config,
+        [&](const ServeResponse &response) { served = response; });
+    service.serveAll({request});
+    service.shutdown();
+
+    if (!served || served->status != ResponseStatus::Ok ||
+        !served->result) {
+        out << "serve round-trip: FAILED ("
+            << (served ? served->message : "no response arrived")
+            << ")\n";
+        return false;
+    }
+    const std::string servedJson = algos::toJson(*served->result);
+    const std::string directJson =
+        algos::toJson(runRequestInProcess(request));
+    if (servedJson != directJson) {
+        out << "serve round-trip: MISMATCH\n  served: " << servedJson
+            << "\n  direct: " << directJson << "\n";
+        return false;
+    }
+    out << "serve round-trip: ok — served result byte-identical to "
+           "the in-process run ("
+        << served->attempts << " delivery/deliveries)\n  "
+        << servedJson << "\n";
+    return true;
+}
+
+std::vector<WorkerState>
+AlignService::workerStates() const
+{
+    std::vector<WorkerState> states;
+    states.reserve(workers_.size());
+    for (const Worker &worker : workers_)
+        states.push_back(worker.state);
+    return states;
+}
+
+} // namespace quetzal::serve

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * AlignService: a self-healing pool of worker processes serving
+ * alignment requests over length-prefixed pipe frames.
+ *
+ * The parent keeps an explicit per-worker state machine
+ * (Idle/Working/Draining/Dead — mirroring QuAPI's quapi_state) and a
+ * bounded request queue, and runs a single-threaded poll(2) loop:
+ *
+ *  - A crashed or killed worker is detected via pipe EOF + waitpid;
+ *    any complete response frames still buffered are honored first,
+ *    then the in-flight request is re-dispatched at the front of the
+ *    queue (bounded by ServeConfig::maxDispatchAttempts, terminal
+ *    Panic when exhausted) while the worker is respawned — the queue
+ *    is never dropped.
+ *  - A worker that blows its per-request wall-clock deadline is
+ *    SIGKILLed and handled exactly like a crash, except exhaustion
+ *    reports Resource instead of Panic.
+ *  - Admission control sheds load with a structured Overloaded
+ *    response once the queue reaches ServeConfig::queueBound.
+ *  - requestStop() (async-signal-safe) drains gracefully: in-flight
+ *    requests finish, still-queued ones get Shutdown responses, then
+ *    workers see EOF and exit cleanly.
+ *
+ * Protocol details and the full state machine are in docs/SERVICE.md.
+ */
+#ifndef QUETZAL_SERVE_SERVER_HPP
+#define QUETZAL_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "serve/protocol.hpp"
+
+namespace quetzal::serve {
+
+/** Lifecycle of one pooled worker process. */
+enum class WorkerState
+{
+    Idle,     //!< alive, no request in flight
+    Working,  //!< one request dispatched, response pending
+    Draining, //!< finishing its request during graceful stop
+    Dead,     //!< reaped; respawn pending (or final, when stopping)
+};
+
+std::string_view workerStateName(WorkerState state);
+
+/** Pool, queue, and recovery knobs. */
+struct ServeConfig
+{
+    unsigned workers = 2;
+    std::size_t queueBound = 64; //!< admission control threshold
+    unsigned deadlineMs = 0;     //!< per-request wall clock; 0 = none
+    /** Total deliveries per request, incl. the first (so 2 = one
+     *  recovery redispatch, Panic/Resource on the second loss). */
+    unsigned maxDispatchAttempts = 2;
+    /** Armed injection, forwarded to fork-only workers and compared
+     *  against request ids (exec workers re-read QZ_FAULT_INJECT). */
+    std::optional<algos::FaultInjection> inject;
+    /**
+     * argv of the worker binary (e.g. {"/proc/self/exe","--worker"}).
+     * Empty: fork-only mode — the child runs workerMain() in the
+     * forked image directly, which is what the unit tests use.
+     */
+    std::vector<std::string> workerCommand;
+    /** External stop flag (e.g. a signal handler's); polled each
+     *  loop iteration in addition to requestStop(). */
+    const std::atomic<int> *stopFlag = nullptr;
+};
+
+/** Observability counters, all monotonic over the service lifetime. */
+struct ServeStats
+{
+    std::uint64_t served = 0;        //!< Ok responses emitted
+    std::uint64_t errors = 0;        //!< terminal Error responses
+    std::uint64_t shed = 0;          //!< Overloaded responses
+    std::uint64_t shutdownShed = 0;  //!< Shutdown responses
+    std::uint64_t respawns = 0;      //!< workers restarted after death
+    std::uint64_t deadlineKills = 0; //!< SIGKILLs for blown deadlines
+    std::uint64_t redispatches = 0;  //!< requests re-queued on loss
+};
+
+/**
+ * The service. Construction spawns the pool; submit()/serveAll()
+ * feed it; every response (in completion order) is delivered through
+ * the sink callback from within the serving thread.
+ */
+class AlignService
+{
+  public:
+    using ResponseSink = std::function<void(const ServeResponse &)>;
+
+    AlignService(ServeConfig config, ResponseSink sink);
+    ~AlignService();
+
+    AlignService(const AlignService &) = delete;
+    AlignService &operator=(const AlignService &) = delete;
+
+    /**
+     * Admit one request. Sheds with an immediate Overloaded response
+     * (returning false) when the queue is at its bound, or with a
+     * Shutdown response when a stop was requested. The request's
+     * attempt counter is owned by the service and reset here.
+     */
+    bool submit(ServeRequest request);
+
+    /** Pump the event loop until the queue and every worker are idle
+     *  (or a stop sheds what remains). */
+    void drain();
+
+    /** submit() + drain() over a whole request list, with
+     *  backpressure instead of shedding for the tail beyond the
+     *  queue bound. */
+    void serveAll(std::vector<ServeRequest> requests);
+
+    /** Request a graceful drain; safe from a signal handler. */
+    void requestStop() { stop_.store(1, std::memory_order_relaxed); }
+
+    /** Close pipes, wait for workers to exit, reap them. Idempotent;
+     *  the destructor calls it. */
+    void shutdown();
+
+    const ServeStats &stats() const { return stats_; }
+    std::vector<WorkerState> workerStates() const;
+    std::size_t queueDepth() const { return queue_.size(); }
+
+  private:
+    struct Worker
+    {
+        pid_t pid = -1;
+        int toChild = -1;   //!< request pipe, parent write end
+        int fromChild = -1; //!< response pipe, parent read end
+        WorkerState state = WorkerState::Dead;
+        bool hasInflight = false;
+        ServeRequest inflight;
+        std::chrono::steady_clock::time_point deadline{};
+        FrameDecoder rx;
+    };
+
+    bool stopping() const;
+    void spawn(Worker &worker);
+    void dispatchIdle();
+    void shedQueueForShutdown();
+    void emit(const ServeResponse &response);
+    void step();
+    void readFromWorker(Worker &worker);
+    bool handleResponseFrame(Worker &worker,
+                             const std::string &payload);
+    void recoverDeadWorker(Worker &worker, bool timedOut);
+    void killExpiredWorkers();
+    bool anyInflight() const;
+
+    ServeConfig config_;
+    ResponseSink sink_;
+    std::deque<ServeRequest> queue_;
+    std::vector<Worker> workers_;
+    std::atomic<int> stop_{0};
+    bool shutdownDone_ = false;
+    ServeStats stats_;
+};
+
+/**
+ * Run @p request through a one-worker fork-only pool and verify the
+ * served result is byte-identical to runRequestInProcess() — the
+ * clients' --serve check. Narrates the verdict (including both JSON
+ * renderings on a mismatch) to @p out; true on success. An armed
+ * QZ_FAULT_INJECT applies to the pooled worker, so the check also
+ * exercises crash/hang recovery when asked to.
+ */
+bool serveRoundTripCheck(const ServeRequest &request,
+                         std::ostream &out);
+
+} // namespace quetzal::serve
+
+#endif // QUETZAL_SERVE_SERVER_HPP

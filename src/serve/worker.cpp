@@ -1,0 +1,89 @@
+#include "serve/worker.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "serve/protocol.hpp"
+
+namespace quetzal::serve {
+
+namespace {
+
+/**
+ * Fire an armed worker-level injection for @p request. The gate
+ * compares the delivery attempt against the injection budget, so
+ * "crash once" aborts on the first delivery and serves the
+ * post-respawn redelivery normally — which is exactly the recovery
+ * path the tests pin down.
+ */
+void
+maybeInject(const algos::FaultInjection &inject,
+            const ServeRequest &request)
+{
+    if (inject.cell != request.id || request.attempt > inject.times)
+        return;
+    switch (inject.action) {
+      case algos::FaultAction::Crash:
+        // Mid-request process death, as a real heap corruption or
+        // assert would produce. No response frame is ever written.
+        std::abort();
+      case algos::FaultAction::Hang:
+        // Long enough to trip any sane per-request deadline, short
+        // enough that a misconfigured test without one still ends.
+        std::this_thread::sleep_for(std::chrono::seconds(120));
+        return;
+      case algos::FaultAction::Throw:
+        algos::throwInjectedFault(inject);
+    }
+}
+
+} // namespace
+
+int
+workerMain(int requestFd, int responseFd,
+           std::optional<algos::FaultInjection> inject)
+{
+    std::string payload;
+    for (;;) {
+        switch (readFrame(requestFd, payload)) {
+          case FrameRead::Eof:
+            return 0; // parent closed the pipe: drain complete
+          case FrameRead::Error:
+            return 2;
+          case FrameRead::Frame:
+            break;
+        }
+
+        ServeResponse response;
+        const auto json = parseJson(payload);
+        std::optional<ServeRequest> request =
+            json ? requestFromJson(*json) : std::nullopt;
+        if (!request) {
+            response.status = ResponseStatus::Error;
+            response.kind = algos::FailureKind::Fatal;
+            response.message = "unparseable request frame";
+        } else {
+            response.id = request->id;
+            response.attempts = request->attempt;
+            try {
+                if (inject)
+                    maybeInject(*inject, *request);
+                response.result = runRequestInProcess(*request);
+                response.status = ResponseStatus::Ok;
+            } catch (...) {
+                const std::exception_ptr error =
+                    std::current_exception();
+                response.status = ResponseStatus::Error;
+                response.kind = algos::classifyException(error);
+                response.message = algos::exceptionMessage(error);
+            }
+        }
+
+        if (!writeFrame(responseFd, toJson(response)))
+            return 3; // parent is gone; nothing left to serve
+    }
+}
+
+} // namespace quetzal::serve

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The worker side of the qz-serve service: a loop that reads request
+ * frames, runs them on this process's simulated core, and writes
+ * response frames. One process per worker — a crash, hang, or memory
+ * blowup in any cell takes down only this process, never the service
+ * (see docs/SERVICE.md).
+ */
+#ifndef QUETZAL_SERVE_WORKER_HPP
+#define QUETZAL_SERVE_WORKER_HPP
+
+#include <optional>
+
+#include "algos/faults.hpp"
+
+namespace quetzal::serve {
+
+/**
+ * Serve requests from @p requestFd until EOF (the parent closed the
+ * pipe: graceful drain), writing responses to @p responseFd. Returns
+ * the process exit code: 0 on clean EOF, nonzero on a protocol or
+ * pipe error. @p inject arms the worker-level fault kinds — Crash
+ * abort()s and Hang stalls when the request id matches
+ * FaultInjection::cell and the delivery attempt is within
+ * FaultInjection::times; Throw raises the usual taxonomy exception,
+ * which the worker survives and reports as a structured Error.
+ */
+int workerMain(int requestFd, int responseFd,
+               std::optional<algos::FaultInjection> inject);
+
+} // namespace quetzal::serve
+
+#endif // QUETZAL_SERVE_WORKER_HPP

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "algos/batch.hpp"
@@ -115,6 +116,37 @@ TEST(FaultSpec, ParsesFullAndDefaultedForms)
     EXPECT_FALSE(algos::parseFaultSpec("").has_value());
 }
 
+TEST(FaultSpec, ParsesProcessLevelCrashAndHangKinds)
+{
+    // crash/hang select a worker-process-level action; the taxonomy
+    // kind they map to is what a qz-serve terminal response reports
+    // (Panic for a death, Resource for a blown deadline).
+    const auto crash = algos::parseFaultSpec("4:crash");
+    ASSERT_TRUE(crash.has_value());
+    EXPECT_EQ(crash->cell, 4u);
+    EXPECT_EQ(crash->action, algos::FaultAction::Crash);
+    EXPECT_EQ(crash->kind, algos::FailureKind::Panic);
+    EXPECT_EQ(crash->times, 1u);
+
+    const auto hang = algos::parseFaultSpec("1:hang:2");
+    ASSERT_TRUE(hang.has_value());
+    EXPECT_EQ(hang->action, algos::FaultAction::Hang);
+    EXPECT_EQ(hang->kind, algos::FailureKind::Resource);
+    EXPECT_EQ(hang->times, 2u);
+
+    // Exception-taxonomy kinds keep the in-process Throw action.
+    const auto thrown = algos::parseFaultSpec("2:transient");
+    ASSERT_TRUE(thrown.has_value());
+    EXPECT_EQ(thrown->action, algos::FaultAction::Throw);
+
+    EXPECT_EQ(algos::faultActionName(algos::FaultAction::Throw),
+              "throw");
+    EXPECT_EQ(algos::faultActionName(algos::FaultAction::Crash),
+              "crash");
+    EXPECT_EQ(algos::faultActionName(algos::FaultAction::Hang),
+              "hang");
+}
+
 TEST(FaultSpec, RejectsMalformedSpecs)
 {
     EXPECT_THROW(algos::parseFaultSpec("nonsense"), FatalError);
@@ -179,6 +211,28 @@ TEST(FaultInjection, InjectedFatalIsIsolatedAndOthersUnaffected)
             continue;
         expectSameResult(clean.results[i], injected.results[i], i);
     }
+}
+
+TEST(FaultInjection, BatchEngineIgnoresProcessLevelActions)
+{
+    // crash/hang only fire inside qz-serve worker processes; an
+    // armed QZ_FAULT_INJECT with those kinds must leave an
+    // in-process batch sweep completely untouched.
+    const auto cells = healthyCells();
+    const auto clean = algos::runBatch(cells, 2);
+    ASSERT_TRUE(clean.ok());
+
+    algos::BatchRunner batch(2);
+    for (const auto &cell : cells)
+        batch.add(cell);
+    algos::FaultInjection inject{1, algos::FailureKind::Panic, 1};
+    inject.action = algos::FaultAction::Crash;
+    batch.setFaultInjection(inject);
+    const auto outcome = batch.run();
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_EQ(outcome.results.size(), clean.results.size());
+    for (std::size_t i = 0; i < clean.results.size(); ++i)
+        expectSameResult(outcome.results[i], clean.results[i], i);
 }
 
 TEST(FaultInjection, TransientInjectionHealsViaRetry)
@@ -408,6 +462,49 @@ TEST(Checkpoint, CorruptTrailingLineIsSkipped)
     const auto outcome = batch.run();
     EXPECT_TRUE(outcome.ok());
     EXPECT_EQ(outcome.resumedCells, cells.size());
+}
+
+TEST(Checkpoint, TornTrailingTailIsTruncatedNotPoisoned)
+{
+    ScopedPath ckpt("qz_test_ckpt_torn.jsonl");
+
+    // Missing and clean files are left alone.
+    EXPECT_EQ(algos::truncateTornCheckpointTail(ckpt.str()), 0u);
+    const std::string complete = "{\"pair\":0,\"ok\":true}\n";
+    {
+        std::ofstream out(ckpt.str());
+        out << complete;
+    }
+    EXPECT_EQ(algos::truncateTornCheckpointTail(ckpt.str()), 0u);
+
+    // A writer killed mid-line leaves a torn tail; the repair drops
+    // exactly those bytes, so a later append cannot concatenate onto
+    // them and poison two records at once.
+    const std::string torn = "{\"pair\":1,\"o";
+    {
+        std::ofstream out(ckpt.str(), std::ios::app);
+        out << torn;
+    }
+    EXPECT_EQ(algos::truncateTornCheckpointTail(ckpt.str()),
+              torn.size());
+    {
+        std::ifstream in(ckpt.str());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        EXPECT_EQ(buf.str(), complete);
+    }
+
+    // A file that is nothing but a torn line empties out entirely.
+    {
+        std::ofstream out(ckpt.str());
+        out << torn;
+    }
+    EXPECT_EQ(algos::truncateTornCheckpointTail(ckpt.str()),
+              torn.size());
+    std::ifstream in(ckpt.str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), "");
 }
 
 TEST(Checkpoint, HashCoversDatasetContent)

@@ -5,6 +5,7 @@
 #ifndef QUETZAL_TOOLS_CLI_COMMON_HPP
 #define QUETZAL_TOOLS_CLI_COMMON_HPP
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
@@ -12,10 +13,54 @@
 #include <string>
 #include <vector>
 
+#include <signal.h>
+
 #include "algos/variant.hpp"
 #include "common/logging.hpp"
 
 namespace quetzal::cli {
+
+/**
+ * Process-wide stop flag set by SIGINT/SIGTERM once
+ * installStopHandlers() ran. Long-running loops poll it (directly or
+ * via stopRequested()) so an interrupted run can flush checkpoints
+ * and emit a partial report instead of dying with work unrecorded.
+ */
+inline std::atomic<int> &
+stopFlag()
+{
+    static std::atomic<int> flag{0};
+    return flag;
+}
+
+inline void
+onStopSignal(int)
+{
+    stopFlag().store(1, std::memory_order_relaxed);
+}
+
+/**
+ * Install SIGINT/SIGTERM handlers that set stopFlag(). Deliberately
+ * no SA_RESTART: a blocked poll()/read() wakes with EINTR, so event
+ * loops notice the stop promptly instead of after the next event.
+ */
+inline void
+installStopHandlers()
+{
+    struct sigaction action = {};
+    action.sa_handler = onStopSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+/** True once a stop signal landed. */
+inline bool
+stopRequested()
+{
+    return stopFlag().load(std::memory_order_relaxed) != 0;
+}
 
 /**
  * True when @p arg is a numeric literal such as "-5", "-0.3", or

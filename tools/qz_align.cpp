@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 
 #include "algos/batch.hpp"
@@ -25,10 +26,13 @@
 #include "algos/wfa_engine.hpp"
 #include "algos/workload.hpp"
 #include "cli_common.hpp"
+#include "common/json.hpp"
 #include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
 #include "genomics/fasta.hpp"
 #include "quetzal/qzunit.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/context.hpp"
 
 namespace {
@@ -93,12 +97,21 @@ main(int argc, char **argv)
                    "cores (default 1)\n"
                    "  --shard K/N    align only pairs with index % N "
                    "== K-1 (multi-process runs)\n"
+                   "  --checkpoint F resume per-pair progress from F "
+                   "(JSONL, crash-safe)\n"
+                   "  --serve        round-trip the pairs through a "
+                   "qz-serve worker\n"
+                   "                 and verify byte-identical "
+                   "results\n"
                    "  --list         print the registered workloads "
                    "and exit\n"
                    "  --json         print an instruction profile as "
-                   "JSON (one per worker)\n";
+                   "JSON (one per worker)\n"
+                   "SIGINT/SIGTERM flush the checkpoint and emit a "
+                   "partial JSON report\n";
             return args.has("help") ? 0 : 2;
         }
+        cli::installStopHandlers();
 
         std::ifstream in(args.positional().front());
         fatal_if(!in, "cannot open '{}'", args.positional().front());
@@ -116,6 +129,46 @@ main(int argc, char **argv)
                                : genomics::ElementSize::Bits2;
         const long threadsOpt = args.getInt("threads", 1);
         fatal_if(threadsOpt < 1, "--threads must be at least 1");
+
+        // --serve: round-trip the whole pair file through a pooled
+        // qz-serve worker process and require the served RunResult to
+        // be byte-identical to an in-process run (docs/SERVICE.md).
+        // QZ_FAULT_INJECT crash/hang kinds apply to the worker, so
+        // this doubles as a client-side recovery check.
+        if (args.has("serve")) {
+            for (const char *unsupported :
+                 {"window", "lag", "sam", "shard", "checkpoint",
+                  "cigar", "json"})
+                fatal_if(args.has(unsupported),
+                         "--serve does not support --{}",
+                         unsupported);
+            serve::ServeRequest request;
+            request.workload = [&]() -> std::string {
+                if (algo == "wfa")
+                    return "WFA";
+                if (algo == "biwfa")
+                    return "BiWFA";
+                if (algo == "nw")
+                    return "NW";
+                if (algo == "sw")
+                    return "SW";
+                fatal("--serve supports --algo wfa|biwfa|nw|sw, "
+                      "not '{}'",
+                      algo);
+            }();
+            request.variant = args.get("variant", "qzc");
+            if (args.has("maxlen"))
+                request.maxLen = static_cast<std::uint64_t>(maxLen);
+            request.protein = args.has("protein");
+            request.pairs = pairs;
+            for (auto &pair : request.pairs)
+                pair.alphabet = request.protein
+                                    ? genomics::AlphabetKind::Protein
+                                    : genomics::AlphabetKind::Dna;
+            return serve::serveRoundTripCheck(request, std::cout)
+                       ? 0
+                       : 1;
+        }
 
         // --shard K/N: this process owns every pair whose index i
         // satisfies i % N == K-1 (same round-robin partitioning as the
@@ -202,6 +255,51 @@ main(int argc, char **argv)
                                   : genomics::AlphabetKind::Dna;
         std::vector<algos::AlignResult> results(pairs.size());
         std::vector<std::string> pairErrors(pairs.size());
+        std::vector<char> done(pairs.size(), 0);
+        std::vector<std::string> resumedCigar(pairs.size());
+
+        // --checkpoint: one JSONL line per aligned pair, flushed as
+        // written, so an interrupted or killed run resumes instead of
+        // re-aligning. A torn trailing line (killed mid-write) is
+        // truncated away before appending — same repair as the batch
+        // engine's checkpoint.
+        const std::string ckptPath = args.get("checkpoint", "");
+        std::ofstream ckptOut;
+        std::mutex ckptMutex;
+        if (!ckptPath.empty()) {
+            fatal_if(args.has("sam"),
+                     "--checkpoint does not support --sam (resumed "
+                     "pairs carry no traceback state)");
+            algos::truncateTornCheckpointTail(ckptPath);
+            std::ifstream ckptIn(ckptPath);
+            std::string line;
+            std::size_t resumed = 0;
+            while (std::getline(ckptIn, line)) {
+                if (line.empty())
+                    continue;
+                const auto json = parseJson(line);
+                if (!json || !json->isObject() ||
+                    !json->find("pair"))
+                    continue; // loader skips unparseable lines
+                const std::size_t i =
+                    static_cast<std::size_t>(json->getUint("pair"));
+                if (i >= pairs.size() || done[i])
+                    continue;
+                results[i].score = json->getInt("score");
+                resumedCigar[i] = json->getString("cigar");
+                done[i] = 1;
+                ++resumed;
+            }
+            if (resumed > 0)
+                std::cout << "checkpoint: resumed " << resumed
+                          << " pair(s) from " << ckptPath << "\n";
+            ckptOut.open(ckptPath, std::ios::app);
+            if (!ckptOut)
+                warn("cannot open checkpoint '{}' for appending; "
+                     "this run will not be resumable",
+                     ckptPath);
+        }
+
         std::vector<ShardStats> workers(threads);
         const std::size_t perWorker =
             (ownedPairs.size() + threads - 1) / threads;
@@ -211,15 +309,32 @@ main(int argc, char **argv)
                 std::min(ownedPairs.size(), lo + perWorker);
             ShardRig rig(variant);
             for (std::size_t j = lo; j < hi; ++j) {
+                if (cli::stopRequested())
+                    break; // flush what is recorded and report
                 const std::size_t i = ownedPairs[j];
+                if (done[i])
+                    continue; // resumed from the checkpoint
                 rig.core.mem().newEpoch();
                 try {
                     genomics::validatePair(pairs[i], alphabet, i,
                                            "qz-align");
                     results[i] = alignPair(rig, i);
+                    if (ckptOut.is_open()) {
+                        JsonWriter json;
+                        json.beginObject()
+                            .field("pair", std::uint64_t{i})
+                            .field("score",
+                                   std::int64_t{results[i].score})
+                            .field("cigar", results[i].cigar.rle())
+                            .endObject();
+                        std::lock_guard<std::mutex> lock(ckptMutex);
+                        ckptOut << json.str()
+                                << std::endl; // flush: crash safety
+                    }
                 } catch (const std::exception &e) {
                     pairErrors[i] = e.what();
                 }
+                done[i] = 1;
             }
             workers[s].cycles = rig.core.pipeline().totalCycles();
             workers[s].instructions =
@@ -228,6 +343,8 @@ main(int argc, char **argv)
             workers[s].profileJson =
                 algos::instructionProfileJson(rig.core.pipeline());
         });
+        if (ckptOut.is_open())
+            ckptOut.close(); // flushed before any report below
 
         std::optional<std::ofstream> sam;
         if (args.has("sam")) {
@@ -240,7 +357,12 @@ main(int argc, char **argv)
 
         std::int64_t totalScore = 0;
         std::size_t failedPairs = 0;
+        std::size_t skippedPairs = 0;
         for (const std::size_t i : ownedPairs) {
+            if (!done[i]) {
+                ++skippedPairs; // interrupted before this pair ran
+                continue;
+            }
             if (!pairErrors[i].empty()) {
                 ++failedPairs;
                 std::cout << "pair " << i << ": FAILED ("
@@ -251,7 +373,10 @@ main(int argc, char **argv)
             totalScore += result.score;
             std::cout << "pair " << i << ": score " << result.score;
             if (args.has("cigar"))
-                std::cout << "  " << result.cigar.rle();
+                std::cout << "  "
+                          << (resumedCigar[i].empty()
+                                  ? result.cigar.rle()
+                                  : resumedCigar[i]);
             std::cout << "\n";
             if (sam) {
                 std::string_view pattern = pairs[i].pattern;
@@ -278,7 +403,8 @@ main(int argc, char **argv)
             std::cout << "shard " << algos::shardName(*shard) << ": "
                       << ownedPairs.size() << " of " << pairs.size()
                       << " pair(s) owned\n";
-        std::cout << "aligned " << (ownedPairs.size() - failedPairs)
+        std::cout << "aligned "
+                  << (ownedPairs.size() - failedPairs - skippedPairs)
                   << " / " << ownedPairs.size() << " pairs, total "
                   << (algo == "sw" ? "alignment score " : "edits ")
                   << totalScore << "\n"
@@ -299,6 +425,36 @@ main(int argc, char **argv)
                               << workers[s].profileJson;
                 std::cout << "]\n";
             }
+        }
+        // Interrupted: the checkpoint is already flushed; emit a
+        // partial JSON report so the caller knows exactly how far the
+        // run got, and exit nonzero.
+        if (cli::stopRequested()) {
+            JsonWriter json;
+            json.beginObject()
+                .field("tool", "qz-align")
+                .field("partial", true)
+                .field("algo", algo)
+                .field("variant", args.get("variant", "qzc"))
+                .field("completed",
+                       std::uint64_t{ownedPairs.size() -
+                                     failedPairs - skippedPairs})
+                .field("failed", std::uint64_t{failedPairs})
+                .field("not_attempted", std::uint64_t{skippedPairs})
+                .field("owned", std::uint64_t{ownedPairs.size()})
+                .field("total_score", std::int64_t{totalScore});
+            if (!ckptPath.empty())
+                json.field("checkpoint", ckptPath);
+            json.endObject();
+            std::cout << json.str() << "\n";
+            std::cerr << "interrupted: " << skippedPairs
+                      << " pair(s) not attempted"
+                      << (ckptPath.empty()
+                              ? ""
+                              : "; rerun with the same --checkpoint "
+                                "to resume")
+                      << "\n";
+            return 130;
         }
         if (failedPairs > 0) {
             std::cerr << "error: " << failedPairs << " of "

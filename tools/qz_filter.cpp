@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 
 #include "algos/batch.hpp"
@@ -16,10 +17,13 @@
 #include "algos/sneakysnake.hpp"
 #include "algos/workload.hpp"
 #include "cli_common.hpp"
+#include "common/json.hpp"
 #include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
 #include "genomics/fasta.hpp"
 #include "quetzal/qzunit.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/context.hpp"
 
 int
@@ -46,11 +50,20 @@ main(int argc, char **argv)
                    "cores (default 1)\n"
                    "  --shard K/N     filter only pairs with index % N "
                    "== K-1 (multi-process runs)\n"
+                   "  --checkpoint F  resume per-pair verdicts from F "
+                   "(JSONL, crash-safe)\n"
+                   "  --serve         round-trip the pairs through a "
+                   "qz-serve worker\n"
+                   "                  and verify byte-identical "
+                   "results\n"
                    "  --list          print the registered workloads "
                    "and exit\n"
-                   "  --verbose       per-pair verdicts\n";
+                   "  --verbose       per-pair verdicts\n"
+                   "SIGINT/SIGTERM flush the checkpoint and emit a "
+                   "partial JSON report\n";
             return args.has("help") ? 0 : 2;
         }
+        cli::installStopHandlers();
 
         std::ifstream in(args.positional().front());
         fatal_if(!in, "cannot open '{}'", args.positional().front());
@@ -63,6 +76,35 @@ main(int argc, char **argv)
         const bool useShouji = args.get("filter") == "shouji";
         const long threadsOpt = args.getInt("threads", 1);
         fatal_if(threadsOpt < 1, "--threads must be at least 1");
+
+        // --serve: round-trip the pair file through a pooled
+        // qz-serve worker running the SS workload and require a
+        // byte-identical RunResult (docs/SERVICE.md).
+        if (args.has("serve")) {
+            for (const char *unsupported :
+                 {"shard", "checkpoint", "accepted", "verbose"})
+                fatal_if(args.has(unsupported),
+                         "--serve does not support --{}",
+                         unsupported);
+            fatal_if(useShouji,
+                     "--serve supports the SneakySnake workload "
+                     "only");
+            serve::ServeRequest request;
+            request.workload = "SS";
+            request.variant = args.get("variant", "qzc");
+            // Inline-pair datasets carry no nominal read length, so
+            // the threshold the per-pair loop below would derive must
+            // travel explicitly with the request.
+            request.ssThreshold =
+                args.has("threshold")
+                    ? args.getInt("threshold", 0)
+                    : algos::defaultSsThreshold(
+                          pairs.front().pattern.size(), 0.033);
+            request.pairs = pairs;
+            return serve::serveRoundTripCheck(request, std::cout)
+                       ? 0
+                       : 1;
+        }
 
         // --shard K/N: same round-robin pair ownership as qz-align
         // and the batch engine's QZ_BENCH_SHARD.
@@ -87,7 +129,46 @@ main(int argc, char **argv)
         };
         std::vector<Verdict> verdicts(pairs.size());
         std::vector<std::string> pairErrors(pairs.size());
+        std::vector<char> done(pairs.size(), 0);
         std::vector<std::uint64_t> workerCycles(threads, 0);
+
+        // --checkpoint: one JSONL verdict per pair, flushed as
+        // written; torn trailing lines are truncated away exactly
+        // like the batch engine's checkpoint.
+        const std::string ckptPath = args.get("checkpoint", "");
+        std::ofstream ckptOut;
+        std::mutex ckptMutex;
+        if (!ckptPath.empty()) {
+            algos::truncateTornCheckpointTail(ckptPath);
+            std::ifstream ckptIn(ckptPath);
+            std::string line;
+            std::size_t resumed = 0;
+            while (std::getline(ckptIn, line)) {
+                if (line.empty())
+                    continue;
+                const auto json = parseJson(line);
+                if (!json || !json->isObject() ||
+                    !json->find("pair"))
+                    continue;
+                const std::size_t i =
+                    static_cast<std::size_t>(json->getUint("pair"));
+                if (i >= pairs.size() || done[i])
+                    continue;
+                verdicts[i].ok = json->getBool("ok");
+                verdicts[i].bound = json->getInt("bound");
+                verdicts[i].threshold = json->getInt("threshold");
+                done[i] = 1;
+                ++resumed;
+            }
+            if (resumed > 0)
+                std::cout << "checkpoint: resumed " << resumed
+                          << " pair(s) from " << ckptPath << "\n";
+            ckptOut.open(ckptPath, std::ios::app);
+            if (!ckptOut)
+                warn("cannot open checkpoint '{}' for appending; "
+                     "this run will not be resumable",
+                     ckptPath);
+        }
 
         // Contiguous ranges of the owned pairs, one fresh simulated
         // core per worker; verdicts keep their pair index so the
@@ -112,7 +193,11 @@ main(int argc, char **argv)
             // A failing pair is recorded and filtered out (rejected);
             // the remaining pairs still get verdicts.
             for (std::size_t j = lo; j < hi; ++j) {
+                if (cli::stopRequested())
+                    break; // flush what is recorded and report
                 const std::size_t i = ownedPairs[j];
+                if (done[i])
+                    continue; // resumed from the checkpoint
                 core.mem().newEpoch();
                 Verdict &v = verdicts[i];
                 try {
@@ -139,18 +224,39 @@ main(int argc, char **argv)
                         v.ok = verdict.accepted;
                         v.bound = verdict.editBound;
                     }
+                    if (ckptOut.is_open()) {
+                        JsonWriter json;
+                        json.beginObject()
+                            .field("pair", std::uint64_t{i})
+                            .field("ok", v.ok)
+                            .field("bound", std::int64_t{v.bound})
+                            .field("threshold",
+                                   std::int64_t{v.threshold})
+                            .endObject();
+                        std::lock_guard<std::mutex> lock(ckptMutex);
+                        ckptOut << json.str()
+                                << std::endl; // flush: crash safety
+                    }
                 } catch (const std::exception &e) {
                     pairErrors[i] = e.what();
                     v.ok = false;
                 }
+                done[i] = 1;
             }
             workerCycles[s] = core.pipeline().totalCycles();
         });
+        if (ckptOut.is_open())
+            ckptOut.close(); // flushed before any report below
 
         std::vector<genomics::SequencePair> accepted;
         std::size_t failedPairs = 0;
+        std::size_t skippedPairs = 0;
         for (const std::size_t i : ownedPairs) {
             const Verdict &v = verdicts[i];
+            if (!done[i]) {
+                ++skippedPairs; // interrupted before this pair ran
+                continue;
+            }
             if (!pairErrors[i].empty()) {
                 ++failedPairs;
                 std::cout << "pair " << i << ": FAILED ("
@@ -187,6 +293,36 @@ main(int argc, char **argv)
             genomics::writePairFile(out, accepted);
             std::cout << "wrote accepted pairs to "
                       << args.get("accepted") << "\n";
+        }
+        // Interrupted: the checkpoint is already flushed; emit a
+        // partial JSON report and exit nonzero.
+        if (cli::stopRequested()) {
+            JsonWriter json;
+            json.beginObject()
+                .field("tool", "qz-filter")
+                .field("partial", true)
+                .field("filter",
+                       useShouji ? "shouji" : "sneakysnake")
+                .field("variant", args.get("variant", "qzc"))
+                .field("completed",
+                       std::uint64_t{ownedPairs.size() -
+                                     failedPairs - skippedPairs})
+                .field("failed", std::uint64_t{failedPairs})
+                .field("not_attempted", std::uint64_t{skippedPairs})
+                .field("owned", std::uint64_t{ownedPairs.size()})
+                .field("accepted", std::uint64_t{accepted.size()});
+            if (!ckptPath.empty())
+                json.field("checkpoint", ckptPath);
+            json.endObject();
+            std::cout << json.str() << "\n";
+            std::cerr << "interrupted: " << skippedPairs
+                      << " pair(s) not attempted"
+                      << (ckptPath.empty()
+                              ? ""
+                              : "; rerun with the same --checkpoint "
+                                "to resume")
+                      << "\n";
+            return 130;
         }
         if (failedPairs > 0) {
             std::cerr << "error: " << failedPairs << " of "
