@@ -45,7 +45,9 @@
 #include "common/table.hpp"
 #include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
+#include "genomics/pairsource.hpp"
 #include "genomics/protein.hpp"
+#include "genomics/store.hpp"
 
 namespace quetzal::bench {
 
@@ -99,12 +101,39 @@ banner(const std::string &title)
 /** Shared-ownership dataset handle for batch cells. */
 using DatasetPtr = std::shared_ptr<const genomics::PairDataset>;
 
+/**
+ * Shared-ownership streaming source for batch cells. Cells hold
+ * sources; a DatasetPtr is the zero-copy in-RAM special case the
+ * engine wraps automatically.
+ */
+using SourcePtr = std::shared_ptr<const genomics::PairSource>;
+
 /** Materialize a catalog dataset behind a shared handle. */
 inline DatasetPtr
 makeDatasetPtr(std::string_view name, double scale = benchScale())
 {
     return std::make_shared<const genomics::PairDataset>(
         genomics::makeDataset(name, scale));
+}
+
+/**
+ * A catalog dataset as a bounded-memory generator stream — the pairs
+ * are byte-identical to makeDatasetPtr()'s, so results (and
+ * checkpoints) are interchangeable between the two.
+ */
+inline SourcePtr
+makeSourcePtr(std::string_view name, double scale = benchScale())
+{
+    return std::make_shared<genomics::GeneratorPairSource>(name,
+                                                           scale);
+}
+
+/** A read-store range (`FILE[:FROM-TO]`, docs/STORE.md) as a source. */
+inline SourcePtr
+makeStoreSourcePtr(const std::string &target)
+{
+    return SourcePtr(genomics::openStoreSource(
+        genomics::parseStoreTarget(target)));
 }
 
 /** RunOptions for one verification-free bench cell. */
@@ -189,6 +218,26 @@ class CellBatch
         const algos::RunOptions &options)
     {
         return runner_.add(workload, std::move(dataset), options);
+    }
+
+    /** Queue a streaming-source cell (store range or generator). */
+    std::size_t
+    add(algos::AlgoKind kind, SourcePtr source,
+        algos::Variant variant, std::size_t maxLen = ~std::size_t{0},
+        genomics::AlphabetKind alphabet = genomics::AlphabetKind::Dna,
+        unsigned qzPorts = 8)
+    {
+        return runner_.add(
+            kind, std::move(source),
+            cellOptions(variant, maxLen, alphabet, qzPorts));
+    }
+
+    /** Streaming-source cell with fully custom options. */
+    std::size_t
+    add(const algos::Workload &workload, SourcePtr source,
+        const algos::RunOptions &options)
+    {
+        return runner_.add(workload, std::move(source), options);
     }
 
     /** Run all queued cells; callable once per fill. */

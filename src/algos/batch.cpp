@@ -186,7 +186,7 @@ BatchRunner::run()
             slot.algo = cells[i].workload->name();
             slot.variant =
                 std::string(variantName(cells[i].options.variant));
-            slot.dataset = cells[i].dataset->name;
+            slot.dataset = cells[i].source->info().name;
         } else {
             out.ownedCells.push_back(i);
         }
@@ -198,7 +198,7 @@ BatchRunner::run()
     // changes which process runs a cell, never its identity.
     std::vector<std::string> keys(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i)
-        keys[i] = cellKey(cells[i].workload->name(), *cells[i].dataset,
+        keys[i] = cellKey(cells[i].workload->name(), *cells[i].source,
                           cells[i].options);
 
     std::vector<char> done(cells.size(), 0);
@@ -208,7 +208,7 @@ BatchRunner::run()
         hashes.resize(cells.size());
         for (std::size_t i = 0; i < cells.size(); ++i)
             hashes[i] = cellHash(cells[i].workload->name(),
-                                 *cells[i].dataset, cells[i].options);
+                                 *cells[i].source, cells[i].options);
         // A writer killed mid-record leaves a torn trailing line.
         // Drop it before opening for append: appending after a line
         // with no '\n' would concatenate the new record onto the
@@ -268,8 +268,11 @@ BatchRunner::run()
                 const auto started =
                     hostPerf_ ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
+                // Each attempt streams from a fresh cursor over the
+                // shared (const, thread-safe) source.
+                const auto stream = cell.source->fork();
                 RunResult result =
-                    cell.workload->run(*cell.dataset, cell.options);
+                    cell.workload->runStream(*stream, cell.options);
                 if (hostPerf_)
                     result.hostNanos = static_cast<std::uint64_t>(
                         std::chrono::duration_cast<
@@ -314,7 +317,7 @@ BatchRunner::run()
                 slot.algo = cell.workload->name();
                 slot.variant =
                     std::string(variantName(cell.options.variant));
-                slot.dataset = cell.dataset->name;
+                slot.dataset = cell.source->info().name;
                 slot.pairs = 0;
                 {
                     std::lock_guard<std::mutex> lock(recordMutex);

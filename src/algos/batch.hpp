@@ -26,25 +26,41 @@
 #include "algos/runner.hpp"
 #include "algos/workload.hpp"
 #include "common/threadpool.hpp"
+#include "genomics/pairsource.hpp"
 
 namespace quetzal::algos {
 
-/** One queued evaluation-matrix cell. */
+/**
+ * One queued evaluation-matrix cell. Pairs arrive through a shared
+ * PairSource — an in-RAM dataset is just the zero-copy
+ * DatasetPairSource special case, which the dataset constructors
+ * below build for callers that still materialize.
+ */
 struct BatchCell
 {
     /** Registry workload this cell runs (non-owning; registry-owned). */
     const Workload *workload = nullptr;
-    /** Shared so many cells can reference one materialized dataset. */
-    std::shared_ptr<const genomics::PairDataset> dataset;
+    /** Shared so many cells can stream one dataset/store/generator. */
+    std::shared_ptr<const genomics::PairSource> source;
     RunOptions options;
 
     BatchCell() = default;
 
     BatchCell(const Workload &workload_,
+              std::shared_ptr<const genomics::PairSource> source_,
+              RunOptions options_)
+        : workload(&workload_), source(std::move(source_)),
+          options(std::move(options_))
+    {
+    }
+
+    BatchCell(const Workload &workload_,
               std::shared_ptr<const genomics::PairDataset> dataset_,
               RunOptions options_)
-        : workload(&workload_), dataset(std::move(dataset_)),
-          options(std::move(options_))
+        : BatchCell(workload_,
+                    std::make_shared<genomics::DatasetPairSource>(
+                        std::move(dataset_)),
+                    std::move(options_))
     {
     }
 
@@ -53,6 +69,14 @@ struct BatchCell
               std::shared_ptr<const genomics::PairDataset> dataset_,
               RunOptions options_)
         : BatchCell(workloadFor(kind), std::move(dataset_),
+                    std::move(options_))
+    {
+    }
+
+    BatchCell(AlgoKind kind,
+              std::shared_ptr<const genomics::PairSource> source_,
+              RunOptions options_)
+        : BatchCell(workloadFor(kind), std::move(source_),
                     std::move(options_))
     {
     }
@@ -202,7 +226,7 @@ class BatchRunner
     std::size_t
     add(BatchCell cell)
     {
-        fatal_if(!cell.dataset, "BatchRunner cell without a dataset");
+        fatal_if(!cell.source, "BatchRunner cell without a pair source");
         fatal_if(!cell.workload, "BatchRunner cell without a workload");
         cells_.push_back(std::move(cell));
         return cells_.size() - 1;
@@ -217,6 +241,15 @@ class BatchRunner
         return add(BatchCell{workload, std::move(dataset), options});
     }
 
+    /** Convenience overload over a streaming source. */
+    std::size_t
+    add(const Workload &workload,
+        std::shared_ptr<const genomics::PairSource> source,
+        const RunOptions &options)
+    {
+        return add(BatchCell{workload, std::move(source), options});
+    }
+
     /** Legacy convenience overload keyed by AlgoKind. */
     std::size_t
     add(AlgoKind kind,
@@ -224,6 +257,15 @@ class BatchRunner
         const RunOptions &options)
     {
         return add(BatchCell{kind, std::move(dataset), options});
+    }
+
+    /** Streaming-source overload keyed by AlgoKind. */
+    std::size_t
+    add(AlgoKind kind,
+        std::shared_ptr<const genomics::PairSource> source,
+        const RunOptions &options)
+    {
+        return add(BatchCell{kind, std::move(source), options});
     }
 
     std::size_t size() const { return cells_.size(); }

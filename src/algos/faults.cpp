@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hpp"
+#include "genomics/pairsource.hpp"
 
 namespace quetzal::algos {
 
@@ -258,30 +259,55 @@ hexDigest(std::uint64_t value)
     return out;
 }
 
+/**
+ * Shared key builder: the dataset and PairSource overloads must stay
+ * byte-identical (checkpoints interoperate across intake modes), so
+ * both delegate here.
+ */
+std::string
+cellKeyImpl(std::string_view workload, std::string_view dataset,
+            std::size_t pairCount,
+            const std::vector<std::pair<std::string, std::uint64_t>>
+                &params,
+            const RunOptions &options)
+{
+    std::string key = qformat(
+        "{}/{}/{}#pairs={};maxPairs={};maxLen={};alphabet={};"
+        "ssThreshold={};traceback={};verify={};budget={},{},{}",
+        workload, variantName(options.variant), dataset, pairCount,
+        options.maxPairs, options.maxLen,
+        genomics::name(options.alphabet), options.ssThreshold,
+        options.traceback ? 1 : 0, options.verify ? 1 : 0,
+        options.budget.maxWaveBytes, options.budget.maxSteps,
+        options.budget.fallbackLag);
+    if (!params.empty()) {
+        key += ";params=";
+        bool first = true;
+        for (const auto &[name, value] : params) {
+            key += qformat(first ? "{}:{}" : ",{}:{}", name, value);
+            first = false;
+        }
+    }
+    return key;
+}
+
 } // namespace
 
 std::string
 cellKey(std::string_view workload, const genomics::PairDataset &dataset,
         const RunOptions &options)
 {
-    std::string key = qformat(
-        "{}/{}/{}#pairs={};maxPairs={};maxLen={};alphabet={};"
-        "ssThreshold={};traceback={};verify={};budget={},{},{}",
-        workload, variantName(options.variant), dataset.name,
-        dataset.pairs.size(), options.maxPairs, options.maxLen,
-        genomics::name(options.alphabet), options.ssThreshold,
-        options.traceback ? 1 : 0, options.verify ? 1 : 0,
-        options.budget.maxWaveBytes, options.budget.maxSteps,
-        options.budget.fallbackLag);
-    if (!dataset.params.empty()) {
-        key += ";params=";
-        bool first = true;
-        for (const auto &[name, value] : dataset.params) {
-            key += qformat(first ? "{}:{}" : ",{}:{}", name, value);
-            first = false;
-        }
-    }
-    return key;
+    return cellKeyImpl(workload, dataset.name, dataset.pairs.size(),
+                       dataset.params, options);
+}
+
+std::string
+cellKey(std::string_view workload,
+        const genomics::PairSource &source, const RunOptions &options)
+{
+    const genomics::SourceInfo &info = source.info();
+    return cellKeyImpl(workload, info.name, source.size(),
+                       info.params, options);
 }
 
 std::string
@@ -308,6 +334,29 @@ cellHash(std::string_view workload, const genomics::PairDataset &dataset,
         fnv.mix(pair.text);
         fnv.mix(static_cast<std::uint64_t>(pair.trueEdits));
     }
+    mixSystem(fnv, options.system);
+    return hexDigest(fnv.value());
+}
+
+std::string
+cellHash(std::string_view workload,
+         const genomics::PairSource &source, const RunOptions &options)
+{
+    Fnv fnv;
+    fnv.mix(cellKey(workload, source, options));
+    // Same mixing order as the dataset overload, but the pairs are
+    // streamed through the digest at bounded memory.
+    const genomics::SourceInfo &info = source.info();
+    fnv.mix(info.readLength);
+    fnv.mix(info.errorRate);
+    auto cursor = source.fork();
+    genomics::PairBatch batch;
+    while (cursor->next(batch) > 0)
+        for (const genomics::PairView &pair : batch.views()) {
+            fnv.mix(pair.pattern);
+            fnv.mix(pair.text);
+            fnv.mix(static_cast<std::uint64_t>(pair.trueEdits));
+        }
     mixSystem(fnv, options.system);
     return hexDigest(fnv.value());
 }

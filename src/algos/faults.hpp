@@ -22,6 +22,10 @@
 
 #include "algos/runner.hpp"
 
+namespace quetzal::genomics {
+class PairSource;
+}
+
 namespace quetzal::algos {
 
 /** Why a cell failed (mirrors the exception taxonomy in logging.hpp). */
@@ -144,6 +148,15 @@ std::string cellKey(AlgoKind kind,
                     const RunOptions &options);
 
 /**
+ * cellKey() over a streaming source. Byte-identical to the dataset
+ * overload for any source that yields the same pairs — checkpoints
+ * written by in-RAM sweeps resume store-backed ones and vice versa.
+ */
+std::string cellKey(std::string_view workload,
+                    const genomics::PairSource &source,
+                    const RunOptions &options);
+
+/**
  * Stable 64-bit FNV-1a digest (16 hex chars) of the full cell
  * identity: the key string (which covers dataset params), every
  * dataset pair's content, and all simulated-system parameters. Two
@@ -159,6 +172,15 @@ std::string cellHash(std::string_view workload,
 /** Legacy overload keyed by the AlgoKind's registered name. */
 std::string cellHash(AlgoKind kind,
                      const genomics::PairDataset &dataset,
+                     const RunOptions &options);
+
+/**
+ * cellHash() over a streaming source (pairs are streamed through the
+ * digest at bounded memory). Byte-identical to the dataset overload
+ * whenever the source yields the same pairs.
+ */
+std::string cellHash(std::string_view workload,
+                     const genomics::PairSource &source,
                      const RunOptions &options);
 
 } // namespace quetzal::algos

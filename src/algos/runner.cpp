@@ -13,6 +13,7 @@
 #include "algos/workload.hpp"
 #include "common/logging.hpp"
 #include "genomics/datasets.hpp"
+#include "genomics/pairsource.hpp"
 
 namespace quetzal::algos {
 
@@ -64,31 +65,47 @@ class GenomicsWorkload : public Workload
     run(const PairDataset &dataset,
         const RunOptions &options) const override
     {
+        // The streaming loop is the one implementation; a dataset is
+        // just a zero-copy source over its vector.
+        genomics::DatasetPairSource source(dataset);
+        return runStream(source, options);
+    }
+
+    RunResult
+    runStream(genomics::PairSource &source,
+              const RunOptions &options) const override
+    {
         RunResult out;
         out.algo = name_;
         out.variant = std::string(variantName(options.variant));
-        out.dataset = dataset.name;
+        out.dataset = source.info().name;
 
         fatal_if(options.variant == Variant::Ref,
                  "workloads measure timed variants; Ref is the golden "
                  "model they verify against");
 
-        PairRig rig(dataset, options);
-        const std::size_t limit = std::min<std::size_t>(
-            options.maxPairs, dataset.pairs.size());
-        for (std::size_t idx = 0; idx < limit; ++idx) {
-            // Pairs are independent work items; remap recycled host
-            // memory so cycle counts don't depend on allocator state.
-            rig.core.ctx.mem().newEpoch();
-            const auto &pair = dataset.pairs[idx];
-            std::string_view pattern = pair.pattern;
-            std::string_view text = pair.text;
-            if (pattern.size() > options.maxLen)
-                pattern = pattern.substr(0, options.maxLen);
-            if (text.size() > options.maxLen)
-                text = text.substr(0, options.maxLen);
-            ++out.pairs;
-            runPair(rig, pattern, text, options, out);
+        PairRig rig(source.info(), options);
+        const std::size_t limit =
+            std::min<std::size_t>(options.maxPairs, source.size());
+        source.rewind();
+        genomics::PairBatch batch;
+        while (out.pairs < limit && source.next(batch) > 0) {
+            for (const genomics::PairView &pair : batch.views()) {
+                if (out.pairs >= limit)
+                    break;
+                // Pairs are independent work items; remap recycled
+                // host memory so cycle counts don't depend on
+                // allocator state.
+                rig.core.ctx.mem().newEpoch();
+                std::string_view pattern = pair.pattern;
+                std::string_view text = pair.text;
+                if (pattern.size() > options.maxLen)
+                    pattern = pattern.substr(0, options.maxLen);
+                if (text.size() > options.maxLen)
+                    text = text.substr(0, options.maxLen);
+                ++out.pairs;
+                runPair(rig, pattern, text, options, out);
+            }
         }
 
         harvestCore(out, rig.core);
@@ -107,7 +124,8 @@ class GenomicsWorkload : public Workload
         std::unique_ptr<SsEngine> ssRef;
         SsConfig ssConfig;
 
-        PairRig(const PairDataset &dataset, const RunOptions &options)
+        PairRig(const genomics::SourceInfo &info,
+                const RunOptions &options)
             : core(systemFor(options)),
               esize(esizeFor(options.alphabet))
         {
@@ -125,8 +143,8 @@ class GenomicsWorkload : public Workload
             ssConfig.editThreshold =
                 options.ssThreshold > 0
                     ? options.ssThreshold
-                    : defaultSsThreshold(dataset.readLength,
-                                         dataset.errorRate);
+                    : defaultSsThreshold(info.readLength,
+                                         info.errorRate);
         }
     };
 

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/logging.hpp"
+#include "genomics/pairsource.hpp"
 
 namespace quetzal::algos {
 
@@ -23,6 +24,19 @@ std::vector<Variant>
 Workload::variants() const
 {
     return {Variant::Base, Variant::Vec, Variant::Qz, Variant::QzC};
+}
+
+RunResult
+Workload::runStream(genomics::PairSource &source,
+                    const RunOptions &options) const
+{
+    // Zero-copy when the source is a full in-RAM dataset view (the
+    // kernel workloads and any legacy dataset-backed cell); a true
+    // streaming source is materialized once. The genomics workloads
+    // override this with a batched loop that never materializes.
+    if (const genomics::PairDataset *dataset = source.backing())
+        return run(*dataset, options);
+    return run(source.materialize(), options);
 }
 
 bool

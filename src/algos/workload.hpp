@@ -31,6 +31,10 @@
 #include "quetzal/qzunit.hpp"
 #include "sim/context.hpp"
 
+namespace quetzal::genomics {
+class PairSource;
+}
+
 namespace quetzal::algos {
 
 /**
@@ -63,6 +67,19 @@ class Workload
     /** Run one (variant, system, dataset) cell on a fresh core. */
     virtual RunResult run(const genomics::PairDataset &dataset,
                           const RunOptions &options) const = 0;
+
+    /**
+     * Run one cell streaming from @p source — bounded-memory pair
+     * intake (docs/STORE.md). The genomics workloads iterate the
+     * source in batches and never materialize it; the default routes
+     * through run() via the source's zero-copy backing dataset when
+     * one exists (kernel workloads ignore pairs entirely, so the
+     * default is exact for them). Results are byte-identical to
+     * run() over the materialized source — the invariant the batch
+     * engine and the store tests rely on.
+     */
+    virtual RunResult runStream(genomics::PairSource &source,
+                                const RunOptions &options) const;
 
     /** True when variants() contains @p variant. */
     bool supports(Variant variant) const;

@@ -1,8 +1,10 @@
 #include "genomics/datasets.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hpp"
+#include "genomics/pairsource.hpp"
 #include "genomics/readsim.hpp"
 
 namespace quetzal::genomics {
@@ -33,7 +35,11 @@ datasetSpec(std::string_view name)
     for (const auto &spec : datasetCatalog())
         if (spec.name == name)
             return spec;
-    fatal("unknown dataset '{}'", name);
+    std::ostringstream known;
+    for (const auto &spec : datasetCatalog())
+        known << (known.tellp() > 0 ? ", " : "") << spec.name;
+    fatal("unknown dataset '{}' (valid names: {})", name,
+          known.str());
 }
 
 namespace {
@@ -103,38 +109,11 @@ validatePairs(const PairDataset &dataset)
 PairDataset
 makeDataset(std::string_view name, double scale)
 {
-    fatal_if(scale <= 0.0, "dataset scale must be positive, got {}", scale);
-    const auto &spec = datasetSpec(name);
-
-    ReadSimConfig config;
-    config.readLength = spec.readLength;
-    config.errorRate = spec.errorRate;
-    config.alphabet = AlphabetKind::Dna;
-    // Distinct seed per dataset so the four workloads are independent.
-    config.seed = 0x9e3779b9ULL ^ std::hash<std::string>{}(spec.name);
-
-    const auto count = std::max<std::size_t>(
-        1, static_cast<std::size_t>(spec.defaultPairs * scale));
-
-    ReadSimulator low(config);
-    ReadSimConfig highConfig = config;
-    highConfig.errorRate = spec.highErrorRate;
-    highConfig.seed = config.seed ^ 0x5bd1e995ULL;
-    ReadSimulator high(highConfig);
-
-    PairDataset dataset;
-    dataset.name = spec.name;
-    dataset.readLength = spec.readLength;
-    dataset.errorRate = spec.errorRate;
-    dataset.pairs.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-        auto pair = (i % 2 == 0 ? low : high).generatePairs(1);
-        dataset.pairs.push_back(std::move(pair.front()));
-    }
-    // A bad simulator change should fail loudly here, not as a
-    // confusing wavefront mismatch deep inside an engine.
-    validatePairs(dataset);
-    return dataset;
+    // The generator source is the single definition of catalog pair
+    // synthesis (seeds, bimodal interleave, per-pair validation);
+    // materializing it here keeps in-RAM callers byte-identical to
+    // streaming ones (tests/test_store.cpp pins this).
+    return GeneratorPairSource(name, scale).materialize();
 }
 
 std::vector<std::string>

@@ -1,0 +1,236 @@
+#include "genomics/pairsource.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hpp"
+#include "genomics/datasets.hpp"
+
+namespace quetzal::genomics {
+
+void
+PairBatch::pushView(const SequencePair &pair)
+{
+    panic_if_not(!full(), "PairBatch overfilled past capacity {}",
+                 capacity_);
+    views_.push_back(PairView{pair.pattern, pair.text, pair.trueEdits,
+                              pair.alphabet});
+}
+
+void
+PairBatch::pushOwned(SequencePair &&pair)
+{
+    panic_if_not(!full(), "PairBatch overfilled past capacity {}",
+                 capacity_);
+    owned_.push_back(std::move(pair)); // reserved: no reallocation
+    pushView(owned_.back());
+}
+
+PairDataset
+PairSource::materialize() const
+{
+    const SourceInfo &meta = info();
+    PairDataset dataset;
+    dataset.name = meta.name;
+    dataset.readLength = meta.readLength;
+    dataset.errorRate = meta.errorRate;
+    dataset.params = meta.params;
+    dataset.pairs.reserve(size());
+    if (const PairDataset *whole = backing()) {
+        dataset.pairs = whole->pairs;
+        return dataset;
+    }
+    auto cursor = fork();
+    PairBatch batch;
+    while (cursor->next(batch) > 0)
+        for (const PairView &view : batch.views()) {
+            SequencePair pair;
+            pair.pattern.assign(view.pattern);
+            pair.text.assign(view.text);
+            pair.trueEdits = view.trueEdits;
+            pair.alphabet = view.alphabet;
+            dataset.pairs.push_back(std::move(pair));
+        }
+    return dataset;
+}
+
+// ---------------------------------------------------------------------
+// DatasetPairSource
+
+DatasetPairSource::DatasetPairSource(const PairDataset &dataset)
+    : DatasetPairSource(nullptr, &dataset, 0, dataset.pairs.size())
+{
+}
+
+DatasetPairSource::DatasetPairSource(
+    std::shared_ptr<const PairDataset> dataset)
+    : DatasetPairSource(dataset, dataset.get(), 0,
+                        dataset ? dataset->pairs.size() : 0)
+{
+    fatal_if(!dataset_, "DatasetPairSource over a null dataset");
+}
+
+DatasetPairSource::DatasetPairSource(
+    std::shared_ptr<const PairDataset> keepalive,
+    const PairDataset *dataset, std::size_t from, std::size_t to)
+    : keepalive_(std::move(keepalive)), dataset_(dataset),
+      from_(from), to_(to), cursor_(from)
+{
+    if (dataset_ != nullptr) {
+        info_.name = dataset_->name;
+        info_.readLength = dataset_->readLength;
+        info_.errorRate = dataset_->errorRate;
+        info_.params = dataset_->params;
+    }
+}
+
+std::size_t
+DatasetPairSource::next(PairBatch &batch)
+{
+    batch.clear();
+    while (cursor_ < to_ && !batch.full())
+        batch.pushView(dataset_->pairs[cursor_++]);
+    return batch.size();
+}
+
+std::unique_ptr<PairSource>
+DatasetPairSource::slice(std::size_t from, std::size_t to) const
+{
+    const std::size_t window = size();
+    from = std::min(from, window);
+    to = std::min(std::max(to, from), window);
+    return std::unique_ptr<PairSource>(new DatasetPairSource(
+        keepalive_, dataset_, from_ + from, from_ + to));
+}
+
+const PairDataset *
+DatasetPairSource::backing() const
+{
+    return (from_ == 0 && to_ == dataset_->pairs.size()) ? dataset_
+                                                         : nullptr;
+}
+
+// ---------------------------------------------------------------------
+// GeneratorPairSource
+
+namespace {
+
+/** The two simulator configs makeDataset() has always used. */
+std::pair<ReadSimConfig, ReadSimConfig>
+catalogConfigs(const DatasetSpec &spec)
+{
+    ReadSimConfig low;
+    low.readLength = spec.readLength;
+    low.errorRate = spec.errorRate;
+    low.alphabet = AlphabetKind::Dna;
+    low.seed = 0x9e3779b9ULL ^ std::hash<std::string>{}(spec.name);
+    ReadSimConfig high = low;
+    high.errorRate = spec.highErrorRate;
+    high.seed = low.seed ^ 0x5bd1e995ULL;
+    return {low, high};
+}
+
+std::size_t
+scaledPairCount(const DatasetSpec &spec, double scale)
+{
+    fatal_if(!std::isfinite(scale) || scale <= 0.0,
+             "dataset scale must be a finite positive number, got {}",
+             scale);
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(spec.defaultPairs) * scale));
+}
+
+} // namespace
+
+GeneratorPairSource::GeneratorPairSource(std::string_view name,
+                                         double scale)
+    : GeneratorPairSource(
+          [&] {
+              const DatasetSpec &spec = datasetSpec(name);
+              const auto [low, high] = catalogConfigs(spec);
+              GeneratorPairSource proto(low, scaledPairCount(spec,
+                                                             scale),
+                                        spec.name);
+              proto.highConfig_ = high;
+              proto.bimodal_ = true;
+              proto.scale_ = scale;
+              return proto;
+          }(),
+          0, ~std::size_t{0})
+{
+}
+
+GeneratorPairSource::GeneratorPairSource(const ReadSimConfig &config,
+                                         std::size_t count,
+                                         std::string name)
+    : lowConfig_(config), highConfig_(config), bimodal_(false),
+      scale_(1.0), total_(count), from_(0), to_(count), cursor_(0),
+      low_(config), high_(config)
+{
+    info_.name = std::move(name);
+    info_.readLength = config.readLength;
+    info_.errorRate = config.errorRate;
+}
+
+GeneratorPairSource::GeneratorPairSource(
+    const GeneratorPairSource &proto, std::size_t from,
+    std::size_t to)
+    : info_(proto.info_), lowConfig_(proto.lowConfig_),
+      highConfig_(proto.highConfig_), bimodal_(proto.bimodal_),
+      scale_(proto.scale_), total_(proto.total_),
+      from_(std::min(from, proto.total_)),
+      to_(std::min(std::max(to, std::min(from, proto.total_)),
+                   proto.total_)),
+      cursor_(0), low_(proto.lowConfig_), high_(proto.highConfig_)
+{
+}
+
+SequencePair
+GeneratorPairSource::generateNext()
+{
+    // Byte-for-byte the sequence makeDataset() performs for pair i:
+    // the even half comes from the well-matched simulator, the odd
+    // half from the divergent one, each advancing only its own RNG.
+    ReadSimulator &sim =
+        (bimodal_ && cursor_ % 2 != 0) ? high_ : low_;
+    auto pairs = sim.generatePairs(1);
+    ++cursor_;
+    return std::move(pairs.front());
+}
+
+std::size_t
+GeneratorPairSource::next(PairBatch &batch)
+{
+    batch.clear();
+    while (cursor_ < from_)
+        (void)generateNext(); // sliced-away prefix: advance the RNGs
+    while (cursor_ < to_ && !batch.full()) {
+        const std::size_t index = cursor_;
+        SequencePair pair = generateNext();
+        validatePair(pair, pair.alphabet, index, info_.name);
+        batch.pushOwned(std::move(pair));
+    }
+    return batch.size();
+}
+
+void
+GeneratorPairSource::rewind()
+{
+    low_ = ReadSimulator(lowConfig_);
+    high_ = ReadSimulator(highConfig_);
+    cursor_ = 0;
+}
+
+std::unique_ptr<PairSource>
+GeneratorPairSource::slice(std::size_t from, std::size_t to) const
+{
+    const std::size_t window = size();
+    from = std::min(from, window);
+    to = std::min(std::max(to, from), window);
+    return std::unique_ptr<PairSource>(
+        new GeneratorPairSource(*this, from_ + from, from_ + to));
+}
+
+} // namespace quetzal::genomics

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Streaming pair intake: the seam between "where read pairs come
+ * from" (an in-RAM PairDataset, the catalog generator, an on-disk
+ * read store) and "what consumes them" (the workload runner, the
+ * batch engine, the CLI tools).
+ *
+ * A PairSource yields pairs in a fixed order through bounded-size
+ * PairBatch refills, so consumers never need the whole dataset
+ * resident. Determinism contract: for a given source identity
+ * (catalog name + scale + seed), every implementation yields
+ * byte-identical pairs in the same order, regardless of batch
+ * capacity or slicing — that is what makes store-backed, generated,
+ * and in-RAM runs interchangeable (pinned by tests/test_store.cpp).
+ */
+#ifndef QUETZAL_GENOMICS_PAIRSOURCE_HPP
+#define QUETZAL_GENOMICS_PAIRSOURCE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "genomics/alphabet.hpp"
+#include "genomics/readsim.hpp"
+#include "genomics/sequence.hpp"
+
+namespace quetzal::genomics {
+
+/**
+ * Dataset-level identity of a source: everything a consumer needs
+ * without touching pair payloads. Mirrors the non-pair fields of
+ * PairDataset so checkpoint keys and reports are stable across
+ * intake modes.
+ */
+struct SourceInfo
+{
+    std::string name;
+    std::size_t readLength = 0;
+    double errorRate = 0.0;
+    /** Extra provenance (kernel workloads), key order significant. */
+    std::vector<std::pair<std::string, std::uint64_t>> params;
+};
+
+/** Borrowed view of one pair; valid until the owning batch refills. */
+struct PairView
+{
+    std::string_view pattern;
+    std::string_view text;
+    std::int64_t trueEdits = -1;
+    AlphabetKind alphabet = AlphabetKind::Dna;
+};
+
+/**
+ * Fixed-capacity refill buffer. Sources either push borrowed views
+ * (zero-copy over storage that outlives the batch) or move owned
+ * pairs in (decoded/generated payloads). Owned storage is reserved
+ * once, so views into it stay stable until the next clear().
+ */
+class PairBatch
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 64;
+
+    explicit PairBatch(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+        owned_.reserve(capacity_);
+        views_.reserve(capacity_);
+    }
+
+    std::size_t
+    capacity() const
+    {
+        return capacity_;
+    }
+
+    std::size_t
+    size() const
+    {
+        return views_.size();
+    }
+
+    bool
+    full() const
+    {
+        return views_.size() >= capacity_;
+    }
+
+    const std::vector<PairView> &
+    views() const
+    {
+        return views_;
+    }
+
+    /** Drop all pairs; capacity (and owned reservation) is kept. */
+    void
+    clear()
+    {
+        views_.clear();
+        owned_.clear();
+    }
+
+    /** Borrow @p pair; the caller guarantees it outlives this batch. */
+    void pushView(const SequencePair &pair);
+
+    /** Take ownership of @p pair and view its stored payload. */
+    void pushOwned(SequencePair &&pair);
+
+  private:
+    std::size_t capacity_;
+    std::vector<SequencePair> owned_; //!< reserve()d: views stay put
+    std::vector<PairView> views_;
+};
+
+/**
+ * Pull-based pair stream. Usage:
+ *
+ *   PairBatch batch;
+ *   source.rewind();
+ *   while (source.next(batch) > 0)
+ *       for (const PairView &pair : batch.views()) ...
+ *
+ * next() clears the batch, refills up to its capacity, and returns
+ * the number of pairs delivered (0 = exhausted). Implementations are
+ * single-cursor: concurrent next() calls on one object are not
+ * allowed — take per-thread slices via slice()/fork() instead (both
+ * are const, so a shared const source fans out safely).
+ */
+class PairSource
+{
+  public:
+    virtual ~PairSource() = default;
+
+    /** Dataset identity (name, nominal read length, error rate). */
+    virtual const SourceInfo &info() const = 0;
+
+    /** Total pairs this source yields (slices report their window). */
+    virtual std::size_t size() const = 0;
+
+    /** Refill @p batch with the next pairs; 0 when exhausted. */
+    virtual std::size_t next(PairBatch &batch) = 0;
+
+    /** Reset the cursor to the first pair. */
+    virtual void rewind() = 0;
+
+    /**
+     * Independent sub-stream over pairs [from, to) of this source,
+     * clamped to [0, size()] (from > to yields an empty source).
+     * Indices are relative to this source, so slices compose.
+     */
+    virtual std::unique_ptr<PairSource>
+    slice(std::size_t from, std::size_t to) const = 0;
+
+    /** Independent full-range cursor (slice over everything). */
+    std::unique_ptr<PairSource>
+    fork() const
+    {
+        return slice(0, size());
+    }
+
+    /**
+     * The in-RAM dataset backing this source, when one exists and
+     * covers exactly this source's range — a zero-copy escape hatch
+     * for consumers that genuinely need random access. Streaming
+     * sources return nullptr.
+     */
+    virtual const PairDataset *
+    backing() const
+    {
+        return nullptr;
+    }
+
+    /** Materialize the full stream as an in-RAM PairDataset. */
+    PairDataset materialize() const;
+};
+
+/**
+ * Zero-copy PairSource over an existing PairDataset (optionally a
+ * [from, to) window of it). Holds an optional shared_ptr keepalive;
+ * the non-owning constructor requires the dataset to outlive the
+ * source.
+ */
+class DatasetPairSource final : public PairSource
+{
+  public:
+    explicit DatasetPairSource(const PairDataset &dataset);
+    explicit DatasetPairSource(
+        std::shared_ptr<const PairDataset> dataset);
+
+    const SourceInfo &
+    info() const override
+    {
+        return info_;
+    }
+
+    std::size_t
+    size() const override
+    {
+        return to_ - from_;
+    }
+
+    std::size_t next(PairBatch &batch) override;
+
+    void
+    rewind() override
+    {
+        cursor_ = from_;
+    }
+
+    std::unique_ptr<PairSource> slice(std::size_t from,
+                                      std::size_t to) const override;
+
+    const PairDataset *backing() const override;
+
+  private:
+    DatasetPairSource(std::shared_ptr<const PairDataset> keepalive,
+                      const PairDataset *dataset, std::size_t from,
+                      std::size_t to);
+
+    std::shared_ptr<const PairDataset> keepalive_;
+    const PairDataset *dataset_;
+    SourceInfo info_;
+    std::size_t from_;
+    std::size_t to_;
+    std::size_t cursor_;
+};
+
+/**
+ * Catalog/read-simulator generator as a PairSource: yields exactly
+ * the pairs makeDataset() materializes for the same name and scale
+ * (same seeds, same low/high-error interleave, per-pair validation),
+ * but one batch at a time at bounded memory.
+ *
+ * Slicing replays the generator and discards pairs before the
+ * window — RNG streams cannot be skipped — so slice(from, to) costs
+ * O(from) generation work on first use and per rewind().
+ */
+class GeneratorPairSource final : public PairSource
+{
+  public:
+    /** Catalog dataset @p name at @p scale (validated like CLI). */
+    GeneratorPairSource(std::string_view name, double scale);
+
+    /** Custom single-simulator stream (qz-datagen's custom mode). */
+    GeneratorPairSource(const ReadSimConfig &config, std::size_t count,
+                        std::string name = "custom");
+
+    const SourceInfo &
+    info() const override
+    {
+        return info_;
+    }
+
+    std::size_t
+    size() const override
+    {
+        return to_ - from_;
+    }
+
+    std::size_t next(PairBatch &batch) override;
+    void rewind() override;
+
+    std::unique_ptr<PairSource> slice(std::size_t from,
+                                      std::size_t to) const override;
+
+    /** Seed of the well-matched half (store provenance). */
+    std::uint64_t
+    seed() const
+    {
+        return lowConfig_.seed;
+    }
+
+    /** Scale this stream was derived with (1.0 for custom). */
+    double
+    scale() const
+    {
+        return scale_;
+    }
+
+  private:
+    GeneratorPairSource(const GeneratorPairSource &proto,
+                        std::size_t from, std::size_t to);
+
+    SequencePair generateNext();
+
+    SourceInfo info_;
+    ReadSimConfig lowConfig_;
+    ReadSimConfig highConfig_;
+    bool bimodal_; //!< catalog sources alternate low/high halves
+    double scale_;
+    std::size_t total_; //!< full generated stream length
+    std::size_t from_;
+    std::size_t to_;
+    std::size_t cursor_; //!< absolute index of the next pair
+    ReadSimulator low_;
+    ReadSimulator high_;
+};
+
+} // namespace quetzal::genomics
+
+#endif // QUETZAL_GENOMICS_PAIRSOURCE_HPP

@@ -7,6 +7,7 @@
 #include "algos/report.hpp"
 #include "algos/workload.hpp"
 #include "common/logging.hpp"
+#include "genomics/pairsource.hpp"
 
 namespace quetzal::serve {
 
@@ -142,6 +143,14 @@ toJson(const ServeRequest &request)
                    std::int64_t{request.ssThreshold});
     if (request.protein)
         json.field("protein", true);
+    if (!request.store.empty()) {
+        json.field("store", request.store);
+        if (request.storeFrom != 0)
+            json.field("store_from",
+                       std::uint64_t{request.storeFrom});
+        if (request.storeTo != genomics::kStoreEnd)
+            json.field("store_to", std::uint64_t{request.storeTo});
+    }
     if (!request.pairs.empty()) {
         json.beginArray("pairs");
         for (const auto &pair : request.pairs) {
@@ -178,6 +187,13 @@ requestFromJson(const JsonValue &json)
     request.maxLen = json.getUint("maxlen", 0);
     request.ssThreshold = json.getInt("ss_threshold", 0);
     request.protein = json.getBool("protein", false);
+    request.store = json.getString("store");
+    request.storeFrom = static_cast<std::size_t>(
+        json.getUint("store_from", 0));
+    request.storeTo = static_cast<std::size_t>(json.getUint(
+        "store_to", std::uint64_t{genomics::kStoreEnd}));
+    if (request.storeTo < request.storeFrom)
+        return std::nullopt;
     if (const JsonValue *pairs = json.find("pairs")) {
         if (!pairs->isArray())
             return std::nullopt;
@@ -196,7 +212,8 @@ requestFromJson(const JsonValue &json)
             request.pairs.push_back(std::move(pair));
         }
     }
-    if (request.dataset.empty() && request.pairs.empty())
+    if (request.dataset.empty() && request.pairs.empty() &&
+        request.store.empty())
         return std::nullopt;
     return request;
 }
@@ -275,6 +292,29 @@ responseFromJson(const JsonValue &json)
     return response;
 }
 
+namespace {
+
+/**
+ * Streaming source over the store range a request addresses. Open
+ * stores are cached per process (openStoreShared), so a worker
+ * serving many ranges of one store maps and checksums it once.
+ */
+genomics::StorePairSource
+storeSourceFor(const ServeRequest &request)
+{
+    auto store = genomics::openStoreShared(request.store);
+    fatal_if(request.storeFrom > store->size(),
+             "request {}: store range starts at {} but '{}' holds "
+             "only {} pair(s)",
+             request.id, request.storeFrom, request.store,
+             store->size());
+    return genomics::StorePairSource(std::move(store),
+                                     request.storeFrom,
+                                     request.storeTo);
+}
+
+} // namespace
+
 genomics::PairDataset
 datasetFor(const ServeRequest &request)
 {
@@ -287,8 +327,11 @@ datasetFor(const ServeRequest &request)
         dataset.errorRate = 0.0;
         return dataset;
     }
+    if (!request.store.empty())
+        return storeSourceFor(request).materialize();
     fatal_if(request.dataset.empty(),
-             "request {} names no dataset and carries no pairs",
+             "request {} names no dataset and carries no pairs or "
+             "store range",
              request.id);
     const algos::Workload &workload =
         algos::workloadByName(request.workload);
@@ -331,6 +374,14 @@ runRequestInProcess(const ServeRequest &request)
 {
     const algos::Workload &workload =
         algos::workloadByName(request.workload);
+    if (!request.store.empty() && request.pairs.empty()) {
+        // Stream the store range directly: bounded memory, and the
+        // per-process store cache gives respawned-worker retries a
+        // warm open. Byte-identical to the materializing path — the
+        // dataset run() is itself a DatasetPairSource stream.
+        genomics::StorePairSource source = storeSourceFor(request);
+        return workload.runStream(source, optionsFor(request));
+    }
     const genomics::PairDataset dataset = datasetFor(request);
     return workload.run(dataset, optionsFor(request));
 }

@@ -10,8 +10,9 @@
  * pipe(2) and reused by any future transport.
  *
  * Above the framing sit the two message types: ServeRequest (one
- * evaluation cell — a registry workload plus either a catalog dataset
- * name or inline sequence pairs) and ServeResponse (the RunResult, or
+ * evaluation cell — a registry workload plus a catalog dataset name,
+ * inline sequence pairs, or an on-disk read-store range; see
+ * docs/STORE.md) and ServeResponse (the RunResult, or
  * a structured failure). Both serialize through the in-repo JSON
  * layer. runRequestInProcess() is the single execution path shared by
  * the worker loop and the clients' --serve round-trip checks, which
@@ -31,6 +32,7 @@
 #include "algos/runner.hpp"
 #include "common/json.hpp"
 #include "genomics/sequence.hpp"
+#include "genomics/store.hpp"
 
 namespace quetzal::serve {
 
@@ -92,9 +94,11 @@ class FrameDecoder
 };
 
 /**
- * One alignment request: a registry workload against either a named
- * catalog dataset (makeDataset(dataset, scale)) or inline pairs.
- * @c attempt is owned by the dispatching service — it counts
+ * One alignment request: a registry workload against a named catalog
+ * dataset (makeDataset(dataset, scale)), inline pairs, or a range of
+ * an indexed on-disk read store (store/storeFrom/storeTo; workers
+ * stream the range at bounded memory and cache open stores per
+ * process). @c attempt is owned by the dispatching service — it counts
  * deliveries of this request to a worker, and is what the
  * fault-injection gate in the worker compares against
  * FaultInjection::times, so a crash injected "once" fires on the
@@ -112,6 +116,9 @@ struct ServeRequest
     std::int64_t ssThreshold = 0;
     bool protein = false;
     std::vector<genomics::SequencePair> pairs; //!< inline payload
+    std::string store; //!< read-store path; exclusive with the above
+    std::size_t storeFrom = 0; //!< first store pair (global index)
+    std::size_t storeTo = genomics::kStoreEnd; //!< one past the last
 };
 
 std::string toJson(const ServeRequest &request);
@@ -146,7 +153,10 @@ std::optional<ServeResponse> responseFromJson(const JsonValue &json);
 
 /**
  * Materialize the dataset a request names (via the workload's
- * catalog) or carries inline. Fatal when it does neither.
+ * catalog), carries inline, or addresses as a store range. Fatal when
+ * it does none of these. Store-backed requests normally stream
+ * through runRequestInProcess() instead; this materializing fallback
+ * exists for callers that need a concrete PairDataset.
  */
 genomics::PairDataset datasetFor(const ServeRequest &request);
 

@@ -7,6 +7,7 @@
  *   qz-align pairs.txt --algo nw --maxlen 500 --cigar
  *   qz-align long_pairs.txt --window 30000      # tiled ultra-long
  *   qz-align pairs.txt --threads 8              # shard across workers
+ *   qz-align --store reads.qzs:0-50000          # on-disk store range
  */
 #include <algorithm>
 #include <fstream>
@@ -30,6 +31,7 @@
 #include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
 #include "genomics/fasta.hpp"
+#include "pair_input.hpp"
 #include "quetzal/qzunit.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -81,9 +83,13 @@ main(int argc, char **argv)
             std::cout << algos::workloadListing();
             return 0;
         }
-        if (args.has("help") || args.positional().empty()) {
+        if (args.has("help") ||
+            (args.positional().empty() && !args.has("store"))) {
             std::cout
                 << "qz-align PAIRFILE [options]\n"
+                   "qz-align --store FILE[:FROM-TO] [options]\n"
+                   "  --store S      stream an indexed read store "
+                   "range (docs/STORE.md)\n"
                    "  --algo A       wfa|biwfa|affine|nw|sw (default wfa)\n"
                    "  --variant V    base|vec|qz|qzc (default qzc)\n"
                    "  --window N     tile ultra-long reads at N bases\n"
@@ -113,11 +119,7 @@ main(int argc, char **argv)
         }
         cli::installStopHandlers();
 
-        std::ifstream in(args.positional().front());
-        fatal_if(!in, "cannot open '{}'", args.positional().front());
-        auto pairs = genomics::readPairFile(in);
-        fatal_if(pairs.empty(), "no pairs in '{}'",
-                 args.positional().front());
+        const cli::PairInput input = cli::openPairInput(args);
 
         const Variant variant =
             cli::parseVariant(args.get("variant", "qzc"));
@@ -160,24 +162,36 @@ main(int argc, char **argv)
             if (args.has("maxlen"))
                 request.maxLen = static_cast<std::uint64_t>(maxLen);
             request.protein = args.has("protein");
-            request.pairs = pairs;
-            for (auto &pair : request.pairs)
-                pair.alphabet = request.protein
-                                    ? genomics::AlphabetKind::Protein
-                                    : genomics::AlphabetKind::Dna;
+            if (input.backedByStore()) {
+                // The worker streams the range from disk itself —
+                // the request names it instead of carrying pairs.
+                request.store = input.path();
+                request.storeFrom = input.begin();
+                request.storeTo = input.end();
+            } else {
+                request.pairs = input.filePairs();
+                for (auto &pair : request.pairs)
+                    pair.alphabet =
+                        request.protein
+                            ? genomics::AlphabetKind::Protein
+                            : genomics::AlphabetKind::Dna;
+            }
             return serve::serveRoundTripCheck(request, std::cout)
                        ? 0
                        : 1;
         }
 
-        // --shard K/N: this process owns every pair whose index i
-        // satisfies i % N == K-1 (same round-robin partitioning as the
-        // batch engine's QZ_BENCH_SHARD, so a sweep can be split
-        // across machines deterministically).
+        // --shard K/N: this process owns every pair whose GLOBAL
+        // index i satisfies i % N == K-1 (same round-robin
+        // partitioning as the batch engine's QZ_BENCH_SHARD, so a
+        // sweep can be split across machines deterministically).
+        // Store ranges keep store-global indices, so shards of
+        // `reads.qzs:A-B` partition exactly like shards of the
+        // equivalent pair file.
         const std::optional<algos::ShardSpec> shard =
             algos::parseShardSpec(args.get("shard", ""));
         std::vector<std::size_t> ownedPairs;
-        for (std::size_t i = 0; i < pairs.size(); ++i)
+        for (std::size_t i = input.begin(); i < input.end(); ++i)
             if (!shard || shard->owns(i))
                 ownedPairs.push_back(i);
 
@@ -187,11 +201,13 @@ main(int argc, char **argv)
                    static_cast<std::size_t>(threadsOpt),
                    ownedPairs.size())));
 
-        // Align pair @p i on @p rig (each worker owns its rig).
-        auto alignPair = [&](ShardRig &rig,
-                             std::size_t i) -> algos::AlignResult {
-            std::string_view pattern = pairs[i].pattern;
-            std::string_view text = pairs[i].text;
+        // Align @p pair on @p rig (each worker owns its rig).
+        auto alignPair =
+            [&](ShardRig &rig,
+                const genomics::SequencePair &pair)
+            -> algos::AlignResult {
+            std::string_view pattern = pair.pattern;
+            std::string_view text = pair.text;
             if (pattern.size() > maxLen)
                 pattern = pattern.substr(0, maxLen);
             if (text.size() > maxLen)
@@ -250,13 +266,16 @@ main(int argc, char **argv)
         // identical to a serial run. A failing pair is recorded and
         // skipped — one bad input line must not waste the rest of the
         // run.
+        // Per-pair state lives in count()-sized vectors indexed by
+        // the LOCAL slot (global index minus input.begin()); every
+        // externally visible identifier stays global.
         const auto alphabet = args.has("protein")
                                   ? genomics::AlphabetKind::Protein
                                   : genomics::AlphabetKind::Dna;
-        std::vector<algos::AlignResult> results(pairs.size());
-        std::vector<std::string> pairErrors(pairs.size());
-        std::vector<char> done(pairs.size(), 0);
-        std::vector<std::string> resumedCigar(pairs.size());
+        std::vector<algos::AlignResult> results(input.count());
+        std::vector<std::string> pairErrors(input.count());
+        std::vector<char> done(input.count(), 0);
+        std::vector<std::string> resumedCigar(input.count());
 
         // --checkpoint: one JSONL line per aligned pair, flushed as
         // written, so an interrupted or killed run resumes instead of
@@ -283,11 +302,12 @@ main(int argc, char **argv)
                     continue; // loader skips unparseable lines
                 const std::size_t i =
                     static_cast<std::size_t>(json->getUint("pair"));
-                if (i >= pairs.size() || done[i])
+                if (!input.contains(i) || done[input.slot(i)])
                     continue;
-                results[i].score = json->getInt("score");
-                resumedCigar[i] = json->getString("cigar");
-                done[i] = 1;
+                const std::size_t s = input.slot(i);
+                results[s].score = json->getInt("score");
+                resumedCigar[s] = json->getString("cigar");
+                done[s] = 1;
                 ++resumed;
             }
             if (resumed > 0)
@@ -312,29 +332,31 @@ main(int argc, char **argv)
                 if (cli::stopRequested())
                     break; // flush what is recorded and report
                 const std::size_t i = ownedPairs[j];
-                if (done[i])
+                const std::size_t s = input.slot(i);
+                if (done[s])
                     continue; // resumed from the checkpoint
                 rig.core.mem().newEpoch();
                 try {
-                    genomics::validatePair(pairs[i], alphabet, i,
+                    const genomics::SequencePair pair = input.pair(i);
+                    genomics::validatePair(pair, alphabet, i,
                                            "qz-align");
-                    results[i] = alignPair(rig, i);
+                    results[s] = alignPair(rig, pair);
                     if (ckptOut.is_open()) {
                         JsonWriter json;
                         json.beginObject()
                             .field("pair", std::uint64_t{i})
                             .field("score",
-                                   std::int64_t{results[i].score})
-                            .field("cigar", results[i].cigar.rle())
+                                   std::int64_t{results[s].score})
+                            .field("cigar", results[s].cigar.rle())
                             .endObject();
                         std::lock_guard<std::mutex> lock(ckptMutex);
                         ckptOut << json.str()
                                 << std::endl; // flush: crash safety
                     }
                 } catch (const std::exception &e) {
-                    pairErrors[i] = e.what();
+                    pairErrors[s] = e.what();
                 }
-                done[i] = 1;
+                done[s] = 1;
             }
             workers[s].cycles = rig.core.pipeline().totalCycles();
             workers[s].instructions =
@@ -351,35 +373,37 @@ main(int argc, char **argv)
             sam.emplace(args.get("sam"));
             fatal_if(!*sam, "cannot open '{}' for writing",
                      args.get("sam"));
-            algos::writeSamHeader(*sam, "ref",
-                                     pairs.front().text.size());
+            algos::writeSamHeader(
+                *sam, "ref", input.pair(input.begin()).text.size());
         }
 
         std::int64_t totalScore = 0;
         std::size_t failedPairs = 0;
         std::size_t skippedPairs = 0;
         for (const std::size_t i : ownedPairs) {
-            if (!done[i]) {
+            const std::size_t s = input.slot(i);
+            if (!done[s]) {
                 ++skippedPairs; // interrupted before this pair ran
                 continue;
             }
-            if (!pairErrors[i].empty()) {
+            if (!pairErrors[s].empty()) {
                 ++failedPairs;
                 std::cout << "pair " << i << ": FAILED ("
-                          << pairErrors[i] << ")\n";
+                          << pairErrors[s] << ")\n";
                 continue; // no score, no SAM record
             }
-            const auto &result = results[i];
+            const auto &result = results[s];
             totalScore += result.score;
             std::cout << "pair " << i << ": score " << result.score;
             if (args.has("cigar"))
                 std::cout << "  "
-                          << (resumedCigar[i].empty()
+                          << (resumedCigar[s].empty()
                                   ? result.cigar.rle()
-                                  : resumedCigar[i]);
+                                  : resumedCigar[s]);
             std::cout << "\n";
             if (sam) {
-                std::string_view pattern = pairs[i].pattern;
+                const genomics::SequencePair pair = input.pair(i);
+                std::string_view pattern = pair.pattern;
                 if (pattern.size() > maxLen)
                     pattern = pattern.substr(0, maxLen);
                 algos::SamRecord record;
@@ -401,7 +425,7 @@ main(int argc, char **argv)
         std::cout << "\n";
         if (shard)
             std::cout << "shard " << algos::shardName(*shard) << ": "
-                      << ownedPairs.size() << " of " << pairs.size()
+                      << ownedPairs.size() << " of " << input.count()
                       << " pair(s) owned\n";
         std::cout << "aligned "
                   << (ownedPairs.size() - failedPairs - skippedPairs)
@@ -434,6 +458,7 @@ main(int argc, char **argv)
             json.beginObject()
                 .field("tool", "qz-align")
                 .field("partial", true)
+                .field("input", input.origin())
                 .field("algo", algo)
                 .field("variant", args.get("variant", "qzc"))
                 .field("completed",

@@ -5,6 +5,7 @@
  *   qz-filter pairs.txt --threshold 8
  *   qz-filter pairs.txt --variant vec --accepted kept.txt
  *   qz-filter pairs.txt --threads 8    # shard across workers
+ *   qz-filter --store reads.qzs:0-50000  # on-disk store range
  */
 #include <algorithm>
 #include <fstream>
@@ -21,6 +22,7 @@
 #include "common/threadpool.hpp"
 #include "genomics/datasets.hpp"
 #include "genomics/fasta.hpp"
+#include "pair_input.hpp"
 #include "quetzal/qzunit.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -37,9 +39,13 @@ main(int argc, char **argv)
             std::cout << algos::workloadListing();
             return 0;
         }
-        if (args.has("help") || args.positional().empty()) {
+        if (args.has("help") ||
+            (args.positional().empty() && !args.has("store"))) {
             std::cout
                 << "qz-filter PAIRFILE [options]\n"
+                   "qz-filter --store FILE[:FROM-TO] [options]\n"
+                   "  --store S       stream an indexed read store "
+                   "range (docs/STORE.md)\n"
                    "  --threshold E   edit threshold (default: 5% of "
                    "the read length)\n"
                    "  --variant V     base|vec|qz|qzc (default qzc)\n"
@@ -65,11 +71,7 @@ main(int argc, char **argv)
         }
         cli::installStopHandlers();
 
-        std::ifstream in(args.positional().front());
-        fatal_if(!in, "cannot open '{}'", args.positional().front());
-        const auto pairs = genomics::readPairFile(in);
-        fatal_if(pairs.empty(), "no pairs in '{}'",
-                 args.positional().front());
+        const cli::PairInput input = cli::openPairInput(args);
 
         const Variant variant =
             cli::parseVariant(args.get("variant", "qzc"));
@@ -99,19 +101,27 @@ main(int argc, char **argv)
                 args.has("threshold")
                     ? args.getInt("threshold", 0)
                     : algos::defaultSsThreshold(
-                          pairs.front().pattern.size(), 0.033);
-            request.pairs = pairs;
+                          input.pair(input.begin()).pattern.size(),
+                          0.033);
+            if (input.backedByStore()) {
+                request.store = input.path();
+                request.storeFrom = input.begin();
+                request.storeTo = input.end();
+            } else {
+                request.pairs = input.filePairs();
+            }
             return serve::serveRoundTripCheck(request, std::cout)
                        ? 0
                        : 1;
         }
 
         // --shard K/N: same round-robin pair ownership as qz-align
-        // and the batch engine's QZ_BENCH_SHARD.
+        // and the batch engine's QZ_BENCH_SHARD, over GLOBAL indices
+        // (store ranges shard identically to the equivalent file).
         const std::optional<algos::ShardSpec> shard =
             algos::parseShardSpec(args.get("shard", ""));
         std::vector<std::size_t> ownedPairs;
-        for (std::size_t i = 0; i < pairs.size(); ++i)
+        for (std::size_t i = input.begin(); i < input.end(); ++i)
             if (!shard || shard->owns(i))
                 ownedPairs.push_back(i);
 
@@ -127,9 +137,11 @@ main(int argc, char **argv)
             std::int64_t bound = 0;
             std::int64_t threshold = 0;
         };
-        std::vector<Verdict> verdicts(pairs.size());
-        std::vector<std::string> pairErrors(pairs.size());
-        std::vector<char> done(pairs.size(), 0);
+        // count()-sized, LOCAL-slot-indexed state; every printed or
+        // checkpointed identifier stays the global pair index.
+        std::vector<Verdict> verdicts(input.count());
+        std::vector<std::string> pairErrors(input.count());
+        std::vector<char> done(input.count(), 0);
         std::vector<std::uint64_t> workerCycles(threads, 0);
 
         // --checkpoint: one JSONL verdict per pair, flushed as
@@ -152,12 +164,13 @@ main(int argc, char **argv)
                     continue;
                 const std::size_t i =
                     static_cast<std::size_t>(json->getUint("pair"));
-                if (i >= pairs.size() || done[i])
+                if (!input.contains(i) || done[input.slot(i)])
                     continue;
-                verdicts[i].ok = json->getBool("ok");
-                verdicts[i].bound = json->getInt("bound");
-                verdicts[i].threshold = json->getInt("threshold");
-                done[i] = 1;
+                const std::size_t s = input.slot(i);
+                verdicts[s].ok = json->getBool("ok");
+                verdicts[s].bound = json->getInt("bound");
+                verdicts[s].threshold = json->getInt("threshold");
+                done[s] = 1;
                 ++resumed;
             }
             if (resumed > 0)
@@ -196,22 +209,23 @@ main(int argc, char **argv)
                 if (cli::stopRequested())
                     break; // flush what is recorded and report
                 const std::size_t i = ownedPairs[j];
-                if (done[i])
+                const std::size_t s = input.slot(i);
+                if (done[s])
                     continue; // resumed from the checkpoint
                 core.mem().newEpoch();
-                Verdict &v = verdicts[i];
+                Verdict &v = verdicts[s];
                 try {
-                    genomics::validatePair(pairs[i],
-                                           pairs[i].alphabet, i,
+                    const genomics::SequencePair pair = input.pair(i);
+                    genomics::validatePair(pair, pair.alphabet, i,
                                            "qz-filter");
                     v.threshold =
                         args.has("threshold")
                             ? args.getInt("threshold", 0)
                             : algos::defaultSsThreshold(
-                                  pairs[i].pattern.size(), 0.033);
+                                  pair.pattern.size(), 0.033);
                     if (useShouji) {
                         const auto verdict = algos::shouji(
-                            variant, pairs[i].pattern, pairs[i].text,
+                            variant, pair.pattern, pair.text,
                             v.threshold, &vpu, qz ? &*qz : nullptr);
                         v.ok = verdict.accepted;
                         v.bound = verdict.zeroCount;
@@ -219,7 +233,7 @@ main(int argc, char **argv)
                         algos::SsConfig config;
                         config.editThreshold = v.threshold;
                         const auto verdict = algos::sneakySnake(
-                            *engine, pairs[i].pattern, pairs[i].text,
+                            *engine, pair.pattern, pair.text,
                             config);
                         v.ok = verdict.accepted;
                         v.bound = verdict.editBound;
@@ -238,10 +252,10 @@ main(int argc, char **argv)
                                 << std::endl; // flush: crash safety
                     }
                 } catch (const std::exception &e) {
-                    pairErrors[i] = e.what();
+                    pairErrors[s] = e.what();
                     v.ok = false;
                 }
-                done[i] = 1;
+                done[s] = 1;
             }
             workerCycles[s] = core.pipeline().totalCycles();
         });
@@ -252,19 +266,20 @@ main(int argc, char **argv)
         std::size_t failedPairs = 0;
         std::size_t skippedPairs = 0;
         for (const std::size_t i : ownedPairs) {
-            const Verdict &v = verdicts[i];
-            if (!done[i]) {
+            const std::size_t s = input.slot(i);
+            const Verdict &v = verdicts[s];
+            if (!done[s]) {
                 ++skippedPairs; // interrupted before this pair ran
                 continue;
             }
-            if (!pairErrors[i].empty()) {
+            if (!pairErrors[s].empty()) {
                 ++failedPairs;
                 std::cout << "pair " << i << ": FAILED ("
-                          << pairErrors[i] << ")\n";
+                          << pairErrors[s] << ")\n";
                 continue;
             }
             if (v.ok)
-                accepted.push_back(pairs[i]);
+                accepted.push_back(input.pair(i));
             if (args.has("verbose"))
                 std::cout << "pair " << i << ": "
                           << (v.ok ? "ACCEPT" : "reject")
@@ -277,7 +292,7 @@ main(int argc, char **argv)
             cycles += c;
         if (shard)
             std::cout << "shard " << algos::shardName(*shard) << ": "
-                      << ownedPairs.size() << " of " << pairs.size()
+                      << ownedPairs.size() << " of " << input.count()
                       << " pair(s) owned\n";
         std::cout << "accepted " << accepted.size() << " / "
                   << ownedPairs.size() << " pairs (" << cycles
@@ -301,6 +316,7 @@ main(int argc, char **argv)
             json.beginObject()
                 .field("tool", "qz-filter")
                 .field("partial", true)
+                .field("input", input.origin())
                 .field("filter",
                        useShouji ? "shouji" : "sneakysnake")
                 .field("variant", args.get("variant", "qzc"))

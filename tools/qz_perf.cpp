@@ -11,13 +11,19 @@
  * BENCH_hostperf.json (see docs/SIMULATOR.md, "Host performance").
  *
  * Usage:
- *   qz-perf [--tiny | --kernels] [--scale S] [--threads N]
+ *   qz-perf [--tiny | --kernels | --store S] [--scale S] [--threads N]
  *           [--repeat R] [--label NAME] [--out FILE] [--append]
  *           [--metrics FILE] [--phase]
  *
  *  --tiny     sweep the 12-cell golden subset instead of Fig. 13a
  *  --kernels  sweep the Fig. 15b kernel cells (histogram/SpMV) at the
  *             pinned tiny scale instead of Fig. 13a
+ *  --store    stream one read-store range (FILE[:FROM-TO],
+ *             docs/STORE.md) as a single cell — the large-scale
+ *             bounded-memory sweep; --algo/--variant pick the
+ *             workload (default SS, qzc). The record gains "pairs"
+ *             and "rss_peak_kb" so BENCH_hostperf.json documents
+ *             that RSS stays bounded however large the store is
  *  --scale    dataset scale for the full matrix (default 1.0)
  *  --threads  harness workers (default 1: comparable measurements)
  *  --repeat   time R sweeps and keep the fastest (default 1)
@@ -42,10 +48,14 @@
 #include <sstream>
 #include <string>
 
+#include <sys/resource.h>
+
 #include "algos/batch.hpp"
 #include "algos/report.hpp"
+#include "algos/workload.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "genomics/store.hpp"
 #include "sim/hostphase.hpp"
 #include "cli_common.hpp"
 #include "perf_matrix.hpp"
@@ -79,13 +89,28 @@ capturePhases(std::uint64_t totalNs)
     return prof;
 }
 
-/** Serialize one run record (flat object, no trailing newline). */
+/** Peak resident set size of this process so far, in KiB. */
+std::uint64_t
+peakRssKb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
+/**
+ * Serialize one run record (flat object, no trailing newline).
+ * @p pairs and @p rssPeakKb are recorded for store sweeps only
+ * (pairs > 0) — they document the bounded-memory claim.
+ */
 std::string
 runRecord(const std::string &label, const std::string &matrix,
           double scale, unsigned threads, std::size_t cells,
           unsigned repeat, std::uint64_t hostNs,
           const algos::BatchOutcome &outcome,
-          const PhaseProfile *phases)
+          const PhaseProfile *phases, std::uint64_t pairs = 0,
+          std::uint64_t rssPeakKb = 0)
 {
     std::uint64_t instructions = 0, memRequests = 0, cycles = 0,
                   dramBytes = 0;
@@ -121,6 +146,9 @@ runRecord(const std::string &label, const std::string &matrix,
                seconds == 0.0 ? 0.0
                               : static_cast<double>(memRequests) /
                                     seconds);
+    if (pairs > 0)
+        json.field("pairs", pairs)
+            .field("rss_peak_kb", rssPeakKb);
     if (phases != nullptr)
         json.field("phase_mem_ns", phases->memNs)
             .field("phase_pipeline_ns", phases->pipelineNs)
@@ -193,16 +221,43 @@ main(int argc, char **argv)
     const std::string outPath = args.get("out", "BENCH_hostperf.json");
     const std::string metricsPath = args.get("metrics");
     const bool phase = args.has("phase");
+    const std::string storeTarget = args.get("store");
     fatal_if(repeat == 0, "--repeat must be at least 1");
     fatal_if(tiny && kernels, "--tiny and --kernels are exclusive");
+    fatal_if(!storeTarget.empty() && (tiny || kernels),
+             "--store is exclusive with --tiny/--kernels");
     fatal_if(phase && threads != 1,
              "--phase needs --threads 1: the functional share is "
              "derived from single-threaded wall time");
 
-    const double recordedScale =
-        (tiny || kernels) ? perf::kTinyScale : scale;
-    const std::string matrix =
-        kernels ? "kernels" : (tiny ? "tiny" : "fig13a");
+    // --store: one cell streaming a read-store range. A single cell
+    // keeps the summed metrics deterministic (per-pair cycle counts
+    // depend on the cache state the preceding pairs left, so any
+    // partitioning would change the totals) and is exactly the
+    // bounded-RSS configuration the record documents.
+    std::shared_ptr<const genomics::PairSource> storeSource;
+    const algos::Workload *storeWorkload = nullptr;
+    algos::RunOptions storeOptions;
+    double recordedScale = (tiny || kernels) ? perf::kTinyScale : scale;
+    std::string matrix = kernels ? "kernels" : (tiny ? "tiny" : "fig13a");
+    if (!storeTarget.empty()) {
+        const genomics::StoreTarget target =
+            genomics::parseStoreTarget(storeTarget);
+        auto store = genomics::openStoreShared(target.path);
+        fatal_if(target.from > store->size(),
+                 "store range starts at pair {} but '{}' holds only "
+                 "{} pair(s)",
+                 target.from, target.path, store->size());
+        recordedScale = store->provenance().scale;
+        matrix = "store";
+        storeSource = std::make_shared<genomics::StorePairSource>(
+            std::move(store), target.from, target.to);
+        storeWorkload =
+            &algos::workloadByName(args.get("algo", "SS"));
+        storeOptions.variant =
+            cli::parseVariant(args.get("variant", "qzc"));
+    }
+
     std::cout << "qz-perf: sweeping the " << matrix << " matrix (scale "
               << recordedScale << ", " << threads << " thread(s), "
               << repeat << " repeat(s))\n";
@@ -220,8 +275,13 @@ main(int argc, char **argv)
     algos::BatchOutcome outcome;
     PhaseProfile phases;
     for (unsigned r = 0; r < repeat; ++r) {
-        cells = kernels ? perf::addKernelMatrix(runner)
-                        : perf::addPerfMatrix(runner, scale, tiny);
+        if (storeSource) {
+            runner.add(*storeWorkload, storeSource, storeOptions);
+            cells = 1;
+        } else {
+            cells = kernels ? perf::addKernelMatrix(runner)
+                            : perf::addPerfMatrix(runner, scale, tiny);
+        }
         sim::HostPhase::reset();
         const auto started = std::chrono::steady_clock::now();
         algos::BatchOutcome sweep = runner.run();
@@ -240,9 +300,13 @@ main(int argc, char **argv)
         }
     }
 
+    const std::uint64_t storePairs =
+        storeSource ? std::uint64_t{storeSource->size()} : 0;
+    const std::uint64_t rssKb = storeSource ? peakRssKb() : 0;
     const std::string record =
         runRecord(label, matrix, recordedScale, threads, cells, repeat,
-                  bestNs, outcome, phase ? &phases : nullptr);
+                  bestNs, outcome, phase ? &phases : nullptr,
+                  storePairs, rssKb);
     std::uint64_t instructions = 0, memRequests = 0;
     for (const auto &result : outcome.results) {
         instructions += result.instructions;
@@ -265,6 +329,9 @@ main(int argc, char **argv)
                       ? 0.0
                       : static_cast<double>(memRequests) / seconds)
               << "\n";
+    if (storeSource)
+        std::cout << "  pairs:          " << storePairs << "\n"
+                  << "  peak RSS:       " << rssKb << " KiB\n";
     if (phase) {
         auto pct = [&](std::uint64_t ns) {
             return bestNs == 0 ? 0.0
