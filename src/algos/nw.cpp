@@ -1,12 +1,14 @@
 #include "algos/nw.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.hpp"
 
 namespace quetzal::algos {
 
+using isa::addrOf;
 using isa::Pred;
 using isa::VReg;
 
@@ -93,22 +95,6 @@ class DiagTable
     std::vector<std::int32_t> v_;
 };
 
-/** Functional cell recurrence (golden model for all variants). */
-std::int32_t
-nwCell(const DiagTable &tab, std::string_view p, std::string_view t,
-       std::int64_t i, std::int64_t j)
-{
-    const std::int32_t ins = tab.at(i, j - 1) + 1;
-    const std::int32_t del = tab.at(i - 1, j) + 1;
-    const std::int32_t sub =
-        tab.at(i - 1, j - 1) +
-        (p[static_cast<std::size_t>(i - 1)] ==
-                 t[static_cast<std::size_t>(j - 1)]
-             ? 0
-             : 1);
-    return std::min(ins, std::min(del, sub));
-}
-
 /** Fill boundary cells of diagonal @p d (i = 0 and j = 0 edges). */
 void
 fillBoundary(DiagTable &tab, std::int64_t d, std::int64_t m,
@@ -178,20 +164,44 @@ fillScalar(DiagTable &tab, std::string_view p, std::string_view t,
         fillBoundary(tab, d, m, n);
         const std::int64_t lo = std::max<std::int64_t>(1, d - n);
         const std::int64_t hi = std::min(m, d - 1);
+        if (lo > hi)
+            continue;
+        // Diagonal-major layout makes all three operand runs and the
+        // output run contiguous: hoist the row pointers and index with
+        // k = i - lo (same cells nwCell() reads, minus the per-cell
+        // offset recomputation). r1[k] is (i-1, j), r1[k+1] is
+        // (i, j-1), r2[k] is (i-1, j-1).
+        const std::int32_t *r1 = tab.ptr(d - 1, lo - 1);
+        const std::int32_t *r2 = tab.ptr(d - 2, lo - 1);
+        std::int32_t *outRow = tab.ptr(d, lo);
         for (std::int64_t i = lo; i <= hi; ++i) {
             const std::int64_t j = d - i;
+            const std::int64_t k = i - lo;
             if (bu) {
-                bu->loadInt(kSiteA, tab.ptr(d - 1, i));
-                bu->loadInt(kSiteB, tab.ptr(d - 1, i - 1));
-                bu->loadInt(kSiteC, tab.ptr(d - 2, i - 1));
-                bu->loadChar(kSiteP, &p[static_cast<std::size_t>(i - 1)]);
-                bu->loadChar(kSiteT, &t[static_cast<std::size_t>(j - 1)]);
+                using sim::OpClass;
+                const sim::MemOp cellLoads[] = {
+                    {OpClass::ScalarLoad, kSiteA, addrOf(r1 + k + 1), 4},
+                    {OpClass::ScalarLoad, kSiteB, addrOf(r1 + k), 4},
+                    {OpClass::ScalarLoad, kSiteC, addrOf(r2 + k), 4},
+                    {OpClass::ScalarLoad, kSiteP,
+                     addrOf(&p[static_cast<std::size_t>(i - 1)]), 1},
+                    {OpClass::ScalarLoad, kSiteT,
+                     addrOf(&t[static_cast<std::size_t>(j - 1)]), 1},
+                };
+                bu->loads(cellLoads);
                 bu->alu(4);
             }
-            const std::int32_t value = nwCell(tab, p, t, i, j);
-            tab.set(i, j, value);
+            const std::int32_t ins = r1[k + 1] + 1;
+            const std::int32_t del = r1[k] + 1;
+            const std::int32_t sub =
+                r2[k] + (p[static_cast<std::size_t>(i - 1)] ==
+                                 t[static_cast<std::size_t>(j - 1)]
+                             ? 0
+                             : 1);
+            const std::int32_t value = std::min(ins, std::min(del, sub));
+            outRow[k] = value;
             if (bu)
-                bu->storeInt(kSiteV, tab.ptr(d, i), value);
+                bu->storeInt(kSiteV, outRow + k, value);
         }
     }
 }
@@ -255,7 +265,7 @@ fillVector(DiagTable &tab, std::string_view p, std::string_view t,
         const isa::Pred p = vpu.whilelt(0, lanes, 8);
         VReg idx;
         for (unsigned l = 0; l < 8; ++l)
-            idx.setU64(l, static_cast<std::uint64_t>(slot / 2 + l));
+            idx.words[l] = static_cast<std::uint64_t>(slot / 2 + l);
         idx.tag = qzDep;
         VReg row = qz->qzload(idx, sel, p, 8);
         if (slot & 1)
@@ -268,7 +278,7 @@ fillVector(DiagTable &tab, std::string_view p, std::string_view t,
         const unsigned lanes = std::min(8u, (cnt + 1) / 2);
         VReg idx;
         for (unsigned l = 0; l < 8; ++l)
-            idx.setU64(l, static_cast<std::uint64_t>(slot / 2 + l));
+            idx.words[l] = static_cast<std::uint64_t>(slot / 2 + l);
         idx.tag = row.tag;
         qz->qzstore(row, idx, sel, vpu.whilelt(0, lanes, 8), 8);
         qzDep = row.tag;
@@ -293,17 +303,24 @@ fillVector(DiagTable &tab, std::string_view p, std::string_view t,
             const unsigned cnt = static_cast<unsigned>(
                 std::min<std::int64_t>(L, hi - i0 + 1));
             const unsigned bytes = cnt * 4;
-            VReg a, b, c;
+            using VU = isa::VectorUnit;
+            VReg a, b, c, pcv, tcv;
             if (useQz && narrow) {
                 a = qzReadRow(d - 1, i0 - tab.iLo(d - 1), cnt);
                 b = qzReadRow(d - 1, i0 - 1 - tab.iLo(d - 1), cnt);
                 c = qzReadRow(d - 2, i0 - 1 - tab.iLo(d - 2), cnt);
-                for (unsigned l = 0; l < cnt; ++l) {
-                    const std::int64_t i = i0 + l;
-                    a.setI32(l, tab.at(i, d - 1 - i));
-                    b.setI32(l, tab.at(i - 1, d - i));
-                    c.setI32(l, tab.at(i - 1, d - 1 - i));
-                }
+                // The operand cells are contiguous runs on the two
+                // previous diagonals; bulk-copy them into the low cnt
+                // elements (lanes >= cnt keep the qzload contents,
+                // exactly as the old per-lane overwrite left them).
+                std::memcpy(a.words.data(), tab.ptr(d - 1, i0), bytes);
+                std::memcpy(b.words.data(), tab.ptr(d - 1, i0 - 1),
+                            bytes);
+                std::memcpy(c.words.data(), tab.ptr(d - 2, i0 - 1),
+                            bytes);
+                pcv = vpu.load8to32(kSiteP, p.data() + (i0 - 1), cnt);
+                tcv = vpu.load8to32(kSiteT,
+                                    trev.data() + (n - d + i0), cnt);
             } else {
                 // On narrow diagonals the previous diagonal was stored
                 // moments ago at a one-element offset: forwarding
@@ -312,17 +329,41 @@ fillVector(DiagTable &tab, std::string_view p, std::string_view t,
                     narrow ? sim::Tag{prevStore.ready + kForwardPenalty,
                                       prevStore.mem}
                            : sim::Tag{};
-                a = vpu.load(kSiteA, tab.ptr(d - 1, i0), bytes, fwd);
-                b = vpu.load(kSiteB, tab.ptr(d - 1, i0 - 1), bytes,
-                             fwd);
-                c = vpu.load(kSiteC, tab.ptr(d - 2, i0 - 1), bytes);
+                // Two charge runs per slice, each register rebuilt
+                // from its own tag — byte-identical to the per-op
+                // load()/load8to32() sequence.
+                const sim::MemOp fwdLoads[] = {
+                    {sim::OpClass::VecLoad, kSiteA,
+                     addrOf(tab.ptr(d - 1, i0)), bytes},
+                    {sim::OpClass::VecLoad, kSiteB,
+                     addrOf(tab.ptr(d - 1, i0 - 1)), bytes},
+                };
+                sim::Tag ft[2];
+                vpu.chargeMemRun(fwdLoads, fwd, ft);
+                a = VU::lanes(tab.ptr(d - 1, i0), bytes, ft[0]);
+                b = VU::lanes(tab.ptr(d - 1, i0 - 1), bytes, ft[1]);
+
+                const sim::MemOp freeLoads[] = {
+                    {sim::OpClass::VecLoad, kSiteC,
+                     addrOf(tab.ptr(d - 2, i0 - 1)), bytes},
+                    {sim::OpClass::VecLoad, kSiteP,
+                     addrOf(p.data() + (i0 - 1)), cnt},
+                    {sim::OpClass::VecLoad, kSiteT,
+                     addrOf(trev.data() + (n - d + i0)), cnt},
+                };
+                sim::Tag rt[3];
+                vpu.chargeMemRun(freeLoads, sim::Tag{}, rt);
+                c = VU::lanes(tab.ptr(d - 2, i0 - 1), bytes, rt[0]);
+                pcv = vpu.widenLanes8to32(p.data() + (i0 - 1), cnt,
+                                          rt[1]);
+                tcv = vpu.widenLanes8to32(
+                    trev.data() + (n - d + i0), cnt, rt[2]);
             }
 
-            // Substitution-cost vector from contiguous residue loads.
-            const VReg pc =
-                vpu.load8to32(kSiteP, p.data() + (i0 - 1), cnt);
-            const VReg tc = vpu.load8to32(
-                kSiteT, trev.data() + (n - d + i0), cnt);
+            // Substitution-cost vector from the contiguous residue
+            // loads.
+            const VReg &pc = pcv;
+            const VReg &tc = tcv;
             const Pred lanes = vpu.whilelt(0, cnt, L);
             const Pred eq = vpu.cmpeq32(pc, tc, lanes, L);
             const VReg cost = vpu.sel32(eq, vpu.dup32(0), vone);
@@ -330,9 +371,9 @@ fillVector(DiagTable &tab, std::string_view p, std::string_view t,
             const VReg value = vpu.min32(
                 vpu.min32(vpu.add32i(a, 1), vpu.add32i(b, 1)),
                 vpu.add32(c, cost));
-            // The vector math equals the golden recurrence.
-            for (unsigned l = 0; l < cnt; ++l)
-                tab.set(i0 + l, d - (i0 + l), value.i32(l));
+            // The vector math equals the golden recurrence; the cnt
+            // result cells are one contiguous run on diagonal d.
+            std::memcpy(tab.ptr(d, i0), value.words.data(), bytes);
             if (useQz && narrow)
                 qzWriteRow(d, i0 - tab.iLo(d), value, cnt);
             diagStore = vpu.store(kSiteV, tab.ptr(d, i0), value, bytes);

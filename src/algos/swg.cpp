@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.hpp"
 
 namespace quetzal::algos {
 
+using isa::addrOf;
 using isa::Pred;
 using isa::VReg;
 
@@ -123,6 +125,37 @@ class BandTable
         return data_.data() + d * stride_ + slot;
     }
 
+    /**
+     * Contiguous @p cnt -cell run starting at (i, d - i), or nullptr
+     * when the diagonal or any slot of the run falls outside storage —
+     * those reads must keep going through at()'s sentinel. In-storage
+     * pad slots always hold kNegInf (set() only ever writes in-band
+     * cells), so reading a run through this pointer is bit-identical
+     * to cnt at() calls.
+     */
+    const std::int32_t *
+    rowIfValid(std::int64_t d, std::int64_t i, std::int64_t cnt) const
+    {
+        if (d < 0 || d > m_ + n_)
+            return nullptr;
+        const std::int64_t slot = i - bandLo(d) + kPad;
+        if (slot < 0 || slot + cnt > stride_)
+            return nullptr;
+        return data_.data() + d * stride_ + slot;
+    }
+
+    /** Mutable @p cnt -cell run; panics outside storage like set(). */
+    std::int32_t *
+    row(std::int64_t d, std::int64_t i, std::int64_t cnt)
+    {
+        const std::int64_t slot = i - bandLo(d) + kPad;
+        panic_if_not(d >= 0 && d <= m_ + n_ && slot >= 0 &&
+                         slot + cnt <= stride_,
+                     "SWG band run outside storage (d={}, i={}, cnt={})",
+                     d, i, cnt);
+        return data_.data() + d * stride_ + slot;
+    }
+
   private:
     std::int64_t m_, n_;
     int half_;
@@ -228,27 +261,77 @@ fillScalar(Tables &tab, const SwgParams &sp, std::string_view p,
                                    std::max<std::int64_t>(1, d - n));
         const std::int64_t hi =
             std::min<std::int64_t>(tab.h.bandHi(d), d - 1);
+        const std::int64_t w = hi - lo + 1;
+        // Diagonal-major banding keeps each operand a contiguous run
+        // on a previous diagonal. When every run lies inside storage,
+        // index with k = i - lo instead of re-deriving band offsets
+        // per cell; any run that leaves storage (band edge) drops the
+        // whole slice back to the sentinel-checked at() recurrence.
+        const std::int32_t *h1 = nullptr, *e1 = nullptr, *f1 = nullptr,
+                           *h2 = nullptr;
+        std::int32_t *hRow = nullptr, *eRow = nullptr, *fRow = nullptr;
+        if (w > 0) {
+            h1 = tab.h.rowIfValid(d - 1, lo - 1, w + 1);
+            e1 = tab.e.rowIfValid(d - 1, lo, w);
+            f1 = tab.f.rowIfValid(d - 1, lo - 1, w);
+            h2 = tab.h.rowIfValid(d - 2, lo - 1, w);
+            hRow = tab.h.row(d, lo, w);
+            eRow = tab.e.row(d, lo, w);
+            fRow = tab.f.row(d, lo, w);
+        }
+        const bool fast = h1 && e1 && f1 && h2;
+        const std::int32_t open = sp.gapOpen + sp.gapExtend;
         for (std::int64_t i = lo; i <= hi; ++i) {
             const std::int64_t j = d - i;
+            const std::int64_t k = i - lo;
             if (bu) {
-                bu->loadInt(kSiteH1, tab.h.ptr(d - 1, i));
-                bu->loadInt(kSiteH1b, tab.h.ptr(d - 1, i - 1));
-                bu->loadInt(kSiteE1, tab.e.ptr(d - 1, i));
-                bu->loadInt(kSiteF1, tab.f.ptr(d - 1, i - 1));
-                bu->loadInt(kSiteH2, tab.h.ptr(d - 2, i - 1));
-                bu->loadChar(kSiteP, &p[static_cast<std::size_t>(i - 1)]);
-                bu->loadChar(kSiteT, &t[static_cast<std::size_t>(j - 1)]);
+                using sim::OpClass;
+                const sim::MemOp cellLoads[] = {
+                    {OpClass::ScalarLoad, kSiteH1,
+                     addrOf(tab.h.ptr(d - 1, i)), 4},
+                    {OpClass::ScalarLoad, kSiteH1b,
+                     addrOf(tab.h.ptr(d - 1, i - 1)), 4},
+                    {OpClass::ScalarLoad, kSiteE1,
+                     addrOf(tab.e.ptr(d - 1, i)), 4},
+                    {OpClass::ScalarLoad, kSiteF1,
+                     addrOf(tab.f.ptr(d - 1, i - 1)), 4},
+                    {OpClass::ScalarLoad, kSiteH2,
+                     addrOf(tab.h.ptr(d - 2, i - 1)), 4},
+                    {OpClass::ScalarLoad, kSiteP,
+                     addrOf(&p[static_cast<std::size_t>(i - 1)]), 1},
+                    {OpClass::ScalarLoad, kSiteT,
+                     addrOf(&t[static_cast<std::size_t>(j - 1)]), 1},
+                };
+                bu->loads(cellLoads);
                 bu->alu(8);
             }
             std::int32_t hv, ev, fv;
-            swgCell(tab, sp, p, t, i, j, hv, ev, fv);
-            tab.h.set(i, j, hv);
-            tab.e.set(i, j, ev);
-            tab.f.set(i, j, fv);
+            if (fast) {
+                const std::int32_t e =
+                    std::max(h1[k + 1] - open, e1[k] - sp.gapExtend);
+                const std::int32_t f =
+                    std::max(h1[k] - open, f1[k] - sp.gapExtend);
+                const bool match = p[static_cast<std::size_t>(i - 1)] ==
+                                   t[static_cast<std::size_t>(j - 1)];
+                const std::int32_t sub =
+                    h2[k] + (match ? sp.match : sp.mismatch);
+                hv = std::max(sub, std::max(e, f));
+                ev = e;
+                fv = f;
+            } else {
+                swgCell(tab, sp, p, t, i, j, hv, ev, fv);
+            }
+            hRow[k] = hv;
+            eRow[k] = ev;
+            fRow[k] = fv;
             if (bu) {
-                bu->storeInt(kSiteHS, tab.h.ptr(d, i), hv);
-                bu->storeInt(kSiteHS, tab.e.ptr(d, i), ev);
-                bu->storeInt(kSiteHS, tab.f.ptr(d, i), fv);
+                using sim::OpClass;
+                const sim::MemOp cellStores[] = {
+                    {OpClass::ScalarStore, kSiteHS, addrOf(hRow + k), 4},
+                    {OpClass::ScalarStore, kSiteHS, addrOf(eRow + k), 4},
+                    {OpClass::ScalarStore, kSiteHS, addrOf(fRow + k), 4},
+                };
+                bu->stores(cellStores);
             }
         }
         if (lo <= hi) {
@@ -321,8 +404,8 @@ fillVector(Tables &tab, const SwgParams &sp, std::string_view p,
         const isa::Pred p = vpu.whilelt(0, lanes, 8);
         VReg idx;
         for (unsigned l = 0; l < 8; ++l)
-            idx.setU64(l, base / 2 + static_cast<std::uint64_t>(
-                                         slot / 2 + l));
+            idx.words[l] = base / 2 + static_cast<std::uint64_t>(
+                                          slot / 2 + l);
         idx.tag = dep;
         VReg row = qz->qzload(idx, sel, p, 8);
         if (slot & 1)
@@ -334,7 +417,7 @@ fillVector(Tables &tab, const SwgParams &sp, std::string_view p,
         const unsigned lanes = std::min(8u, (cnt + 1) / 2);
         VReg idx;
         for (unsigned l = 0; l < 8; ++l)
-            idx.setU64(l, base / 2 + l);
+            idx.words[l] = base / 2 + l;
         idx.tag = row.tag;
         qz->qzstore(row, idx, sel, vpu.whilelt(0, lanes, 8), 8);
         qzRowDep = row.tag;
@@ -359,7 +442,8 @@ fillVector(Tables &tab, const SwgParams &sp, std::string_view p,
             const unsigned cnt = static_cast<unsigned>(
                 std::min<std::int64_t>(L, hi - i0 + 1));
             const unsigned bytes = cnt * 4;
-            VReg h1a, h1b, e1, f1, h2;
+            using VU = isa::VectorUnit;
+            VReg h1a, h1b, e1, f1, h2, pcv, tcv;
             if (qz) {
                 // Fig. 7: the previous two generations come from the
                 // QBUFFERs in 2-cycle reads. Functional values still
@@ -380,34 +464,74 @@ fillVector(Tables &tab, const SwgParams &sp, std::string_view p,
                                kFBase + genBase(d - 1), s1 - 1, cnt,
                                qzDep);
                 // The model reads stale QBUFFER contents; substitute
-                // the functional values (identical once warm).
-                for (unsigned l = 0; l < cnt; ++l) {
-                    const std::int64_t i = i0 + l;
-                    h1a.setI32(l, tab.h.at(i, d - 1 - i));
-                    h1b.setI32(l, tab.h.at(i - 1, d - i));
-                    h2.setI32(l, tab.h.at(i - 1, d - 1 - i));
-                    e1.setI32(l, tab.e.at(i, d - 1 - i));
-                    f1.setI32(l, tab.f.at(i - 1, d - i));
-                }
+                // the functional values (identical once warm). Each
+                // operand is a contiguous band run — bulk-copy into
+                // the low cnt elements when the run lies in storage,
+                // fall back to the sentinel-checked at() otherwise.
+                auto fill = [cnt, bytes](VReg &dst, const BandTable &bt,
+                                         std::int64_t rd,
+                                         std::int64_t ri) {
+                    if (const std::int32_t *run =
+                            bt.rowIfValid(rd, ri, cnt)) {
+                        std::memcpy(dst.words.data(), run, bytes);
+                        return;
+                    }
+                    for (unsigned l = 0; l < cnt; ++l)
+                        dst.setI32(l, bt.at(ri + l, rd - (ri + l)));
+                };
+                fill(h1a, tab.h, d - 1, i0);
+                fill(h1b, tab.h, d - 1, i0 - 1);
+                fill(h2, tab.h, d - 2, i0 - 1);
+                fill(e1, tab.e, d - 1, i0);
+                fill(f1, tab.f, d - 1, i0 - 1);
+                pcv = vpu.load8to32(kSiteP, p.data() + (i0 - 1), cnt);
+                tcv = vpu.load8to32(kSiteT,
+                                    trev.data() + (n - d + i0), cnt);
             } else {
                 const sim::Tag fwd{prevStore.ready + kForwardPenalty,
                                    prevStore.mem};
-                h1a = vpu.load(kSiteH1, tab.h.ptr(d - 1, i0), bytes,
-                               fwd);
-                h1b = vpu.load(kSiteH1b, tab.h.ptr(d - 1, i0 - 1),
-                               bytes, fwd);
-                e1 = vpu.load(kSiteE1, tab.e.ptr(d - 1, i0), bytes,
-                              fwd);
-                f1 = vpu.load(kSiteF1, tab.f.ptr(d - 1, i0 - 1), bytes,
-                              fwd);
-                h2 = vpu.load(kSiteH2, tab.h.ptr(d - 2, i0 - 1), bytes);
+                // Two charge runs per slice (the forwarding-gated
+                // band loads, then the conflict-free ones), each
+                // register rebuilt from its own tag — byte-identical
+                // to the per-op load()/load8to32() sequence.
+                const sim::MemOp fwdLoads[] = {
+                    {sim::OpClass::VecLoad, kSiteH1,
+                     addrOf(tab.h.ptr(d - 1, i0)), bytes},
+                    {sim::OpClass::VecLoad, kSiteH1b,
+                     addrOf(tab.h.ptr(d - 1, i0 - 1)), bytes},
+                    {sim::OpClass::VecLoad, kSiteE1,
+                     addrOf(tab.e.ptr(d - 1, i0)), bytes},
+                    {sim::OpClass::VecLoad, kSiteF1,
+                     addrOf(tab.f.ptr(d - 1, i0 - 1)), bytes},
+                };
+                sim::Tag ft[4];
+                vpu.chargeMemRun(fwdLoads, fwd, ft);
+                h1a = VU::lanes(tab.h.ptr(d - 1, i0), bytes, ft[0]);
+                h1b = VU::lanes(tab.h.ptr(d - 1, i0 - 1), bytes,
+                                ft[1]);
+                e1 = VU::lanes(tab.e.ptr(d - 1, i0), bytes, ft[2]);
+                f1 = VU::lanes(tab.f.ptr(d - 1, i0 - 1), bytes, ft[3]);
+
+                const sim::MemOp freeLoads[] = {
+                    {sim::OpClass::VecLoad, kSiteH2,
+                     addrOf(tab.h.ptr(d - 2, i0 - 1)), bytes},
+                    {sim::OpClass::VecLoad, kSiteP,
+                     addrOf(p.data() + (i0 - 1)), cnt},
+                    {sim::OpClass::VecLoad, kSiteT,
+                     addrOf(trev.data() + (n - d + i0)), cnt},
+                };
+                sim::Tag rt[3];
+                vpu.chargeMemRun(freeLoads, sim::Tag{}, rt);
+                h2 = VU::lanes(tab.h.ptr(d - 2, i0 - 1), bytes, rt[0]);
+                pcv = vpu.widenLanes8to32(p.data() + (i0 - 1), cnt,
+                                          rt[1]);
+                tcv = vpu.widenLanes8to32(
+                    trev.data() + (n - d + i0), cnt, rt[2]);
             }
 
-            // Substitution scores from contiguous residue loads.
-            const VReg pc =
-                vpu.load8to32(kSiteP, p.data() + (i0 - 1), cnt);
-            const VReg tc = vpu.load8to32(
-                kSiteT, trev.data() + (n - d + i0), cnt);
+            // Substitution scores from the contiguous residue loads.
+            const VReg &pc = pcv;
+            const VReg &tc = tcv;
             const Pred lanes = vpu.whilelt(0, cnt, L);
             const Pred eqp = vpu.cmpeq32(pc, tc, lanes, L);
             const VReg subst = vpu.sel32(eqp, vmatch, vmis);
@@ -419,12 +543,11 @@ fillVector(Tables &tab, const SwgParams &sp, std::string_view p,
             const VReg hv =
                 vpu.max32(vpu.add32(h2, subst), vpu.max32(ev, fv));
 
-            for (unsigned l = 0; l < cnt; ++l) {
-                const std::int64_t i = i0 + l;
-                tab.h.set(i, d - i, hv.i32(l));
-                tab.e.set(i, d - i, ev.i32(l));
-                tab.f.set(i, d - i, fv.i32(l));
-            }
+            // The cnt result cells are one contiguous in-band run on
+            // diagonal d (row() keeps set()'s out-of-storage panic).
+            std::memcpy(tab.h.row(d, i0, cnt), hv.words.data(), bytes);
+            std::memcpy(tab.e.row(d, i0, cnt), ev.words.data(), bytes);
+            std::memcpy(tab.f.row(d, i0, cnt), fv.words.data(), bytes);
             if (qz) {
                 // Rolling band rows go back into the QBUFFERs; the
                 // full tables are written to memory for traceback

@@ -7,6 +7,7 @@
 namespace quetzal::algos {
 
 using genomics::ElementSize;
+using isa::addrOf;
 using isa::Pred;
 using isa::VReg;
 
@@ -141,10 +142,15 @@ class BaseWfaEngine final : public WfaEngine
                 const std::size_t rj =
                     dir == Dir::Fwd ? static_cast<std::size_t>(j)
                                     : nlast - static_cast<std::size_t>(j);
-                const char pc = static_cast<char>(
-                    bu_.loadChar(kSiteExtPat, &p_[ri]));
-                const char tc = static_cast<char>(
-                    bu_.loadChar(kSiteExtTxt, &t_[rj]));
+                const sim::MemOp chLoads[] = {
+                    {sim::OpClass::ScalarLoad, kSiteExtPat,
+                     addrOf(&p_[ri]), 1},
+                    {sim::OpClass::ScalarLoad, kSiteExtTxt,
+                     addrOf(&t_[rj]), 1},
+                };
+                bu_.loads(chLoads);
+                const char pc = p_[ri];
+                const char tc = t_[rj];
                 bu_.alu(); // compare
                 if (pc != tc)
                     break;
@@ -166,9 +172,15 @@ class BaseWfaEngine final : public WfaEngine
     nextWave(const Wave &prev, Wave &next) override
     {
         for (int k = next.lo(); k <= next.hi(); ++k) {
-            bu_.loadInt(kSiteNwIns, prev.ptr(k - 1));
-            bu_.loadInt(kSiteNwSub, prev.ptr(k));
-            bu_.loadInt(kSiteNwDel, prev.ptr(k + 1));
+            const sim::MemOp waveLoads[] = {
+                {sim::OpClass::ScalarLoad, kSiteNwIns,
+                 addrOf(prev.ptr(k - 1)), 4},
+                {sim::OpClass::ScalarLoad, kSiteNwSub,
+                 addrOf(prev.ptr(k)), 4},
+                {sim::OpClass::ScalarLoad, kSiteNwDel,
+                 addrOf(prev.ptr(k + 1)), 4},
+            };
+            bu_.loads(waveLoads);
             bu_.alu(3); // two adds + two-level max fold
             bu_.alu();  // clamp
             const std::int32_t value = nextValue(prev, k);
@@ -202,9 +214,12 @@ class BaseWfaEngine final : public WfaEngine
     chargeTracebackHop(const std::int32_t *ins, const std::int32_t *sub,
                        const std::int32_t *del) override
     {
-        bu_.loadInt(kSiteTbHop, ins);
-        bu_.loadInt(kSiteTbHop, sub);
-        bu_.loadInt(kSiteTbHop, del);
+        const sim::MemOp hopLoads[] = {
+            {sim::OpClass::ScalarLoad, kSiteTbHop, addrOf(ins), 4},
+            {sim::OpClass::ScalarLoad, kSiteTbHop, addrOf(sub), 4},
+            {sim::OpClass::ScalarLoad, kSiteTbHop, addrOf(del), 4},
+        };
+        bu_.loads(hopLoads);
         bu_.alu(3);
         bu_.branch();
     }
@@ -224,8 +239,12 @@ class BaseWfaEngine final : public WfaEngine
         const int nm = static_cast<int>(t_.size()) -
                        static_cast<int>(p_.size());
         for (int k = lo; k <= hi; ++k) {
-            bu_.loadInt(kSiteOvF, f.ptr(k));
-            bu_.loadInt(kSiteOvR, r.ptr(nm - k));
+            const sim::MemOp ovLoads[] = {
+                {sim::OpClass::ScalarLoad, kSiteOvF, addrOf(f.ptr(k)), 4},
+                {sim::OpClass::ScalarLoad, kSiteOvR,
+                 addrOf(r.ptr(nm - k)), 4},
+            };
+            bu_.loads(ovLoads);
             bu_.alu(2);
             bu_.branch();
         }
@@ -261,9 +280,23 @@ class VecKernels
             const unsigned cnt = std::min<long>(
                 L, static_cast<long>(next.hi()) - k0 + 1);
             const unsigned bytes = cnt * 4;
-            const VReg a = vpu_.load(kSiteNwIns, prev.ptr(k0 - 1), bytes);
-            const VReg b = vpu_.load(kSiteNwSub, prev.ptr(k0), bytes);
-            const VReg c = vpu_.load(kSiteNwDel, prev.ptr(k0 + 1), bytes);
+            // One charge run for the three wave loads, each register
+            // rebuilt from its own tag — byte-identical to per-op
+            // load() calls.
+            const sim::MemOp waveLoads[] = {
+                {sim::OpClass::VecLoad, kSiteNwIns,
+                 addrOf(prev.ptr(k0 - 1)), bytes},
+                {sim::OpClass::VecLoad, kSiteNwSub,
+                 addrOf(prev.ptr(k0)), bytes},
+                {sim::OpClass::VecLoad, kSiteNwDel,
+                 addrOf(prev.ptr(k0 + 1)), bytes},
+            };
+            sim::Tag wt[3];
+            vpu_.chargeMemRun(waveLoads, sim::Tag{}, wt);
+            using VU = isa::VectorUnit;
+            const VReg a = VU::lanes(prev.ptr(k0 - 1), bytes, wt[0]);
+            const VReg b = VU::lanes(prev.ptr(k0), bytes, wt[1]);
+            const VReg c = VU::lanes(prev.ptr(k0 + 1), bytes, wt[2]);
             VReg v = vpu_.max32(
                 vpu_.max32(vpu_.add32i(a, 1), vpu_.add32i(b, 1)), c);
             const VReg kv = vpu_.index32(k0, 1);
@@ -350,11 +383,20 @@ class VecKernels
             const unsigned cnt =
                 std::min<long>(L, static_cast<long>(hi) - k0 + 1);
             const unsigned bytes = cnt * 4;
-            const VReg fv = vpu_.load(kSiteOvF, f.ptr(k0), bytes);
             // Reverse wave is read back-to-front: contiguous load at
             // the mirrored position plus a vector reverse (SVE rev).
             const int rk = nm - (k0 + static_cast<int>(cnt) - 1);
-            const VReg rv = vpu_.load(kSiteOvR, r.ptr(rk), bytes);
+            const sim::MemOp ovLoads[] = {
+                {sim::OpClass::VecLoad, kSiteOvF, addrOf(f.ptr(k0)),
+                 bytes},
+                {sim::OpClass::VecLoad, kSiteOvR, addrOf(r.ptr(rk)),
+                 bytes},
+            };
+            sim::Tag ot[2];
+            vpu_.chargeMemRun(ovLoads, sim::Tag{}, ot);
+            using VU = isa::VectorUnit;
+            const VReg fv = VU::lanes(f.ptr(k0), bytes, ot[0]);
+            const VReg rv = VU::lanes(r.ptr(rk), bytes, ot[1]);
             vpu_.scalarOps(1); // rev
             const VReg sum = vpu_.add32(fv, rv);
             const Pred lanes = vpu_.whilelt(0, cnt, L);

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Host-SIMD backend resolution: configure-time cap, environment
+ * override, CPUID — in that order, each step only able to lower the
+ * selection. Resolved once per process (first hostSimd() call) so the
+ * facade pays a single indirection per kernel, never a re-check.
+ */
+#include "isa/hostsimd.hpp"
+
+#include "isa/hostsimd_tables.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#ifndef QZ_HOSTSIMD_CONFIG
+#define QZ_HOSTSIMD_CONFIG "auto"
+#endif
+
+namespace quetzal::isa {
+
+namespace {
+
+enum class Level
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+Level
+parseLevel(const char *s, Level fallback)
+{
+    if (s == nullptr) {
+        return fallback;
+    }
+    if (std::strcmp(s, "avx512") == 0) {
+        return Level::Avx512;
+    }
+    if (std::strcmp(s, "avx2") == 0) {
+        return Level::Avx2;
+    }
+    if (std::strcmp(s, "scalar") == 0) {
+        return Level::Scalar;
+    }
+    return fallback; // "auto" or unrecognized: no restriction
+}
+
+bool
+cpuHasAvx2()
+{
+#if defined(QZ_HOSTSIMD_HAVE_AVX2)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+bool
+cpuHasAvx512()
+{
+#if defined(QZ_HOSTSIMD_HAVE_AVX512)
+    // Every feature the AVX-512 TU's intrinsics require.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512vl") &&
+           __builtin_cpu_supports("avx512cd") &&
+           __builtin_cpu_supports("avx512vpopcntdq");
+#else
+    return false;
+#endif
+}
+
+const HostSimdOps &
+resolve()
+{
+    Level cap = parseLevel(QZ_HOSTSIMD_CONFIG, Level::Avx512);
+    const Level env =
+        parseLevel(std::getenv("QZ_HOST_SIMD"), Level::Avx512);
+    if (env < cap) {
+        cap = env; // the environment can only lower the configure cap
+    }
+    if (cap >= Level::Avx512 && cpuHasAvx512()) {
+        return hostSimdAvx512Table();
+    }
+    if (cap >= Level::Avx2 && cpuHasAvx2()) {
+        return hostSimdAvx2Table();
+    }
+    return hostSimdScalarOps();
+}
+
+} // namespace
+
+const HostSimdOps &
+hostSimd()
+{
+    static const HostSimdOps &ops = resolve();
+    return ops;
+}
+
+const HostSimdOps *
+hostSimdAvx2Ops()
+{
+    if (!cpuHasAvx2()) {
+        return nullptr;
+    }
+#if defined(QZ_HOSTSIMD_HAVE_AVX2)
+    return &hostSimdAvx2Table();
+#else
+    return nullptr;
+#endif
+}
+
+const HostSimdOps *
+hostSimdAvx512Ops()
+{
+    if (!cpuHasAvx512()) {
+        return nullptr;
+    }
+#if defined(QZ_HOSTSIMD_HAVE_AVX512)
+    return &hostSimdAvx512Table();
+#else
+    return nullptr;
+#endif
+}
+
+const char *
+hostSimdCompiler()
+{
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+hostSimdBuildFlags()
+{
+    return QZ_HOSTSIMD_CONFIG "("
+#if defined(QZ_HOSTSIMD_HAVE_AVX512)
+           "avx512,"
+#endif
+#if defined(QZ_HOSTSIMD_HAVE_AVX2)
+           "avx2,"
+#endif
+           "scalar)";
+}
+
+} // namespace quetzal::isa

@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Scalar HostSimdOps table: the portable fallback and the reference
+ * model. Every kernel is the flat, branch-poor loop the VectorUnit
+ * facade executed inline before the backend split (whole-register
+ * element views the host compiler can auto-vectorize); the SIMD
+ * tables are lockstep-tested against this one
+ * (tests/test_hostsimd.cpp).
+ */
+#include "isa/hostsimd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace quetzal::isa {
+
+namespace {
+
+using W = HostSimdOps::W;
+
+constexpr unsigned kL64 = 8;  //!< 64-bit lanes
+constexpr unsigned kL32 = 16; //!< 32-bit elements
+
+/** Flat 32-bit element view (safe little-endian reinterpretation). */
+struct View32
+{
+    std::uint32_t v[kL32];
+
+    explicit View32(const W *w) { std::memcpy(v, w, sizeof(v)); }
+    View32() = default;
+
+    void writeTo(W *w) const { std::memcpy(w, v, sizeof(v)); }
+
+    std::int32_t s(unsigned i) const
+    {
+        return static_cast<std::int32_t>(v[i]);
+    }
+};
+
+// ---- 64-bit lanes -------------------------------------------------
+
+void
+and64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] & b[i];
+}
+
+void
+or64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] | b[i];
+}
+
+void
+xor64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] ^ b[i];
+}
+
+void
+xnor64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = ~(a[i] ^ b[i]);
+}
+
+void
+add64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] + b[i];
+}
+
+void
+sub64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] - b[i];
+}
+
+void
+min64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = static_cast<W>(
+            std::min(static_cast<std::int64_t>(a[i]),
+                     static_cast<std::int64_t>(b[i])));
+}
+
+void
+max64(const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = static_cast<W>(
+            std::max(static_cast<std::int64_t>(a[i]),
+                     static_cast<std::int64_t>(b[i])));
+}
+
+void
+addImm64(const W *a, std::int64_t imm, W *out)
+{
+    const W add = static_cast<W>(imm);
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] + add;
+}
+
+void
+addImmPred64(const W *a, std::int64_t imm, std::uint64_t mask, W *out)
+{
+    const W add = static_cast<W>(imm);
+    for (unsigned i = 0; i < kL64; ++i) {
+        const W take = -static_cast<W>((mask >> i) & 1);
+        out[i] = a[i] + (add & take);
+    }
+}
+
+void
+addPred64(const W *a, const W *b, std::uint64_t mask, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i) {
+        const W take = -static_cast<W>((mask >> i) & 1);
+        out[i] = a[i] + (b[i] & take);
+    }
+}
+
+void
+sel64(std::uint64_t mask, const W *a, const W *b, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i) {
+        const W take = -static_cast<W>((mask >> i) & 1);
+        out[i] = b[i] ^ ((a[i] ^ b[i]) & take);
+    }
+}
+
+void
+shr64(const W *a, unsigned shift, W *out)
+{
+    if (shift >= 64) {
+        std::memset(out, 0, kL64 * sizeof(W));
+        return;
+    }
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] >> shift;
+}
+
+void
+shl64(const W *a, unsigned shift, W *out)
+{
+    if (shift >= 64) {
+        std::memset(out, 0, kL64 * sizeof(W));
+        return;
+    }
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = a[i] << shift;
+}
+
+void
+ctz64(const W *a, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = static_cast<W>(std::countr_zero(a[i]));
+}
+
+void
+clz64(const W *a, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = static_cast<W>(std::countl_zero(a[i]));
+}
+
+// ---- 32-bit elements ----------------------------------------------
+
+void
+add32(const W *a, const W *b, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = x.v[i] + y.v[i];
+    r.writeTo(out);
+}
+
+void
+sub32(const W *a, const W *b, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = x.v[i] - y.v[i];
+    r.writeTo(out);
+}
+
+void
+min32(const W *a, const W *b, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = static_cast<std::uint32_t>(std::min(x.s(i), y.s(i)));
+    r.writeTo(out);
+}
+
+void
+max32(const W *a, const W *b, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = static_cast<std::uint32_t>(std::max(x.s(i), y.s(i)));
+    r.writeTo(out);
+}
+
+void
+addImm32(const W *a, std::int32_t imm, W *out)
+{
+    const auto add = static_cast<std::uint32_t>(imm);
+    const View32 x(a);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = x.v[i] + add;
+    r.writeTo(out);
+}
+
+void
+addImmPred32(const W *a, std::int32_t imm, std::uint64_t mask, W *out)
+{
+    const auto add = static_cast<std::uint32_t>(imm);
+    const View32 x(a);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i) {
+        const std::uint32_t take =
+            -static_cast<std::uint32_t>((mask >> i) & 1);
+        r.v[i] = x.v[i] + (add & take);
+    }
+    r.writeTo(out);
+}
+
+void
+addPred32(const W *a, const W *b, std::uint64_t mask, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i) {
+        const std::uint32_t take =
+            -static_cast<std::uint32_t>((mask >> i) & 1);
+        r.v[i] = x.v[i] + (y.v[i] & take);
+    }
+    r.writeTo(out);
+}
+
+void
+sel32(std::uint64_t mask, const W *a, const W *b, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = ((mask >> i) & 1) ? x.v[i] : y.v[i];
+    r.writeTo(out);
+}
+
+// ---- compares -----------------------------------------------------
+
+std::uint64_t
+cmpEq32(const W *a, const W *b)
+{
+    const View32 x(a), y(b);
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL32; ++i)
+        bits |= std::uint64_t{x.v[i] == y.v[i]} << i;
+    return bits;
+}
+
+std::uint64_t
+cmpNe32(const W *a, const W *b)
+{
+    const View32 x(a), y(b);
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL32; ++i)
+        bits |= std::uint64_t{x.v[i] != y.v[i]} << i;
+    return bits;
+}
+
+std::uint64_t
+cmpGt32(const W *a, const W *b)
+{
+    const View32 x(a), y(b);
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL32; ++i)
+        bits |= std::uint64_t{x.s(i) > y.s(i)} << i;
+    return bits;
+}
+
+std::uint64_t
+cmpLt32(const W *a, const W *b)
+{
+    const View32 x(a), y(b);
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL32; ++i)
+        bits |= std::uint64_t{x.s(i) < y.s(i)} << i;
+    return bits;
+}
+
+std::uint64_t
+cmpEq64(const W *a, const W *b)
+{
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL64; ++i)
+        bits |= std::uint64_t{a[i] == b[i]} << i;
+    return bits;
+}
+
+std::uint64_t
+cmpNe64(const W *a, const W *b)
+{
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL64; ++i)
+        bits |= std::uint64_t{a[i] != b[i]} << i;
+    return bits;
+}
+
+std::uint64_t
+cmpGt64(const W *a, const W *b)
+{
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL64; ++i)
+        bits |= std::uint64_t{static_cast<std::int64_t>(a[i]) >
+                              static_cast<std::int64_t>(b[i])}
+                << i;
+    return bits;
+}
+
+std::uint64_t
+cmpLt64(const W *a, const W *b)
+{
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < kL64; ++i)
+        bits |= std::uint64_t{static_cast<std::int64_t>(a[i]) <
+                              static_cast<std::int64_t>(b[i])}
+                << i;
+    return bits;
+}
+
+// ---- byte runs ----------------------------------------------------
+
+void
+matchBytes32(const W *a, const W *b, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    // countr_zero(0) == 32 makes the all-equal case fall out of the
+    // same >> 3: 32 / 8 == 4 matching bytes.
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = static_cast<std::uint32_t>(
+                     std::countr_zero(x.v[i] ^ y.v[i])) >>
+                 3;
+    r.writeTo(out);
+}
+
+void
+matchBytes32Rev(const W *a, const W *b, W *out)
+{
+    const View32 x(a), y(b);
+    View32 r;
+    for (unsigned i = 0; i < kL32; ++i)
+        r.v[i] = static_cast<std::uint32_t>(
+                     std::countl_zero(x.v[i] ^ y.v[i])) >>
+                 3;
+    r.writeTo(out);
+}
+
+// ---- width conversion ---------------------------------------------
+
+void
+widen8to32(const std::uint8_t *src, unsigned n, W *out)
+{
+    View32 r{};
+    for (unsigned i = 0; i < n; ++i)
+        r.v[i] = src[i];
+    r.writeTo(out);
+}
+
+void
+widenLo32to64(const W *v, W *out)
+{
+    const View32 x(v);
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = static_cast<W>(static_cast<std::int64_t>(x.s(i)));
+}
+
+void
+widenHi32to64(const W *v, W *out)
+{
+    const View32 x(v);
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] =
+            static_cast<W>(static_cast<std::int64_t>(x.s(kL64 + i)));
+}
+
+void
+pack64to32(const W *lo, const W *hi, W *out)
+{
+    View32 r;
+    for (unsigned i = 0; i < kL64; ++i) {
+        r.v[i] = static_cast<std::uint32_t>(lo[i]);
+        r.v[kL64 + i] = static_cast<std::uint32_t>(hi[i]);
+    }
+    r.writeTo(out);
+}
+
+// ---- CountALU -----------------------------------------------------
+
+void
+qzcount(const W *a, const W *b, unsigned shift, W *out)
+{
+    // countr_one(~(a ^ b)) == countr_zero(a ^ b): the run of matching
+    // bits from bit 0 (accel::CountAlu::count).
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = static_cast<W>(
+            static_cast<unsigned>(std::countr_zero(a[i] ^ b[i])) >>
+            shift);
+}
+
+void
+qzcountRev(const W *a, const W *b, unsigned shift, W *out)
+{
+    for (unsigned i = 0; i < kL64; ++i)
+        out[i] = static_cast<W>(
+            static_cast<unsigned>(std::countl_zero(a[i] ^ b[i])) >>
+            shift);
+}
+
+// ---- gather/scatter address math ----------------------------------
+
+unsigned
+compactAddrU32(std::uint64_t base, const W *idx, unsigned log2Scale,
+               std::uint64_t mask, std::uint64_t *addrs)
+{
+    const View32 is(idx);
+    unsigned count = 0;
+    for (unsigned i = 0; i < kL32; ++i)
+        if ((mask >> i) & 1)
+            addrs[count++] =
+                base + (std::uint64_t{is.v[i]} << log2Scale);
+    return count;
+}
+
+unsigned
+compactAddrI32(std::uint64_t base, const W *idx, std::uint64_t mask,
+               std::uint64_t *addrs)
+{
+    const View32 is(idx);
+    unsigned count = 0;
+    for (unsigned i = 0; i < kL32; ++i)
+        if ((mask >> i) & 1)
+            addrs[count++] =
+                base +
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(is.s(i)));
+    return count;
+}
+
+unsigned
+compactAddr64(std::uint64_t base, const W *idx, unsigned log2Scale,
+              std::uint64_t mask, std::uint64_t *addrs)
+{
+    unsigned count = 0;
+    for (unsigned i = 0; i < kL64; ++i)
+        if ((mask >> i) & 1)
+            addrs[count++] = base + (idx[i] << log2Scale);
+    return count;
+}
+
+} // namespace
+
+const HostSimdOps &
+hostSimdScalarOps()
+{
+    static const HostSimdOps ops = {
+        .name = "scalar",
+        .and64 = and64,
+        .or64 = or64,
+        .xor64 = xor64,
+        .xnor64 = xnor64,
+        .add64 = add64,
+        .sub64 = sub64,
+        .min64 = min64,
+        .max64 = max64,
+        .addImm64 = addImm64,
+        .addImmPred64 = addImmPred64,
+        .addPred64 = addPred64,
+        .sel64 = sel64,
+        .shr64 = shr64,
+        .shl64 = shl64,
+        .ctz64 = ctz64,
+        .clz64 = clz64,
+        .add32 = add32,
+        .sub32 = sub32,
+        .min32 = min32,
+        .max32 = max32,
+        .addImm32 = addImm32,
+        .addImmPred32 = addImmPred32,
+        .addPred32 = addPred32,
+        .sel32 = sel32,
+        .cmpEq32 = cmpEq32,
+        .cmpNe32 = cmpNe32,
+        .cmpGt32 = cmpGt32,
+        .cmpLt32 = cmpLt32,
+        .cmpEq64 = cmpEq64,
+        .cmpNe64 = cmpNe64,
+        .cmpGt64 = cmpGt64,
+        .cmpLt64 = cmpLt64,
+        .matchBytes32 = matchBytes32,
+        .matchBytes32Rev = matchBytes32Rev,
+        .widen8to32 = widen8to32,
+        .widenLo32to64 = widenLo32to64,
+        .widenHi32to64 = widenHi32to64,
+        .pack64to32 = pack64to32,
+        .qzcount = qzcount,
+        .qzcountRev = qzcountRev,
+        .compactAddrU32 = compactAddrU32,
+        .compactAddrI32 = compactAddrI32,
+        .compactAddr64 = compactAddr64,
+    };
+    return ops;
+}
+
+} // namespace quetzal::isa

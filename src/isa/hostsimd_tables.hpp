@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Internal: per-ISA HostSimdOps table constructors.
+ *
+ * Only the tables that the configure (QZ_HOST_SIMD) compiled in are
+ * defined; hostsimd.cpp references them under the matching
+ * QZ_HOSTSIMD_HAVE_* macros. The AVX2/AVX-512 constructors start from
+ * a copy of the scalar table and override the kernels their ISA
+ * accelerates, so a table is always complete.
+ */
+#ifndef QUETZAL_ISA_HOSTSIMD_TABLES_HPP
+#define QUETZAL_ISA_HOSTSIMD_TABLES_HPP
+
+#include "isa/hostsimd.hpp"
+
+namespace quetzal::isa {
+
+const HostSimdOps &hostSimdAvx2Table();
+const HostSimdOps &hostSimdAvx512Table();
+
+} // namespace quetzal::isa
+
+#endif // QUETZAL_ISA_HOSTSIMD_TABLES_HPP

@@ -22,6 +22,14 @@
 
 namespace quetzal::isa {
 
+/** Host pointer as a simulated address (the facade's convention). */
+template <typename T>
+inline sim::Addr
+addrOf(const T *ptr)
+{
+    return reinterpret_cast<sim::Addr>(ptr);
+}
+
 /** Scalar baseline timing facade. */
 class BaseUnit
 {
@@ -61,18 +69,45 @@ class BaseUnit
     }
 
     /**
+     * Charge a run of loads, all gated by the loop-carried chain, in
+     * one pipeline trip. Identical to calling loadChar/loadInt once
+     * per element (the chain only moves on ALU/branch ops, so every
+     * element would see the same chain; the pending join is
+     * associative), minus the per-instruction call overhead — the DP
+     * inner loops charge 5-7 loads per cell through here.
+     */
+    void
+    loads(std::span<const sim::MemOp> ops)
+    {
+        pending_ = sim::Tag::join(pending_,
+                                  pipeline_.executeMemRun(ops, chain_));
+    }
+
+    /**
+     * Charge a run of stores (values produced by the current chain) in
+     * one pipeline trip; identical to storeInt per element minus the
+     * functional write, which the caller's own row assignment already
+     * performed.
+     */
+    void
+    stores(std::span<const sim::MemOp> ops)
+    {
+        pipeline_.executeMemRun(ops, chain_);
+    }
+
+    /**
      * Charge @p count ALU ops consuming the pending loads and the
      * loop-carried chain; the result becomes the new chain.
      */
     void
     alu(unsigned count = 1)
     {
-        for (unsigned i = 0; i < count; ++i) {
-            chain_ = pipeline_.executeOp(
-                sim::OpClass::ScalarAlu,
-                {chain_, pending_});
-            pending_ = sim::Tag{};
-        }
+        if (count == 0)
+            return;
+        chain_ = pipeline_.executeOpChain(
+            sim::OpClass::ScalarAlu, count,
+            sim::Tag::join(chain_, pending_));
+        pending_ = sim::Tag{};
     }
 
     /** Charge a (predicted) conditional branch on the chain. */

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "sim/hostphase.hpp"
+
 namespace quetzal::isa {
 
 using sim::Addr;
@@ -21,7 +23,38 @@ toAddr(const void *ptr)
     return reinterpret_cast<Addr>(ptr);
 }
 
+using Func = sim::HostPhase::Scope;
+constexpr auto kFunc = sim::HostPhase::Func;
+
 } // namespace
+
+VReg
+VectorUnit::binOp(BinKernel op, const VReg &a, const VReg &b)
+{
+    VReg out;
+    {
+        Func scope(kFunc);
+        op(a.words.data(), b.words.data(), out.words.data());
+    }
+    out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag, b.tag});
+    return out;
+}
+
+Pred
+VectorUnit::compareOp(CmpKernel cmp, const VReg &a, const VReg &b,
+                      const Pred &p, unsigned lim)
+{
+    std::uint64_t bits;
+    {
+        Func scope(kFunc);
+        bits = cmp(a.words.data(), b.words.data());
+    }
+    Pred out;
+    out.mask = bits & lowMask(lim) & p.mask;
+    out.tag = pipeline_.executeOp(OpClass::VecCmp,
+                                  {a.tag, b.tag, p.tag});
+    return out;
+}
 
 VReg
 VectorUnit::dup32(std::int32_t value)
@@ -70,15 +103,23 @@ VReg
 VectorUnit::load8to32(SiteId site, const void *ptr, unsigned n,
                       sim::Tag dep)
 {
+    return widenLanes8to32(
+        ptr, n,
+        pipeline_.executeMem(OpClass::VecLoad, site, toAddr(ptr), n,
+                             {dep}));
+}
+
+VReg
+VectorUnit::widenLanes8to32(const void *ptr, unsigned n, sim::Tag tag)
+{
     panic_if_not(n <= kLanes32, "widening load of {} bytes", n);
-    const auto *bytes = static_cast<const std::uint8_t *>(ptr);
-    VReg::Lanes32 rs{};
-    for (unsigned i = 0; i < n; ++i)
-        rs[i] = bytes[i];
     VReg out;
-    out.setLanes(rs);
-    out.tag = pipeline_.executeMem(OpClass::VecLoad, site, toAddr(ptr),
-                                   n, {dep});
+    {
+        Func scope(kFunc);
+        simd_.widen8to32(static_cast<const std::uint8_t *>(ptr), n,
+                         out.words.data());
+    }
+    out.tag = tag;
     return out;
 }
 
@@ -98,14 +139,18 @@ VectorUnit::gather8(SiteId site, const void *base, const VReg &idx,
 {
     panic_if_not(n <= kLanes32, "gather8 over {} elements", n);
     const auto *bytes = static_cast<const std::uint8_t *>(base);
+    const std::uint64_t active = p.mask & lowMask(n);
+    std::size_t count;
+    {
+        Func scope(kFunc);
+        count = simd_.compactAddrU32(toAddr(base), idx.words.data(), 0,
+                                     active, addrScratch_.data());
+    }
     const VReg::Lanes32 is = idx.lanesU32();
     VReg::Lanes32 rs{};
-    std::size_t count = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        if (!((p.mask >> i) & 1))
-            continue;
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(m));
         rs[i] = bytes[is[i]];
-        addrScratch_[count++] = toAddr(bytes + is[i]);
     }
     VReg out;
     out.setLanes(rs);
@@ -120,14 +165,18 @@ VectorUnit::gather32(SiteId site, const std::int32_t *base,
                      const VReg &idx, const Pred &p, unsigned n)
 {
     panic_if_not(n <= kLanes32, "gather32 over {} elements", n);
+    const std::uint64_t active = p.mask & lowMask(n);
+    std::size_t count;
+    {
+        Func scope(kFunc);
+        count = simd_.compactAddrU32(toAddr(base), idx.words.data(), 2,
+                                     active, addrScratch_.data());
+    }
     const VReg::Lanes32 is = idx.lanesU32();
     VReg::LanesI32 rs{};
-    std::size_t count = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        if (!((p.mask >> i) & 1))
-            continue;
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(m));
         rs[i] = base[is[i]];
-        addrScratch_[count++] = toAddr(base + is[i]);
     }
     VReg out;
     out.setLanes(rs);
@@ -143,16 +192,20 @@ VectorUnit::gatherU32(SiteId site, const void *base, const VReg &idx,
 {
     panic_if_not(n <= kLanes32, "gatherU32 over {} elements", n);
     const auto *bytes = static_cast<const std::uint8_t *>(base);
+    const std::uint64_t active = p.mask & lowMask(n);
+    std::size_t count;
+    {
+        Func scope(kFunc);
+        count = simd_.compactAddrI32(toAddr(base), idx.words.data(),
+                                     active, addrScratch_.data());
+    }
     const VReg::LanesI32 is = idx.lanesI32();
     VReg::Lanes32 rs{};
-    std::size_t count = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        if (!((p.mask >> i) & 1))
-            continue;
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(m));
         std::uint32_t word = 0;
         std::memcpy(&word, bytes + is[i], 4);
         rs[i] = word;
-        addrScratch_[count++] = toAddr(bytes + is[i]);
     }
     VReg out;
     out.setLanes(rs);
@@ -167,14 +220,17 @@ VectorUnit::gather64(SiteId site, const std::uint64_t *base,
                      const VReg &idx, const Pred &p, unsigned n)
 {
     panic_if_not(n <= kLanes64, "gather64 over {} lanes", n);
+    const std::uint64_t active = p.mask & lowMask(n);
+    std::size_t count;
+    {
+        Func scope(kFunc);
+        count = simd_.compactAddr64(toAddr(base), idx.words.data(), 3,
+                                    active, addrScratch_.data());
+    }
     VReg out;
-    std::size_t count = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        if (!((p.mask >> i) & 1))
-            continue;
-        const std::uint64_t index = idx.words[i];
-        out.words[i] = base[index];
-        addrScratch_[count++] = toAddr(base + index);
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(m));
+        out.words[i] = base[idx.words[i]];
     }
     out.tag = pipeline_.executeIndexed(
         OpClass::VecGather, site, {addrScratch_.data(), count}, 8,
@@ -187,14 +243,18 @@ VectorUnit::scatter32(SiteId site, std::int32_t *base, const VReg &idx,
                       const VReg &value, const Pred &p, unsigned n)
 {
     panic_if_not(n <= kLanes32, "scatter32 over {} elements", n);
+    const std::uint64_t active = p.mask & lowMask(n);
+    std::size_t count;
+    {
+        Func scope(kFunc);
+        count = simd_.compactAddrU32(toAddr(base), idx.words.data(), 2,
+                                     active, addrScratch_.data());
+    }
     const VReg::Lanes32 is = idx.lanesU32();
     const VReg::LanesI32 vs = value.lanesI32();
-    std::size_t count = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        if (!((p.mask >> i) & 1))
-            continue;
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(m));
         base[is[i]] = vs[i];
-        addrScratch_[count++] = toAddr(base + is[i]);
     }
     pipeline_.executeIndexed(OpClass::VecScatter, site,
                              {addrScratch_.data(), count}, 4,
@@ -206,13 +266,16 @@ VectorUnit::scatter64(SiteId site, std::uint64_t *base, const VReg &idx,
                       const VReg &value, const Pred &p, unsigned n)
 {
     panic_if_not(n <= kLanes64, "scatter64 over {} lanes", n);
-    std::size_t count = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        if (!((p.mask >> i) & 1))
-            continue;
-        const std::uint64_t index = idx.words[i];
-        base[index] = value.words[i];
-        addrScratch_[count++] = toAddr(base + index);
+    const std::uint64_t active = p.mask & lowMask(n);
+    std::size_t count;
+    {
+        Func scope(kFunc);
+        count = simd_.compactAddr64(toAddr(base), idx.words.data(), 3,
+                                    active, addrScratch_.data());
+    }
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(m));
+        base[idx.words[i]] = value.words[i];
     }
     pipeline_.executeIndexed(OpClass::VecScatter, site,
                              {addrScratch_.data(), count}, 8,
@@ -222,20 +285,17 @@ VectorUnit::scatter64(SiteId site, std::uint64_t *base, const VReg &idx,
 VReg
 VectorUnit::add32(const VReg &a, const VReg &b)
 {
-    return map32(a, b, [](std::int32_t x, std::int32_t y) {
-        return x + y;
-    });
+    return binOp(simd_.add32, a, b);
 }
 
 VReg
 VectorUnit::add32i(const VReg &a, std::int32_t imm)
 {
-    const VReg::LanesI32 xs = a.lanesI32();
-    VReg::LanesI32 rs;
-    for (unsigned i = 0; i < kLanes32; ++i)
-        rs[i] = xs[i] + imm;
     VReg out;
-    out.setLanes(rs);
+    {
+        Func scope(kFunc);
+        simd_.addImm32(a.words.data(), imm, out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -243,39 +303,30 @@ VectorUnit::add32i(const VReg &a, std::int32_t imm)
 VReg
 VectorUnit::sub32(const VReg &a, const VReg &b)
 {
-    return map32(a, b, [](std::int32_t x, std::int32_t y) {
-        return x - y;
-    });
+    return binOp(simd_.sub32, a, b);
 }
 
 VReg
 VectorUnit::max32(const VReg &a, const VReg &b)
 {
-    return map32(a, b, [](std::int32_t x, std::int32_t y) {
-        return std::max(x, y);
-    });
+    return binOp(simd_.max32, a, b);
 }
 
 VReg
 VectorUnit::min32(const VReg &a, const VReg &b)
 {
-    return map32(a, b, [](std::int32_t x, std::int32_t y) {
-        return std::min(x, y);
-    });
+    return binOp(simd_.min32, a, b);
 }
 
 VReg
 VectorUnit::addUnderPred32(const VReg &a, std::int32_t imm, const Pred &p)
 {
-    const VReg::LanesI32 xs = a.lanesI32();
-    VReg::LanesI32 rs;
-    for (unsigned i = 0; i < kLanes32; ++i) {
-        const std::int32_t take =
-            -static_cast<std::int32_t>((p.mask >> i) & 1);
-        rs[i] = xs[i] + (imm & take);
-    }
     VReg out;
-    out.setLanes(rs);
+    {
+        Func scope(kFunc);
+        simd_.addImmPred32(a.words.data(), imm, p.mask,
+                           out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag, p.tag});
     return out;
 }
@@ -283,16 +334,12 @@ VectorUnit::addUnderPred32(const VReg &a, std::int32_t imm, const Pred &p)
 VReg
 VectorUnit::addvUnderPred32(const VReg &a, const VReg &b, const Pred &p)
 {
-    const VReg::LanesI32 xs = a.lanesI32();
-    const VReg::LanesI32 ys = b.lanesI32();
-    VReg::LanesI32 rs;
-    for (unsigned i = 0; i < kLanes32; ++i) {
-        const std::int32_t take =
-            -static_cast<std::int32_t>((p.mask >> i) & 1);
-        rs[i] = xs[i] + (ys[i] & take);
-    }
     VReg out;
-    out.setLanes(rs);
+    {
+        Func scope(kFunc);
+        simd_.addPred32(a.words.data(), b.words.data(), p.mask,
+                        out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
     return out;
@@ -301,13 +348,12 @@ VectorUnit::addvUnderPred32(const VReg &a, const VReg &b, const Pred &p)
 VReg
 VectorUnit::sel32(const Pred &p, const VReg &a, const VReg &b)
 {
-    const VReg::LanesI32 xs = a.lanesI32();
-    const VReg::LanesI32 ys = b.lanesI32();
-    VReg::LanesI32 rs;
-    for (unsigned i = 0; i < kLanes32; ++i)
-        rs[i] = ((p.mask >> i) & 1) ? xs[i] : ys[i];
     VReg out;
-    out.setLanes(rs);
+    {
+        Func scope(kFunc);
+        simd_.sel32(p.mask, a.words.data(), b.words.data(),
+                    out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
     return out;
@@ -316,38 +362,29 @@ VectorUnit::sel32(const Pred &p, const VReg &a, const VReg &b)
 VReg
 VectorUnit::sub64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return x - y;
-    });
+    return binOp(simd_.sub64, a, b);
 }
 
 VReg
 VectorUnit::min64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return static_cast<std::uint64_t>(
-            std::min(static_cast<std::int64_t>(x),
-                     static_cast<std::int64_t>(y)));
-    });
+    return binOp(simd_.min64, a, b);
 }
 
 VReg
 VectorUnit::max64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return static_cast<std::uint64_t>(
-            std::max(static_cast<std::int64_t>(x),
-                     static_cast<std::int64_t>(y)));
-    });
+    return binOp(simd_.max64, a, b);
 }
 
 VReg
 VectorUnit::add64i(const VReg &a, std::int64_t imm)
 {
-    const std::uint64_t add = static_cast<std::uint64_t>(imm);
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.words[i] = a.words[i] + add;
+    {
+        Func scope(kFunc);
+        simd_.addImm64(a.words.data(), imm, out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -355,12 +392,11 @@ VectorUnit::add64i(const VReg &a, std::int64_t imm)
 VReg
 VectorUnit::addUnderPred64(const VReg &a, std::int64_t imm, const Pred &p)
 {
-    const std::uint64_t add = static_cast<std::uint64_t>(imm);
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i) {
-        const std::uint64_t take =
-            -static_cast<std::uint64_t>((p.mask >> i) & 1);
-        out.words[i] = a.words[i] + (add & take);
+    {
+        Func scope(kFunc);
+        simd_.addImmPred64(a.words.data(), imm, p.mask,
+                           out.words.data());
     }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag, p.tag});
     return out;
@@ -370,10 +406,10 @@ VReg
 VectorUnit::addvUnderPred64(const VReg &a, const VReg &b, const Pred &p)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i) {
-        const std::uint64_t take =
-            -static_cast<std::uint64_t>((p.mask >> i) & 1);
-        out.words[i] = a.words[i] + (b.words[i] & take);
+    {
+        Func scope(kFunc);
+        simd_.addPred64(a.words.data(), b.words.data(), p.mask,
+                        out.words.data());
     }
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
@@ -384,10 +420,10 @@ VReg
 VectorUnit::sel64(const Pred &p, const VReg &a, const VReg &b)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i) {
-        const std::uint64_t take =
-            -static_cast<std::uint64_t>((p.mask >> i) & 1);
-        out.words[i] = b.words[i] ^ ((a.words[i] ^ b.words[i]) & take);
+    {
+        Func scope(kFunc);
+        simd_.sel64(p.mask, a.words.data(), b.words.data(),
+                    out.words.data());
     }
     out.tag = pipeline_.executeOp(OpClass::VecAlu,
                                   {a.tag, b.tag, p.tag});
@@ -398,46 +434,38 @@ Pred
 VectorUnit::cmpeq64(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
-        return x == y;
-    });
+    return compareOp(simd_.cmpEq64, a, b, p, std::min(n, kLanes64));
 }
 
 Pred
 VectorUnit::cmpne64(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
-        return x != y;
-    });
+    return compareOp(simd_.cmpNe64, a, b, p, std::min(n, kLanes64));
 }
 
 Pred
 VectorUnit::cmplt64(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
-        return x < y;
-    });
+    return compareOp(simd_.cmpLt64, a, b, p, std::min(n, kLanes64));
 }
 
 Pred
 VectorUnit::cmpgt64(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare64(a, b, p, n, [](std::int64_t x, std::int64_t y) {
-        return x > y;
-    });
+    return compareOp(simd_.cmpGt64, a, b, p, std::min(n, kLanes64));
 }
 
 VReg
 VectorUnit::widenLo32to64(const VReg &v)
 {
-    const VReg::LanesI32 xs = v.lanesI32();
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.words[i] = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(xs[i]));
+    {
+        Func scope(kFunc);
+        simd_.widenLo32to64(v.words.data(), out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
     return out;
 }
@@ -445,11 +473,11 @@ VectorUnit::widenLo32to64(const VReg &v)
 VReg
 VectorUnit::widenHi32to64(const VReg &v)
 {
-    const VReg::LanesI32 xs = v.lanesI32();
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.words[i] = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(xs[kLanes64 + i]));
+    {
+        Func scope(kFunc);
+        simd_.widenHi32to64(v.words.data(), out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {v.tag});
     return out;
 }
@@ -457,13 +485,12 @@ VectorUnit::widenHi32to64(const VReg &v)
 VReg
 VectorUnit::pack64to32(const VReg &lo, const VReg &hi)
 {
-    VReg::LanesI32 rs;
-    for (unsigned i = 0; i < kLanes64; ++i) {
-        rs[i] = static_cast<std::int32_t>(lo.words[i]);
-        rs[kLanes64 + i] = static_cast<std::int32_t>(hi.words[i]);
-    }
     VReg out;
-    out.setLanes(rs);
+    {
+        Func scope(kFunc);
+        simd_.pack64to32(lo.words.data(), hi.words.data(),
+                         out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {lo.tag, hi.tag});
     return out;
 }
@@ -514,17 +541,12 @@ VectorUnit::reduceMax64(const VReg &v, const Pred &p, unsigned n)
 VReg
 VectorUnit::matchBytes32(const VReg &a, const VReg &b)
 {
-    const VReg::Lanes32 xs = a.lanesU32();
-    const VReg::Lanes32 ys = b.lanesU32();
-    VReg::Lanes32 rs;
-    // countr_zero(0) == 32 makes the all-equal case fall out of the
-    // same >> 3: 32 / 8 == 4 matching bytes.
-    for (unsigned i = 0; i < kLanes32; ++i)
-        rs[i] = static_cast<std::uint32_t>(
-                    std::countr_zero(xs[i] ^ ys[i])) >>
-                3;
     VReg out;
-    out.setLanes(rs);
+    {
+        Func scope(kFunc);
+        simd_.matchBytes32(a.words.data(), b.words.data(),
+                           out.words.data());
+    }
     // Two dependent instructions: byte compare + break/count.
     const sim::Tag mid =
         pipeline_.executeOp(OpClass::VecCmp, {a.tag, b.tag});
@@ -535,15 +557,12 @@ VectorUnit::matchBytes32(const VReg &a, const VReg &b)
 VReg
 VectorUnit::matchBytes32Rev(const VReg &a, const VReg &b)
 {
-    const VReg::Lanes32 xs = a.lanesU32();
-    const VReg::Lanes32 ys = b.lanesU32();
-    VReg::Lanes32 rs;
-    for (unsigned i = 0; i < kLanes32; ++i)
-        rs[i] = static_cast<std::uint32_t>(
-                    std::countl_zero(xs[i] ^ ys[i])) >>
-                3;
     VReg out;
-    out.setLanes(rs);
+    {
+        Func scope(kFunc);
+        simd_.matchBytes32Rev(a.words.data(), b.words.data(),
+                              out.words.data());
+    }
     const sim::Tag mid =
         pipeline_.executeOp(OpClass::VecCmp, {a.tag, b.tag});
     out.tag = pipeline_.executeOp(OpClass::VecPred, {mid});
@@ -554,9 +573,10 @@ VReg
 VectorUnit::ctz64(const VReg &a)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.words[i] = static_cast<std::uint64_t>(
-            std::countr_zero(a.words[i]));
+    {
+        Func scope(kFunc);
+        simd_.ctz64(a.words.data(), out.words.data());
+    }
     // rbit + clz on SVE: two instructions.
     const sim::Tag mid = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {mid});
@@ -567,9 +587,10 @@ VReg
 VectorUnit::clz64(const VReg &a)
 {
     VReg out;
-    for (unsigned i = 0; i < kLanes64; ++i)
-        out.words[i] = static_cast<std::uint64_t>(
-            std::countl_zero(a.words[i]));
+    {
+        Func scope(kFunc);
+        simd_.clz64(a.words.data(), out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -577,42 +598,35 @@ VectorUnit::clz64(const VReg &a)
 VReg
 VectorUnit::and64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return x & y;
-    });
+    return binOp(simd_.and64, a, b);
 }
 
 VReg
 VectorUnit::or64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return x | y;
-    });
+    return binOp(simd_.or64, a, b);
 }
 
 VReg
 VectorUnit::xor64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return x ^ y;
-    });
+    return binOp(simd_.xor64, a, b);
 }
 
 VReg
 VectorUnit::xnor64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return ~(x ^ y);
-    });
+    return binOp(simd_.xnor64, a, b);
 }
 
 VReg
 VectorUnit::shr64i(const VReg &a, unsigned shift)
 {
     VReg out;
-    if (shift < 64)
-        for (unsigned i = 0; i < kLanes64; ++i)
-            out.words[i] = a.words[i] >> shift;
+    {
+        Func scope(kFunc);
+        simd_.shr64(a.words.data(), shift, out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -621,9 +635,10 @@ VReg
 VectorUnit::shl64i(const VReg &a, unsigned shift)
 {
     VReg out;
-    if (shift < 64)
-        for (unsigned i = 0; i < kLanes64; ++i)
-            out.words[i] = a.words[i] << shift;
+    {
+        Func scope(kFunc);
+        simd_.shl64(a.words.data(), shift, out.words.data());
+    }
     out.tag = pipeline_.executeOp(OpClass::VecAlu, {a.tag});
     return out;
 }
@@ -631,45 +646,35 @@ VectorUnit::shl64i(const VReg &a, unsigned shift)
 VReg
 VectorUnit::add64(const VReg &a, const VReg &b)
 {
-    return map64(a, b, [](std::uint64_t x, std::uint64_t y) {
-        return x + y;
-    });
+    return binOp(simd_.add64, a, b);
 }
 
 Pred
 VectorUnit::cmpeq32(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
-        return x == y;
-    });
+    return compareOp(simd_.cmpEq32, a, b, p, std::min(n, kLanes32));
 }
 
 Pred
 VectorUnit::cmpne32(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
-        return x != y;
-    });
+    return compareOp(simd_.cmpNe32, a, b, p, std::min(n, kLanes32));
 }
 
 Pred
 VectorUnit::cmpgt32(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
-        return x > y;
-    });
+    return compareOp(simd_.cmpGt32, a, b, p, std::min(n, kLanes32));
 }
 
 Pred
 VectorUnit::cmplt32(const VReg &a, const VReg &b, const Pred &p,
                     unsigned n)
 {
-    return compare32(a, b, p, n, [](std::int32_t x, std::int32_t y) {
-        return x < y;
-    });
+    return compareOp(simd_.cmpLt32, a, b, p, std::min(n, kLanes32));
 }
 
 Pred

@@ -13,11 +13,13 @@
  * uses for training.
  *
  * Host-performance rules for this layer (docs/SIMULATOR.md, "Host
- * performance"): lane kernels run as flat, branch-poor loops over
- * whole-register views (VReg::lanesU32()/words) so the host compiler
- * can auto-vectorize them, and hot paths never allocate — indexed
- * memory ops collect their element addresses into the reusable
- * addrScratch_ member instead of a per-call std::vector.
+ * performance"): the functional payload of every hot op is delegated
+ * to the process-wide host-SIMD kernel table (isa/hostsimd.hpp —
+ * AVX-512 / AVX2 / scalar reference, resolved once at startup), and
+ * hot paths never allocate — indexed memory ops collect their element
+ * addresses into the reusable addrScratch_ member instead of a
+ * per-call std::vector. Timing emission is identical whichever
+ * backend runs; the kernels are functional drop-ins.
  */
 #ifndef QUETZAL_ISA_VECTORUNIT_HPP
 #define QUETZAL_ISA_VECTORUNIT_HPP
@@ -25,8 +27,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
+#include "isa/hostsimd.hpp"
 #include "isa/vreg.hpp"
 #include "sim/pipeline.hpp"
 
@@ -39,7 +43,10 @@ using SiteId = std::uint64_t;
 class VectorUnit
 {
   public:
-    explicit VectorUnit(sim::Pipeline &pipeline) : pipeline_(pipeline) {}
+    explicit VectorUnit(sim::Pipeline &pipeline)
+        : pipeline_(pipeline), simd_(hostSimd())
+    {
+    }
 
     /** 32-bit elements per vector (512-bit SVE: 16). */
     static constexpr unsigned lanes32() { return kLanes32; }
@@ -72,6 +79,39 @@ class VectorUnit
     /** Contiguous vector store of @p bytes (<= 64); returns its tag. */
     sim::Tag store(SiteId site, void *ptr, const VReg &value,
                    unsigned bytes = 64);
+
+    // ---- batched contiguous memory --------------------------------
+    /**
+     * Charging half of a run of contiguous vector memory ops that all
+     * consume the same @p dep: one pipeline call, op i's readiness tag
+     * in @p tags[i], byte-identical to per-op load()/store() charging
+     * in array order. Pair each tag with the matching functional
+     * payload below (lanes()/widenLanes8to32()) to rebuild the
+     * registers load() would have returned. The DP vector fills charge
+     * a fixed 5-7 load shape per slice, which is where the per-call
+     * scoreboard reload cost concentrated.
+     */
+    void
+    chargeMemRun(std::span<const sim::MemOp> ops, sim::Tag dep,
+                 std::span<sim::Tag> tags)
+    {
+        pipeline_.executeMemRun(ops, dep, tags);
+    }
+
+    /** Functional payload of load(): @p bytes (<= 64) copied into a
+     *  fresh register carrying @p tag. */
+    static VReg
+    lanes(const void *ptr, unsigned bytes, sim::Tag tag)
+    {
+        VReg out;
+        std::memcpy(out.words.data(), ptr, bytes);
+        out.tag = tag;
+        return out;
+    }
+
+    /** Functional payload of load8to32(): @p n bytes zero-extended
+     *  into 32-bit elements, carrying @p tag. */
+    VReg widenLanes8to32(const void *ptr, unsigned n, sim::Tag tag);
 
     // ---- indexed memory (scatter/gather) --------------------------
     /**
@@ -220,76 +260,26 @@ class VectorUnit
     sim::Pipeline &pipeline() { return pipeline_; }
 
   private:
-    /** Elementwise 32-bit binary op helper (flat, auto-vectorizable). */
-    template <typename F>
-    VReg
-    map32(const VReg &a, const VReg &b, F &&f)
-    {
-        const VReg::LanesI32 xs = a.lanesI32();
-        const VReg::LanesI32 ys = b.lanesI32();
-        VReg::LanesI32 rs;
-        for (unsigned i = 0; i < kLanes32; ++i)
-            rs[i] = f(xs[i], ys[i]);
-        VReg out;
-        out.setLanes(rs);
-        out.tag = pipeline_.executeOp(sim::OpClass::VecAlu,
-                                      {a.tag, b.tag});
-        return out;
-    }
+    using KernelW = HostSimdOps::W;
+    using BinKernel = void (*)(const KernelW *, const KernelW *,
+                               KernelW *);
+    using CmpKernel = std::uint64_t (*)(const KernelW *, const KernelW *);
 
-    /** Elementwise 64-bit binary op helper (flat, auto-vectorizable). */
-    template <typename F>
-    VReg
-    map64(const VReg &a, const VReg &b, F &&f)
-    {
-        VReg out;
-        for (unsigned i = 0; i < kLanes64; ++i)
-            out.words[i] = f(a.words[i], b.words[i]);
-        out.tag = pipeline_.executeOp(sim::OpClass::VecAlu,
-                                      {a.tag, b.tag});
-        return out;
-    }
+    /** Elementwise binary op through a backend kernel (32- or 64-bit). */
+    VReg binOp(BinKernel op, const VReg &a, const VReg &b);
 
-    /** 64-bit comparison helper producing a predicate. */
-    template <typename F>
-    Pred
-    compare64(const VReg &a, const VReg &b, const Pred &p, unsigned n,
-              F &&f)
-    {
-        std::uint64_t bits = 0;
-        const unsigned lim = std::min(n, kLanes64);
-        for (unsigned i = 0; i < lim; ++i)
-            bits |= std::uint64_t{
-                        f(static_cast<std::int64_t>(a.words[i]),
-                          static_cast<std::int64_t>(b.words[i]))}
-                    << i;
-        Pred out;
-        out.mask = bits & p.mask;
-        out.tag = pipeline_.executeOp(sim::OpClass::VecCmp,
-                                      {a.tag, b.tag, p.tag});
-        return out;
-    }
-
-    /** Comparison helper producing a predicate. */
-    template <typename F>
-    Pred
-    compare32(const VReg &a, const VReg &b, const Pred &p, unsigned n,
-              F &&f)
-    {
-        const VReg::LanesI32 xs = a.lanesI32();
-        const VReg::LanesI32 ys = b.lanesI32();
-        std::uint64_t bits = 0;
-        const unsigned lim = std::min(n, kLanes32);
-        for (unsigned i = 0; i < lim; ++i)
-            bits |= std::uint64_t{f(xs[i], ys[i])} << i;
-        Pred out;
-        out.mask = bits & p.mask;
-        out.tag = pipeline_.executeOp(sim::OpClass::VecCmp,
-                                      {a.tag, b.tag, p.tag});
-        return out;
-    }
+    /**
+     * Comparison through a backend kernel: the kernel's full-width
+     * lane mask clamped to the first @p lim elements and the governing
+     * predicate — exactly the bits the old per-lane loop produced.
+     */
+    Pred compareOp(CmpKernel cmp, const VReg &a, const VReg &b,
+                   const Pred &p, unsigned lim);
 
     sim::Pipeline &pipeline_;
+
+    /** Process-wide host-SIMD kernel table (isa/hostsimd.hpp). */
+    const HostSimdOps &simd_;
 
     /** Reusable element-address buffer for gathers/scatters, so the
      *  per-instruction hot path never allocates (kLanes32 is the

@@ -6,6 +6,11 @@
  * (1) bitwise XNOR marks matching bits, (2) trailing-ones count finds
  * the run of consecutive matching bits from bit 0, (3) a shift by
  * log2(element bits) converts matching bits to whole matching elements.
+ *
+ * Host-side note: countr_one(~(a ^ b)) == countr_zero(a ^ b), so the
+ * whole-register qzcount path maps onto the host-SIMD backend's
+ * xor + per-lane trailing-zero kernel (isa/hostsimd.hpp, qzcount) —
+ * same value per lane, one table call for all eight.
  */
 #ifndef QUETZAL_QUETZAL_COUNTALU_HPP
 #define QUETZAL_QUETZAL_COUNTALU_HPP

@@ -6,6 +6,8 @@
 
 #include "common/bitutil.hpp"
 #include "common/logging.hpp"
+#include "isa/hostsimd.hpp"
+#include "sim/hostphase.hpp"
 
 namespace quetzal::accel {
 
@@ -234,9 +236,12 @@ VReg
 QzUnit::qzcount(const VReg &val0, const VReg &val1)
 {
     VReg out;
-    for (unsigned i = 0; i < isa::kLanes64; ++i)
-        out.setU64(i,
-                   CountAlu::count(val0.u64(i), val1.u64(i), esiz_));
+    {
+        sim::HostPhase::Scope scope(sim::HostPhase::Func);
+        isa::hostSimd().qzcount(val0.words.data(), val1.words.data(),
+                                CountAlu::shiftFor(esiz_),
+                                out.words.data());
+    }
     out.tag = vpu_.pipeline().executeQz(OpClass::QzCount,
                                         CountAlu::kPipelineDepth,
                                         {val0.tag, val1.tag});

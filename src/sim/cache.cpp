@@ -66,30 +66,18 @@ Cache::insert(std::size_t set, std::uint64_t line)
 }
 
 bool
-Cache::access(Addr addr)
+Cache::accessRest(std::size_t set, std::uint64_t line)
 {
-    const std::uint64_t line = lineOf(addr);
-    const std::size_t set = setOf(line);
+    // The inline fast path already compared the MRU slot, but the
+    // compare is repeated here through touch() so this path stays a
+    // verbatim replay of the pre-split probe (and fill() can keep
+    // sharing touch()). One redundant compare on the cold path.
     if (touch(set, line) != kMiss) {
         ++*hits_;
         return true;
     }
     ++*misses_;
     insert(set, line);
-    return false;
-}
-
-bool
-Cache::contains(Addr addr) const
-{
-    const std::uint64_t line = lineOf(addr);
-    const std::size_t set = setOf(line);
-    const std::uint64_t *tags =
-        tags_.data() + set * params_.associativity;
-    const unsigned count = valid_[set];
-    for (unsigned i = 0; i < count; ++i)
-        if (tags[i] == line)
-            return true;
     return false;
 }
 

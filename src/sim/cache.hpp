@@ -29,6 +29,20 @@
 
 namespace quetzal::sim {
 
+/**
+ * Force-inline marker for the per-access fast paths below: access()
+ * and contains() are entered once per demand request (~400M per full
+ * sweep) from MemorySystem's inlined access chain, and the MRU-hit
+ * path is a handful of instructions once inlined. The optimizer's
+ * size heuristics keep these out of line on their own, so the hint is
+ * load-bearing (docs/SIMULATOR.md, "Host performance").
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define QZ_CACHE_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define QZ_CACHE_ALWAYS_INLINE inline
+#endif
+
 /** Physical-address alias; we use host pointers as addresses. */
 using Addr = std::uint64_t;
 
@@ -45,11 +59,47 @@ class Cache
     /**
      * Probe and update the cache for a (timing) access.
      * @return true on hit. On miss the line is filled.
+     *
+     * The MRU-way re-touch — the overwhelmingly common case on the
+     * simulator hot path — is resolved inline; everything else
+     * (non-MRU hits needing a recency rotation, misses needing an
+     * insert) takes the out-of-line rest path.
      */
-    bool access(Addr addr);
+    QZ_CACHE_ALWAYS_INLINE bool
+    access(Addr addr)
+    {
+        const std::uint64_t line = lineOf(addr);
+        const std::size_t set = setOf(line);
+        const std::uint64_t *tags =
+            tags_.data() + set * params_.associativity;
+        if (valid_[set] > 0 && tags[0] == line) {
+            ++*hits_;
+            return true;
+        }
+        return accessRest(set, line);
+    }
 
     /** Probe without fill (used by the prefetcher to test residency). */
-    bool contains(Addr addr) const;
+    QZ_CACHE_ALWAYS_INLINE bool
+    contains(Addr addr) const
+    {
+        const std::uint64_t line = lineOf(addr);
+        const std::size_t set = setOf(line);
+        const std::uint64_t *tags =
+            tags_.data() + set * params_.associativity;
+        const unsigned count = valid_[set];
+        for (unsigned i = 0; i < count; ++i)
+            if (tags[i] == line)
+                return true;
+        return false;
+    }
+
+    /** True when @p a and @p b fall on the same cache line. */
+    QZ_CACHE_ALWAYS_INLINE bool
+    sameLine(Addr a, Addr b) const
+    {
+        return ((a ^ b) >> lineShift_) == 0;
+    }
 
     /** Insert a line without counting it as a demand access. */
     void fill(Addr addr);
@@ -81,6 +131,14 @@ class Cache
      * slot. @return the pre-rotation MRU position, or kMiss.
      */
     unsigned touch(std::size_t set, std::uint64_t line);
+
+    /**
+     * access() continuation after the inline MRU-way probe missed:
+     * scan the rest of the set (hit -> rotate to MRU), else count the
+     * miss and insert. Same hit/miss/eviction sequence as the
+     * monolithic access() this splits.
+     */
+    bool accessRest(std::size_t set, std::uint64_t line);
 
     /**
      * Insert @p line at the MRU slot of @p set after a probe miss.

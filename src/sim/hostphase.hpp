@@ -9,7 +9,10 @@
  * MemorySystem::access/accessVector (kind Mem); since every memory
  * access happens under a pipeline entry point, the pipeline-exclusive
  * share is nanos(Pipeline) - nanos(Mem), and the functional share is
- * the sweep's total wall time minus nanos(Pipeline).
+ * the sweep's total wall time minus nanos(Pipeline). Kind Func wraps
+ * the VectorUnit's calls into the host-SIMD kernel table
+ * (isa/hostsimd.hpp), splitting the functional share into the
+ * SIMD-accelerated kernels and the remaining scalar facade code.
  *
  * Disabled by default: each scope then costs a single predictable
  * branch, so the instrumentation does not perturb the default
@@ -33,6 +36,19 @@
 
 namespace quetzal::sim {
 
+/**
+ * Force-inline marker for the Scope ctor/dtor: they bracket every
+ * pipeline and memory-system entry (~1B pairs per full sweep), and
+ * the disabled path is one predictable branch each — but only if the
+ * compiler actually inlines them, which its size heuristics sometimes
+ * decline under LTO.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define QZ_PHASE_ALWAYS_INLINE __attribute__((always_inline))
+#else
+#define QZ_PHASE_ALWAYS_INLINE
+#endif
+
 class HostPhase
 {
   public:
@@ -40,6 +56,7 @@ class HostPhase
     {
         Mem,      //!< MemorySystem::access/accessVector (translate+cache)
         Pipeline, //!< Pipeline public entry points (includes Mem time)
+        Func,     //!< Host-SIMD backend kernels (isa/hostsimd.hpp)
         NumKinds,
     };
 
@@ -66,7 +83,7 @@ class HostPhase
     class Scope
     {
       public:
-        explicit Scope(Kind kind) : kind_(kind)
+        QZ_PHASE_ALWAYS_INLINE explicit Scope(Kind kind) : kind_(kind)
         {
             if (!enabled_) [[likely]] {
                 state_ = Off;
@@ -80,7 +97,7 @@ class HostPhase
             }
         }
 
-        ~Scope()
+        QZ_PHASE_ALWAYS_INLINE ~Scope()
         {
             if (state_ == Off)
                 return;

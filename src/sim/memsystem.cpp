@@ -79,19 +79,10 @@ MemorySystem::chunkFor(Addr chunkIdx)
 }
 
 Addr
-MemorySystem::translate(Addr hostAddr)
+MemorySystem::translateMiss(Addr hostAddr)
 {
     const Addr par = hostAddr / kParagraphBytes;
     const Addr offset = hostAddr % kParagraphBytes;
-    // MRU translation cache: sequential streams re-touch the same
-    // paragraph for (up to) 16 consecutive byte addresses, and a
-    // gather burst over one table stays within a paragraph run.
-    // (mruPar_ is the kNoParagraph sentinel when invalid, so one
-    // compare covers both validity and match.)
-    if (par == mruPar_) {
-        ++*translateFast_;
-        return mruSimPar_ * kParagraphBytes + offset;
-    }
     Chunk *chunk = chunkFor(par >> kChunkShift);
     const std::size_t idx = par & (kChunkParagraphs - 1);
     // First touch this epoch: hand out the next simulated paragraph,
@@ -101,19 +92,15 @@ MemorySystem::translate(Addr hostAddr)
         chunk->stamp[idx] = epoch_;
         chunk->simPar[idx] = nextParagraph_++;
     }
-    mruPar_ = par;
-    mruSimPar_ = chunk->simPar[idx];
-    return mruSimPar_ * kParagraphBytes + offset;
+    const Addr simPar = chunk->simPar[idx];
+    tlb_[static_cast<std::size_t>(par) & (kTlbEntries - 1)] =
+        TlbEntry{par, simPar, epoch_};
+    return simPar * kParagraphBytes + offset;
 }
 
 unsigned
-MemorySystem::accessLine(std::uint64_t pc, Addr addr)
+MemorySystem::missToL2(Addr addr)
 {
-    ++*requests_;
-    l1Prefetcher_.observe(pc, addr);
-    if (l1d_.access(addr))
-        return l1d_.loadToUse();
-
     ++*l2Requests_;
     if (l2_.access(addr)) {
         l1d_.fill(addr);
@@ -128,21 +115,9 @@ MemorySystem::accessLine(std::uint64_t pc, Addr addr)
 }
 
 unsigned
-MemorySystem::access(std::uint64_t pc, Addr addr, unsigned bytes,
-                     bool write)
+MemorySystem::accessSpanning(std::uint64_t pc, Addr addr, Addr first,
+                             Addr last)
 {
-    const HostPhase::Scope scope(HostPhase::Mem);
-    return accessOne(pc, addr, bytes, write);
-}
-
-unsigned
-MemorySystem::accessOne(std::uint64_t pc, Addr addr, unsigned bytes,
-                        bool write)
-{
-    // Stores are write-allocate and, for timing purposes, behave like
-    // loads (the LSQ hides store latency; the occupancy cost is modeled
-    // in the pipeline).
-    (void)write;
     // Walk the host footprint paragraph by paragraph (the translation
     // granularity), probing each distinct simulated line once. The
     // line split is decided by simulated addresses so that it, too,
@@ -150,22 +125,27 @@ MemorySystem::accessOne(std::uint64_t pc, Addr addr, unsigned bytes,
     // Line-index math is a shift (line size is a power of two): a
     // hardware divide here would be the single hottest instruction of
     // the whole simulator.
+    //
+    // translate()'s previous-paragraph bookkeeping is hoisted out of
+    // the walk: consecutive paragraphs always differ, so only the
+    // first can re-touch the prior access's paragraph (the
+    // translate_fast definition), and the tracker ends up holding the
+    // last paragraph — exactly the state per-paragraph translate()
+    // calls would leave behind.
+    if (first == mruPar_)
+        ++*translateFast_;
+    mruPar_ = last;
     const unsigned shift = l1LineShift_;
-    const Addr first = addr / kParagraphBytes;
-    const Addr last =
-        (addr + std::max(1u, bytes) - 1) / kParagraphBytes;
-    // Most requests (scalar loads/stores, gather elements) fit inside
-    // one paragraph: one translation, one line probe, no loop state.
-    if (first == last) {
-        const Addr simLine = translate(addr) >> shift;
-        return accessLine(pc, simLine << shift);
-    }
     unsigned worst = 0;
     Addr prevLine = ~Addr{0};
     for (Addr p = first; p <= last; ++p) {
-        const Addr host =
-            p == first ? addr : p * kParagraphBytes;
-        const Addr simLine = translate(host) >> shift;
+        const Addr offset = p == first ? addr % kParagraphBytes : 0;
+        const TlbEntry &e =
+            tlb_[static_cast<std::size_t>(p) & (kTlbEntries - 1)];
+        const Addr sim = (e.par == p && e.epoch == epoch_)
+            ? e.simPar * kParagraphBytes + offset
+            : translateMiss(p * kParagraphBytes + offset);
+        const Addr simLine = sim >> shift;
         if (simLine != prevLine) {
             worst = std::max(worst,
                              accessLine(pc, simLine << shift));

@@ -29,6 +29,7 @@
 
 #include "common/stats.hpp"
 #include "sim/cache.hpp"
+#include "sim/hostphase.hpp"
 #include "sim/prefetcher.hpp"
 
 namespace quetzal::sim {
@@ -49,8 +50,12 @@ class MemorySystem
      * @param write true for stores (timed like loads; write-allocate).
      * @return load-to-use latency in cycles.
      */
-    unsigned access(std::uint64_t pc, Addr addr, unsigned bytes,
-                    bool write);
+    QZ_CACHE_ALWAYS_INLINE unsigned
+    access(std::uint64_t pc, Addr addr, unsigned bytes, bool write)
+    {
+        const HostPhase::Scope scope(HostPhase::Mem);
+        return accessOne(pc, addr, bytes, write);
+    }
 
     /**
      * Batched indexed access: translate and probe every lane of a
@@ -84,7 +89,39 @@ class MemorySystem
      * where the host allocator put the data. Streams stay contiguous
      * in simulated space because they touch paragraphs in order.
      */
-    Addr translate(Addr hostAddr);
+    QZ_CACHE_ALWAYS_INLINE Addr
+    translate(Addr hostAddr)
+    {
+        const Addr par = hostAddr / kParagraphBytes;
+        // The translate_fast stat predates the multi-entry TLB below
+        // and counts re-touches of the immediately previous paragraph
+        // (sequential streams re-touch one paragraph for up to 16
+        // consecutive byte addresses). Keep that exact definition —
+        // mruPar_ tracks the last translated paragraph, nothing else —
+        // so the stat stays byte-identical to the one-entry-MRU
+        // implementation it came from.
+        if (par == mruPar_) {
+            ++*translateFast_;
+        } else {
+            mruPar_ = par;
+        }
+        // Direct-mapped host-TLB over live assignments. The DP inner
+        // loops interleave four-to-six address streams (three or four
+        // band rows, the output row, the sequences), which thrashed a
+        // single MRU entry on nearly every access; distinct streams
+        // land in distinct slots here. Pure cache: entries are only
+        // ever copies of live (stamped) chunk assignments, so hitting
+        // one is observationally identical to re-walking the chunk
+        // directory. Entries carry the epoch that stamped them, so a
+        // hit is par+epoch equality — and newEpoch() never has to
+        // touch the table.
+        const TlbEntry &e =
+            tlb_[static_cast<std::size_t>(par) & (kTlbEntries - 1)];
+        if (e.par == par && e.epoch == epoch_)
+            return e.simPar * kParagraphBytes +
+                   hostAddr % kParagraphBytes;
+        return translateMiss(hostAddr);
+    }
 
     /**
      * Forget host->simulated paragraph assignments (simulated
@@ -101,10 +138,13 @@ class MemorySystem
     void
     newEpoch()
     {
+        // TLB entries are epoch-stamped, so the bump alone invalidates
+        // all of them — no per-item table wipe (work items can be as
+        // small as one 100 bp pair, where a wipe would rival the
+        // pair's own translation work). Only the previous-paragraph
+        // tracker needs re-pointing at a paragraph no host address
+        // maps to.
         ++epoch_;
-        // The MRU translation belongs to the old epoch: point it at a
-        // paragraph no host address maps to, so the hot-path validity
-        // check stays a single compare instead of a stamp compare.
         mruPar_ = kNoParagraph;
     }
 
@@ -146,12 +186,57 @@ class MemorySystem
     Chunk *chunkFor(Addr chunkIdx);
     void growDirectory();
 
-    unsigned accessLine(std::uint64_t pc, Addr addr);
+    /** translate() continuation past the MRU entry: chunk-directory
+     *  walk, first-touch assignment, MRU refresh. */
+    Addr translateMiss(Addr hostAddr);
 
-    /** access() body without the host-phase scope: accessVector opens
-     *  one scope for the whole burst and calls this per lane. */
-    unsigned accessOne(std::uint64_t pc, Addr addr, unsigned bytes,
-                       bool write);
+    /**
+     * One line probe. The L1 path — stat, prefetcher observation,
+     * L1 probe — inlines into the access chain; only a genuine L1
+     * miss leaves the inlined code for the L2/DRAM walk.
+     */
+    QZ_CACHE_ALWAYS_INLINE unsigned
+    accessLine(std::uint64_t pc, Addr addr)
+    {
+        ++*requests_;
+        l1Prefetcher_.observe(pc, addr);
+        if (l1d_.access(addr))
+            return l1d_.loadToUse();
+        return missToL2(addr);
+    }
+
+    /** accessLine() continuation after an L1 miss. */
+    unsigned missToL2(Addr addr);
+
+    /**
+     * access() body without the host-phase scope: accessVector opens
+     * one scope for the whole burst and calls this per lane. Most
+     * requests (scalar loads/stores, gather elements) fit inside one
+     * paragraph: one translation, one line probe, no loop state —
+     * that case resolves inline; footprints crossing a paragraph
+     * boundary take the out-of-line walk.
+     */
+    QZ_CACHE_ALWAYS_INLINE unsigned
+    accessOne(std::uint64_t pc, Addr addr, unsigned bytes, bool write)
+    {
+        // Stores are write-allocate and, for timing purposes, behave
+        // like loads (the LSQ hides store latency; the occupancy cost
+        // is modeled in the pipeline).
+        (void)write;
+        const unsigned shift = l1LineShift_;
+        const Addr first = addr / kParagraphBytes;
+        const Addr last =
+            (addr + (bytes > 1 ? bytes : 1u) - 1) / kParagraphBytes;
+        if (first == last) [[likely]] {
+            const Addr simLine = translate(addr) >> shift;
+            return accessLine(pc, simLine << shift);
+        }
+        return accessSpanning(pc, addr, first, last);
+    }
+
+    /** accessOne() continuation for multi-paragraph footprints. */
+    unsigned accessSpanning(std::uint64_t pc, Addr addr, Addr first,
+                            Addr last);
 
     SystemParams params_;
     Cache l1d_;
@@ -164,13 +249,34 @@ class MemorySystem
     std::vector<Chunk *> directory_;
     std::size_t directoryUsed_ = 0;
 
-    /** One-entry MRU caches: last chunk, last paragraph translated.
-     *  mruPar_ is kNoParagraph whenever the entry is invalid (initial
-     *  state and after every newEpoch()), so validity and match are
-     *  one compare. */
+    /** Direct-mapped TLB size: must cover the distinct streams a DP
+     *  inner loop interleaves with slack against conflicts. */
+    static constexpr std::size_t kTlbEntries = 1024;
+
+    /** Last chunk touched (directory-walk shortcut) and last paragraph
+     *  translated (the translate_fast stat definition). Both use
+     *  kNoParagraph-style sentinels so validity and match are one
+     *  compare. */
     Chunk *mruChunk_ = nullptr;
     Addr mruPar_ = kNoParagraph;
-    Addr mruSimPar_ = 0;
+
+    /** One translation-cache entry: host paragraph, its simulated
+     *  paragraph, and the epoch that stamped the assignment. A slot
+     *  is live only when both par and epoch match, so zero-initialized
+     *  entries (epoch 0; epoch_ starts at 1) are never hits and
+     *  newEpoch() retires every entry without touching the array.
+     *  Kept in one struct so a hit reads one cache line, not two
+     *  parallel arrays. */
+    struct TlbEntry
+    {
+        Addr par;
+        Addr simPar;
+        std::uint64_t epoch;
+    };
+
+    /** Direct-mapped translation cache over live chunk assignments,
+     *  slot = paragraph & (kTlbEntries - 1). */
+    std::array<TlbEntry, kTlbEntries> tlb_{};
 
     Addr nextParagraph_ = 1;
     std::uint64_t epoch_ = 1; //!< current stamp; 0 marks never-assigned

@@ -66,37 +66,33 @@ Pipeline::Pipeline(const SystemParams &params, MemorySystem &mem)
     // single indexed op can claim several LSQ slots at once.
     rob_.reset(params.core.robEntries + 1);
     lsq_.reset(params.core.lsqEntries + 1);
+
+    const CoreParams &core = params_.core;
+    const auto spec = [this](OpClass cls, unsigned latency,
+                             std::vector<Cycle> *pool) {
+        specs_[static_cast<std::size_t>(cls)] = OpSpec{latency, pool};
+    };
+    spec(OpClass::ScalarAlu, core.scalarAluLatency, &scalarPipes_);
+    spec(OpClass::Branch, core.branchLatency, &scalarPipes_);
+    spec(OpClass::VecAlu, core.vectorAluLatency, &vecPipes_);
+    spec(OpClass::VecCmp, core.vectorCmpLatency, &vecPipes_);
+    spec(OpClass::VecPred, core.predOpLatency, &vecPipes_);
+    spec(OpClass::VecReduce, core.reduceLatency, &vecPipes_);
 }
 
-Pipeline::OpSpec
-Pipeline::opSpec(OpClass cls)
+void
+Pipeline::badOpClass(OpClass cls)
 {
-    const CoreParams &core = params_.core;
-    switch (cls) {
-      case OpClass::ScalarAlu:
-        return {core.scalarAluLatency, &scalarPipes_};
-      case OpClass::Branch:
-        return {core.branchLatency, &scalarPipes_};
-      case OpClass::VecAlu:
-        return {core.vectorAluLatency, &vecPipes_};
-      case OpClass::VecCmp:
-        return {core.vectorCmpLatency, &vecPipes_};
-      case OpClass::VecPred:
-        return {core.predOpLatency, &vecPipes_};
-      case OpClass::VecReduce:
-        return {core.reduceLatency, &vecPipes_};
-      default:
-        panic("executeOp: class {} needs a specialized path",
-              opClassName(cls));
-    }
+    panic("executeOp: class {} needs a specialized path",
+          opClassName(cls));
 }
 
 Tag
-Pipeline::executeOp(OpClass cls, std::initializer_list<Tag> srcs)
+Pipeline::executeOp(OpClass cls, Tag dep)
 {
     const HostPhase::Scope scope(HostPhase::Pipeline);
     const OpSpec spec = opSpec(cls);
-    const Cycle issue = resolveIssue(srcs, *spec.pool, 1, 0);
+    const Cycle issue = resolveIssue(dep, *spec.pool, 1, 0);
     const Cycle completion = issue + spec.latency;
     finishOp(cls, completion, 0, false);
     return Tag{completion, false};
@@ -125,7 +121,7 @@ Pipeline::executeOpBurst(OpClass cls, unsigned count)
         clean = pool[i] <= firstFront;
     if (!clean) {
         for (unsigned i = 0; i < count; ++i)
-            executeOp(cls, {});
+            executeOp(cls);
         return;
     }
     ++burstFastPaths_;
@@ -205,16 +201,15 @@ Pipeline::executeOpBurst(OpClass cls, unsigned count)
     instructions_ += count;
 }
 
-Tag
-Pipeline::executeMem(OpClass cls, std::uint64_t pc, Addr addr,
-                     unsigned bytes, std::initializer_list<Tag> srcs)
+QZ_SIM_ALWAYS_INLINE Tag
+Pipeline::memOpImpl(OpClass cls, std::uint64_t pc, Addr addr,
+                    unsigned bytes, Tag dep)
 {
-    const HostPhase::Scope scope(HostPhase::Pipeline);
     // Diagnostics pass the raw enum: opClassName() is a switch the
     // caller would otherwise evaluate on every call of this hot path.
     panic_if_not(isMemClass(cls), "executeMem: class {} is not a memory class",
                  static_cast<int>(cls));
-    const Cycle issue = resolveIssue(srcs, aguPipes_, 1, 1);
+    const Cycle issue = resolveIssue(dep, aguPipes_, 1, 1);
     const bool write = cls == OpClass::ScalarStore ||
                        cls == OpClass::VecStore;
     const unsigned latency = mem_.access(pc, addr, bytes, write);
@@ -227,9 +222,56 @@ Pipeline::executeMem(OpClass cls, std::uint64_t pc, Addr addr,
 }
 
 Tag
+Pipeline::executeMem(OpClass cls, std::uint64_t pc, Addr addr,
+                     unsigned bytes, Tag dep)
+{
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    return memOpImpl(cls, pc, addr, bytes, dep);
+}
+
+Tag
+Pipeline::executeMemRun(std::span<const MemOp> ops, Tag dep)
+{
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    Tag out{};
+    for (const MemOp &op : ops)
+        out = Tag::join(out,
+                        memOpImpl(op.cls, op.pc, op.addr, op.bytes,
+                                  dep));
+    return out;
+}
+
+void
+Pipeline::executeMemRun(std::span<const MemOp> ops, Tag dep,
+                        std::span<Tag> tags)
+{
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    panic_if_not(tags.size() >= ops.size(),
+                 "executeMemRun: {} tag slots for {} ops", tags.size(),
+                 ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        tags[i] = memOpImpl(ops[i].cls, ops[i].pc, ops[i].addr,
+                            ops[i].bytes, dep);
+}
+
+Tag
+Pipeline::executeOpChain(OpClass cls, unsigned count, Tag dep)
+{
+    const HostPhase::Scope scope(HostPhase::Pipeline);
+    const OpSpec spec = opSpec(cls);
+    for (unsigned i = 0; i < count; ++i) {
+        const Cycle issue = resolveIssue(dep, *spec.pool, 1, 0);
+        const Cycle completion = issue + spec.latency;
+        finishOp(cls, completion, 0, false);
+        dep = Tag{completion, false};
+    }
+    return dep;
+}
+
+Tag
 Pipeline::executeIndexed(OpClass cls, std::uint64_t pc,
                          std::span<const Addr> addrs, unsigned elemBytes,
-                         std::initializer_list<Tag> srcs)
+                         Tag dep)
 {
     const HostPhase::Scope scope(HostPhase::Pipeline);
     panic_if_not(cls == OpClass::VecGather || cls == OpClass::VecScatter,
@@ -244,7 +286,7 @@ Pipeline::executeIndexed(OpClass cls, std::uint64_t pc,
     // effect the paper highlights), and every element holds an LSQ
     // entry until the instruction completes.
     const Cycle issue =
-        resolveIssue(srcs, aguPipes_, addrs.size(), lsqNeed);
+        resolveIssue(dep, aguPipes_, addrs.size(), lsqNeed);
 
     const bool write = cls == OpClass::VecScatter;
     laneLatencies_.resize(addrs.size());
@@ -265,11 +307,11 @@ Pipeline::executeIndexed(OpClass cls, std::uint64_t pc,
 }
 
 Tag
-Pipeline::executeQz(OpClass cls, unsigned latency,
-                    std::initializer_list<Tag> srcs, bool commitSerialized)
+Pipeline::executeQz(OpClass cls, unsigned latency, Tag dep,
+                    bool commitSerialized)
 {
     const HostPhase::Scope scope(HostPhase::Pipeline);
-    const Cycle issue = resolveIssue(srcs, vecPipes_, 1, 0);
+    const Cycle issue = resolveIssue(dep, vecPipes_, 1, 0);
     // Commit-time execution (QBUFFER writes, Section IV-E): the op
     // waits in the issue queue until it is the oldest in flight, but
     // younger independent instructions keep issuing; only consumers of

@@ -175,14 +175,42 @@ class FifoRing
     std::size_t tail_ = 0;
 };
 
+/**
+ * One element of an executeMemRun batch: a contiguous memory op
+ * described by value so a run of them can cross the pipeline in a
+ * single call.
+ */
+struct MemOp
+{
+    OpClass cls;
+    std::uint64_t pc;
+    Addr addr;
+    unsigned bytes;
+};
+
 /** The scoreboard core model. */
 class Pipeline
 {
   public:
     Pipeline(const SystemParams &params, MemorySystem &mem);
 
-    /** Fixed-latency non-memory op. @return result tag. */
-    Tag executeOp(OpClass cls, std::initializer_list<Tag> srcs);
+    /**
+     * Fixed-latency non-memory op. @return result tag.
+     *
+     * The core overloads take the operand dependencies already joined
+     * into one Tag (join is an associative max, so the result is
+     * independent of grouping); the initializer_list overloads below
+     * are inline sugar that join at the call site, letting the
+     * optimizer dissolve the braced-list stack array instead of
+     * passing a pointer into it ~once per dynamic instruction.
+     */
+    Tag executeOp(OpClass cls, Tag dep = Tag{});
+
+    QZ_SIM_ALWAYS_INLINE Tag
+    executeOp(OpClass cls, std::initializer_list<Tag> srcs)
+    {
+        return executeOp(cls, joinSrcs(srcs));
+    }
 
     /**
      * Burst of @p count independent, source-free ops of non-memory
@@ -199,7 +227,46 @@ class Pipeline
      * @param pc static site id for the prefetcher.
      */
     Tag executeMem(OpClass cls, std::uint64_t pc, Addr addr,
-                   unsigned bytes, std::initializer_list<Tag> srcs);
+                   unsigned bytes, Tag dep = Tag{});
+
+    QZ_SIM_ALWAYS_INLINE Tag
+    executeMem(OpClass cls, std::uint64_t pc, Addr addr,
+               unsigned bytes, std::initializer_list<Tag> srcs)
+    {
+        return executeMem(cls, pc, addr, bytes, joinSrcs(srcs));
+    }
+
+    /**
+     * Batched run of contiguous memory ops that all consume the same
+     * dependency @p dep. Observationally identical to calling
+     * executeMem(op.cls, op.pc, op.addr, op.bytes, dep) once per
+     * element in order and joining the returned tags (join is an
+     * associative earliest-max, so the grouping cannot matter) — but
+     * one call lets the compiler keep the scoreboard state (cycle,
+     * ring indices, pool slots) in registers across the whole run
+     * instead of reloading it per instruction. The DP inner loops
+     * charge a fixed 5-7 load shape per cell, which is where the
+     * per-call reload cost concentrated.
+     */
+    Tag executeMemRun(std::span<const MemOp> ops, Tag dep);
+
+    /**
+     * Per-op-tag variant for callers whose downstream dependency
+     * chains consume each op's tag individually (the vector register
+     * model: each loaded register carries its own readiness). Op i's
+     * tag lands in @p tags[i]; charging is byte-identical to per-op
+     * executeMem calls in array order.
+     */
+    void executeMemRun(std::span<const MemOp> ops, Tag dep,
+                       std::span<Tag> tags);
+
+    /**
+     * Chain of @p count dependent ops of non-memory class @p cls: the
+     * first consumes @p dep, each subsequent op consumes its
+     * predecessor's result tag. Identical to threading executeOp's
+     * return through @p count calls; returns the final tag.
+     */
+    Tag executeOpChain(OpClass cls, unsigned count, Tag dep);
 
     /**
      * Indexed memory op (gather/scatter): one cache access per element
@@ -207,7 +274,16 @@ class Pipeline
      */
     Tag executeIndexed(OpClass cls, std::uint64_t pc,
                        std::span<const Addr> addrs, unsigned elemBytes,
-                       std::initializer_list<Tag> srcs);
+                       Tag dep = Tag{});
+
+    QZ_SIM_ALWAYS_INLINE Tag
+    executeIndexed(OpClass cls, std::uint64_t pc,
+                   std::span<const Addr> addrs, unsigned elemBytes,
+                   std::initializer_list<Tag> srcs)
+    {
+        return executeIndexed(cls, pc, addrs, elemBytes,
+                              joinSrcs(srcs));
+    }
 
     /**
      * QUETZAL accelerator op with accelerator-determined latency
@@ -215,9 +291,17 @@ class Pipeline
      * @param commitSerialized model commit-time execution (QBUFFER
      *        writes): issue waits for all prior ops to complete.
      */
-    Tag executeQz(OpClass cls, unsigned latency,
-                  std::initializer_list<Tag> srcs,
+    Tag executeQz(OpClass cls, unsigned latency, Tag dep = Tag{},
                   bool commitSerialized = false);
+
+    QZ_SIM_ALWAYS_INLINE Tag
+    executeQz(OpClass cls, unsigned latency,
+              std::initializer_list<Tag> srcs,
+              bool commitSerialized = false)
+    {
+        return executeQz(cls, latency, joinSrcs(srcs),
+                         commitSerialized);
+    }
 
     /** Charge @p count trivial scalar ALU ops (loop overhead). */
     void chargeScalarOps(unsigned count)
@@ -262,13 +346,43 @@ class Pipeline
     const SystemParams &params() const { return params_; }
 
   private:
+    /** Join a braced source list into one dependency tag. */
+    QZ_SIM_ALWAYS_INLINE static Tag
+    joinSrcs(std::initializer_list<Tag> srcs)
+    {
+        Tag dep{};
+        for (const Tag &src : srcs)
+            dep = Tag::join(dep, src);
+        return dep;
+    }
+
     /** Latency and functional-unit pool of a non-memory op class. */
     struct OpSpec
     {
-        unsigned latency;
-        std::vector<Cycle> *pool;
+        unsigned latency = 0;
+        std::vector<Cycle> *pool = nullptr;
     };
-    OpSpec opSpec(OpClass cls);
+
+    /**
+     * Class -> spec, a flat array built once at construction: the
+     * switch it replaces sat on the once-per-instruction executeOp
+     * path. Classes with no executeOp spec (memory, QUETZAL) keep a
+     * null pool and panic out of line.
+     */
+    QZ_SIM_ALWAYS_INLINE OpSpec
+    opSpec(OpClass cls)
+    {
+        const OpSpec spec = specs_[static_cast<std::size_t>(cls)];
+        if (spec.pool == nullptr) [[unlikely]]
+            badOpClass(cls);
+        return spec;
+    }
+    [[noreturn]] QZ_SIM_NOINLINE_COLD void badOpClass(OpClass cls);
+
+    /** executeMem body without the host-phase scope: executeMemRun
+     *  opens one scope for the whole run and invokes this per op. */
+    Tag memOpImpl(OpClass cls, std::uint64_t pc, Addr addr,
+                  unsigned bytes, Tag dep);
 
     /** One in-flight instruction tracked for in-order retirement. */
     struct RobEntry
@@ -308,8 +422,7 @@ class Pipeline
      * waits; only queue back-pressure moves the dispatch pointer.
      */
     QZ_SIM_ALWAYS_INLINE Cycle
-    resolveIssue(std::initializer_list<Tag> srcs,
-                 std::vector<Cycle> &pool, Cycle busy,
+    resolveIssue(Tag dep, std::vector<Cycle> &pool, Cycle busy,
                  std::size_t lsqNeed)
     {
         const Cycle front = frontendAdvance();
@@ -355,9 +468,6 @@ class Pipeline
         // Out-of-order execution start: operands and functional-unit
         // availability delay only this op (and its dependents), not
         // the dispatch of younger instructions.
-        Tag dep{};
-        for (const Tag &src : srcs)
-            dep = Tag::join(dep, src);
         Cycle start = std::max(t, dep.ready);
 
         // Reserve the earliest-free unit in one scan: the unit with
@@ -404,6 +514,10 @@ class Pipeline
     std::vector<Cycle> vecPipes_;
     std::vector<Cycle> scalarPipes_;
     std::vector<Cycle> aguPipes_;
+
+    /** opSpec() table; entries for unsupported classes stay null. */
+    std::array<OpSpec, static_cast<std::size_t>(OpClass::NumClasses)>
+        specs_{};
 
     FifoRing<RobEntry> rob_;
     FifoRing<Cycle> lsq_;

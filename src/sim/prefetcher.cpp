@@ -15,42 +15,15 @@ StridePrefetcher::StridePrefetcher(const PrefetcherParams &params,
 }
 
 void
-StridePrefetcher::observe(std::uint64_t pc, Addr addr)
+StridePrefetcher::issueAhead(const Entry &entry, Addr addr)
 {
-    if (!params_.enabled || table_.empty())
-        return;
-
-    // Same slot as `pc % size`, but without a hardware divide on
-    // every demand access when the table size is a power of two.
-    const std::size_t slot =
-        tableMask_ ? (pc & tableMask_) : (pc % table_.size());
-    Entry &entry = table_[slot];
-    if (!entry.valid || entry.pc != pc) {
-        entry = Entry{pc, addr, 0, 0, true};
-        return;
-    }
-
-    const std::int64_t stride =
-        static_cast<std::int64_t>(addr) -
-        static_cast<std::int64_t>(entry.lastAddr);
-    if (stride != 0 && stride == entry.stride) {
-        if (entry.confidence < params_.trainThreshold)
-            ++entry.confidence;
-    } else {
-        entry.stride = stride;
-        entry.confidence = 0;
-    }
-    entry.lastAddr = addr;
-
-    if (entry.confidence >= params_.trainThreshold && entry.stride != 0) {
-        // Fetch `degree` lines ahead along the stride.
-        for (unsigned d = 1; d <= params_.degree; ++d) {
-            const Addr target = addr + static_cast<Addr>(
-                entry.stride * static_cast<std::int64_t>(d));
-            if (!target_.contains(target)) {
-                target_.fill(target);
-                ++*issued_;
-            }
+    // Fetch `degree` lines ahead along the stride.
+    for (unsigned d = 1; d <= params_.degree; ++d) {
+        const Addr target = addr + static_cast<Addr>(
+            entry.stride * static_cast<std::int64_t>(d));
+        if (!target_.contains(target)) {
+            target_.fill(target);
+            ++*issued_;
         }
     }
 }

@@ -28,8 +28,55 @@ class StridePrefetcher
      * Observe a demand access from instruction site @p pc at @p addr and
      * issue prefetch fills into the target cache when a stride is
      * established.
+     *
+     * Inline (it runs once per demand request from MemorySystem's
+     * inlined access chain): the table update and the trained-stream
+     * short-circuit — every lookahead target on the demand line and
+     * that line resident, making the whole issue loop a provable no-op
+     * (contains() never mutates, so nothing would fill and no stat
+     * would move); the endpoint line check pins every intermediate
+     * target because they are monotone in the lookahead distance.
+     * Only streams that genuinely cross a line boundary take the
+     * out-of-line issue walk.
      */
-    void observe(std::uint64_t pc, Addr addr);
+    QZ_CACHE_ALWAYS_INLINE void
+    observe(std::uint64_t pc, Addr addr)
+    {
+        if (!params_.enabled || table_.empty())
+            return;
+
+        // Same slot as `pc % size`, but without a hardware divide on
+        // every demand access when the table size is a power of two.
+        const std::size_t slot =
+            tableMask_ ? (pc & tableMask_) : (pc % table_.size());
+        Entry &entry = table_[slot];
+        if (!entry.valid || entry.pc != pc) {
+            entry = Entry{pc, addr, 0, 0, true};
+            return;
+        }
+
+        const std::int64_t stride =
+            static_cast<std::int64_t>(addr) -
+            static_cast<std::int64_t>(entry.lastAddr);
+        if (stride != 0 && stride == entry.stride) {
+            if (entry.confidence < params_.trainThreshold)
+                ++entry.confidence;
+        } else {
+            entry.stride = stride;
+            entry.confidence = 0;
+        }
+        entry.lastAddr = addr;
+
+        if (entry.confidence >= params_.trainThreshold &&
+            entry.stride != 0) {
+            const Addr last = addr + static_cast<Addr>(
+                entry.stride *
+                static_cast<std::int64_t>(params_.degree));
+            if (target_.sameLine(addr, last) && target_.contains(addr))
+                return;
+            issueAhead(entry, addr);
+        }
+    }
 
     std::uint64_t issued() const { return issued_->value(); }
 
@@ -44,6 +91,9 @@ class StridePrefetcher
         unsigned confidence = 0;
         bool valid = false;
     };
+
+    /** Trained-stride issue walk: fill `degree` lines ahead. */
+    void issueAhead(const Entry &entry, Addr addr);
 
     PrefetcherParams params_;
     Cache &target_;

@@ -34,10 +34,16 @@
  *  --metrics  also write the sweep's BenchReport JSON (simulated
  *             metrics only) for diffing against the golden snapshot
  *  --phase    attribute host time to simulator phases (memory system /
- *             rest of the timing pipeline / functional+harness) via
- *             sim::HostPhase scopes; single-thread only, and the
- *             breakdown is reported for the fastest sweep's phase
- *             profile (phase_*_ns fields in the run record)
+ *             rest of the timing pipeline / host-SIMD functional
+ *             kernels / scalar+harness remainder) via sim::HostPhase
+ *             scopes; single-thread only, and the breakdown is
+ *             reported for the fastest sweep's phase profile
+ *             (phase_mem_ns, phase_pipeline_ns,
+ *             phase_functional_simd_ns, phase_functional_scalar_ns)
+ *
+ * Every run record also names the resolved host-SIMD backend
+ * ("backend"/"compiler"/"simd_flags"), so throughput rows from
+ * different machines or QZ_HOST_SIMD settings stay comparable.
  *
  * Deliberately restricted to long-stable APIs so the same source can
  * be compiled against an older revision to produce the baseline run.
@@ -56,6 +62,7 @@
 #include "common/json.hpp"
 #include "common/logging.hpp"
 #include "genomics/store.hpp"
+#include "isa/hostsimd.hpp"
 #include "sim/hostphase.hpp"
 #include "cli_common.hpp"
 #include "perf_matrix.hpp"
@@ -69,7 +76,8 @@ struct PhaseProfile
 {
     std::uint64_t memNs = 0;      //!< MemorySystem access + translate
     std::uint64_t pipelineNs = 0; //!< Pipeline entry points, minus mem
-    std::uint64_t otherNs = 0;    //!< functional ISA layer + harness
+    std::uint64_t funcSimdNs = 0; //!< dispatched host-SIMD kernel table
+    std::uint64_t funcScalarNs = 0; //!< remaining facade + harness
 };
 
 /** Snapshot the HostPhase counters against @p totalNs wall time. */
@@ -84,8 +92,15 @@ capturePhases(std::uint64_t totalNs)
     // so the exclusive pipeline share is the difference; clamp anyway
     // so clock jitter can never wrap the unsigned subtraction.
     prof.pipelineNs = pipeTotal > prof.memNs ? pipeTotal - prof.memNs : 0;
-    const std::uint64_t accounted = prof.memNs + prof.pipelineNs;
-    prof.otherNs = totalNs > accounted ? totalNs - accounted : 0;
+    // The functional share splits into time inside the dispatched
+    // host-SIMD kernel table (kind Func — on a scalar-only build these
+    // are the scalar reference kernels reached through the same
+    // dispatch) and everything else: facade bookkeeping, algorithm
+    // control flow, the harness.
+    prof.funcSimdNs = sim::HostPhase::nanos(sim::HostPhase::Func);
+    const std::uint64_t accounted =
+        prof.memNs + prof.pipelineNs + prof.funcSimdNs;
+    prof.funcScalarNs = totalNs > accounted ? totalNs - accounted : 0;
     return prof;
 }
 
@@ -124,6 +139,9 @@ runRecord(const std::string &label, const std::string &matrix,
     JsonWriter json;
     json.beginObject()
         .field("label", label)
+        .field("backend", isa::hostSimd().name)
+        .field("compiler", isa::hostSimdCompiler())
+        .field("simd_flags", isa::hostSimdBuildFlags())
         .field("matrix", matrix)
         .field("scale", scale)
         .field("threads", std::uint64_t{threads})
@@ -152,53 +170,135 @@ runRecord(const std::string &label, const std::string &matrix,
     if (phases != nullptr)
         json.field("phase_mem_ns", phases->memNs)
             .field("phase_pipeline_ns", phases->pipelineNs)
-            .field("phase_functional_ns", phases->otherNs);
+            .field("phase_functional_simd_ns", phases->funcSimdNs)
+            .field("phase_functional_scalar_ns", phases->funcScalarNs);
     json.endObject();
     return json.str();
 }
 
 /**
- * Write {"runs":[...]} to @p path. With @p append, splice the new
- * record into the existing array (the file is always this tool's own
- * fixed shape; anything else is a fatal diagnostic, not data loss —
- * the original text is left untouched on failure).
+ * Strip whitespace outside string literals: every row lands in the
+ * file in one canonical compact shape no matter which revision of the
+ * tool (or a hand edit) produced it. Works on the raw text, so the
+ * numeric fields keep their exact original spelling — reformatting
+ * must never change what a row *says*.
+ */
+std::string
+compactJson(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    bool inString = false;
+    bool escaped = false;
+    for (const char c : text) {
+        if (inString) {
+            out.push_back(c);
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            continue;
+        out.push_back(c);
+        if (c == '"')
+            inString = true;
+    }
+    return out;
+}
+
+/**
+ * Split the top-level elements of the runs array out of the raw file
+ * text (string-aware bracket scan between the array's '[' and its
+ * matching ']'). Raw spans, not re-serialized values: appending a row
+ * must leave every existing row's text — numbers included —
+ * byte-for-byte intact.
+ */
+std::vector<std::string>
+splitRuns(const std::string &text)
+{
+    std::vector<std::string> rows;
+    const std::size_t open = text.find('[');
+    fatal_if(open == std::string::npos, "runs file has no array");
+    int depth = 0;
+    bool inString = false;
+    bool escaped = false;
+    std::size_t start = std::string::npos;
+    for (std::size_t i = open + 1; i < text.size(); ++i) {
+        const char c = text[i];
+        if (inString) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"') {
+            inString = true;
+        } else if (c == '{' || c == '[') {
+            if (depth == 0 && start == std::string::npos)
+                start = i;
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+            if (depth == 0) {
+                rows.push_back(text.substr(start, i - start + 1));
+                start = std::string::npos;
+            }
+        } else if (c == ']') {
+            if (depth == 0)
+                break;
+            --depth;
+        }
+    }
+    return rows;
+}
+
+/**
+ * Write {"runs":[...]} to @p path, one compact row per line (stable
+ * shape for diffs and for baseline/current comparisons). With
+ * @p append, the existing rows are carried over verbatim modulo
+ * whitespace normalization; a file that is not this tool's own fixed
+ * shape is a fatal diagnostic, not data loss — the original text is
+ * left untouched on failure.
  */
 void
 writeRuns(const std::string &path, const std::string &record,
           bool append)
 {
-    std::string text;
+    std::vector<std::string> rows;
     if (append) {
         std::ifstream in(path);
         if (in) {
             std::stringstream buffer;
             buffer << in.rdbuf();
-            text = buffer.str();
+            const std::string text = buffer.str();
+            if (!text.empty()) {
+                const auto parsed = parseJson(text);
+                fatal_if(!parsed || !parsed->isObject() ||
+                             !parsed->find("runs") ||
+                             !parsed->find("runs")->isArray(),
+                         "'{}' is not a qz-perf runs file; refusing "
+                         "to append",
+                         path);
+                for (const std::string &row : splitRuns(text))
+                    rows.push_back(compactJson(row));
+            }
         }
     }
-    std::string out;
-    if (!text.empty()) {
-        const auto parsed = parseJson(text);
-        fatal_if(!parsed || !parsed->isObject() ||
-                     !parsed->find("runs") ||
-                     !parsed->find("runs")->isArray(),
-                 "'{}' is not a qz-perf runs file; refusing to append",
-                 path);
-        std::size_t end = text.find_last_of(']');
-        fatal_if(end == std::string::npos,
-                 "'{}' has no runs array to append to", path);
-        const bool empty = parsed->find("runs")->items().empty();
-        out = text.substr(0, end) + (empty ? "" : ",") + record +
-              text.substr(end);
-    } else {
-        JsonWriter json;
-        json.beginObject().beginArray("runs").rawValue(record)
-            .endArray().endObject();
-        out = json.str() + "\n";
-    }
+    rows.push_back(compactJson(record));
+
     std::ofstream file(path);
     fatal_if(!file, "cannot open '{}' for writing", path);
-    file << out;
+    file << "{\"runs\":[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        file << rows[i] << (i + 1 < rows.size() ? ",\n" : "\n");
+    file << "]}\n";
     std::cout << "wrote " << path << "\n";
 }
 
@@ -260,7 +360,9 @@ main(int argc, char **argv)
 
     std::cout << "qz-perf: sweeping the " << matrix << " matrix (scale "
               << recordedScale << ", " << threads << " thread(s), "
-              << repeat << " repeat(s))\n";
+              << repeat << " repeat(s))\n"
+              << "  host backend:   " << isa::hostSimd().name << " ("
+              << isa::hostSimdCompiler() << ")\n";
 
     algos::BatchRunner runner(threads);
     // Host timing must measure this process's sweep, whole and alone:
@@ -339,15 +441,18 @@ main(int argc, char **argv)
                                      static_cast<double>(bestNs);
         };
         std::cout << "  phase breakdown (fastest sweep):\n"
-                  << "    memory system:   "
+                  << "    memory system:     "
                   << static_cast<double>(phases.memNs) / 1e9 << " s ("
                   << pct(phases.memNs) << "%)\n"
-                  << "    timing pipeline: "
+                  << "    timing pipeline:   "
                   << static_cast<double>(phases.pipelineNs) / 1e9
                   << " s (" << pct(phases.pipelineNs) << "%)\n"
-                  << "    functional+rest: "
-                  << static_cast<double>(phases.otherNs) / 1e9
-                  << " s (" << pct(phases.otherNs) << "%)\n";
+                  << "    functional simd:   "
+                  << static_cast<double>(phases.funcSimdNs) / 1e9
+                  << " s (" << pct(phases.funcSimdNs) << "%)\n"
+                  << "    functional scalar: "
+                  << static_cast<double>(phases.funcScalarNs) / 1e9
+                  << " s (" << pct(phases.funcScalarNs) << "%)\n";
     }
     writeRuns(outPath, record, args.has("append"));
 
